@@ -1,0 +1,80 @@
+"""Experiment A1 — ablation: what each construction ingredient buys.
+
+Three design choices the constructions make, each ablated at matched
+(n, k):
+
+1. **k pasted copies vs one tree** — a single tree of the same size is
+   1-connected: one crash partitions it.  The pasting is what buys
+   Properties 1–2.
+2. **tree pasting vs plain circulant (Harary)** — same edge budget, but
+   linear diameter.  The tree shape is what buys Property 4.
+3. **unshared cliques (K-DIAMOND) vs added leaves (K-TREE)** at the
+   K-DIAMOND-only regular sizes — identical n and connectivity, but the
+   clique variant saves edges (k-regular) where K-TREE over-provisions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.kdiamond import kdiamond_graph, kdiamond_only_regular_sizes
+from repro.core.ktree import ktree_graph
+from repro.core.existence import build_lhg
+from repro.graphs.connectivity import node_connectivity
+from repro.graphs.generators.classic import balanced_tree
+from repro.graphs.generators.harary import harary_graph
+from repro.graphs.traversal import diameter
+
+K = 4
+N = 194  # a K-DIAMOND regular point for k=4 (194 = 8 + 62*3)
+
+
+def test_a1_ablation(benchmark, report):
+    rows = []
+
+    # 1. pasting vs a single tree of comparable size
+    lhg, _ = build_lhg(N, K)
+    tree = balanced_tree(K - 1, 4)  # 121 nodes, same branching
+    rows.append(
+        ("lhg", lhg.number_of_nodes(), lhg.number_of_edges(),
+         node_connectivity(lhg), diameter(lhg))
+    )
+    rows.append(
+        ("single tree", tree.number_of_nodes(), tree.number_of_edges(),
+         node_connectivity(tree), diameter(tree))
+    )
+    assert node_connectivity(lhg) == K
+    assert node_connectivity(tree) == 1
+
+    # 2. tree pasting vs circulant at the same (n, k)
+    harary = harary_graph(K, N)
+    rows.append(
+        ("harary", harary.number_of_nodes(), harary.number_of_edges(),
+         K, diameter(harary))
+    )
+    assert diameter(lhg) * 4 < diameter(harary)
+    assert abs(harary.number_of_edges() - lhg.number_of_edges()) <= N
+
+    # 3. unshared cliques vs added leaves at K-DIAMOND-only points
+    for n in kdiamond_only_regular_sizes(K, 40):
+        diamond, _ = kdiamond_graph(n, K)
+        ktree, _ = ktree_graph(n, K)
+        rows.append(
+            (f"k-diamond n={n}", n, diamond.number_of_edges(),
+             node_connectivity(diamond), diameter(diamond))
+        )
+        rows.append(
+            (f"k-tree    n={n}", n, ktree.number_of_edges(),
+             node_connectivity(ktree), diameter(ktree))
+        )
+        assert diamond.number_of_edges() < ktree.number_of_edges(), n
+
+    benchmark(lambda: build_lhg(N, K))
+
+    report(
+        "a1_ablation",
+        render_table(
+            ["variant", "n", "edges", "kappa", "diameter"],
+            rows,
+            title=f"A1: design-choice ablation (k={K})",
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Experiment F1 — diameter scaling: Harary Θ(n/k) vs LHG O(log n).
+
+The paper's headline figure.  For k ∈ {3, 4, 6} we sweep n geometrically
+and record the exact diameter of the classic Harary graph H(k, n) and of
+the LHG construction.  Shape assertions: the Harary growth exponent is
+≈ 1 (linear), the LHG series fits a logarithmic envelope, and the gap
+widens monotonically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.stats import growth_exponent, is_roughly_logarithmic
+from repro.analysis.sweep import geometric_sizes
+from repro.analysis.tables import render_series
+from repro.core.existence import build_lhg
+from repro.graphs.generators.harary import harary_graph
+from repro.graphs.traversal import diameter
+
+KS = (3, 4, 6)
+MAX_N = 2048
+
+
+def _series(k: int):
+    rows = []
+    for n in geometric_sizes(max(2 * k, 8), MAX_N):
+        if n <= k or n < 2 * k:
+            continue
+        harary_diam = diameter(harary_graph(k, n))
+        lhg, _ = build_lhg(n, k)
+        rows.append((n, harary_diam, diameter(lhg)))
+    return rows
+
+
+def test_f1_diameter_scaling(benchmark, report):
+    all_rows = {k: _series(k) for k in KS}
+    # time a representative piece: exact diameter of a mid-size LHG
+    timed, _ = build_lhg(512, 4)
+    benchmark(lambda: diameter(timed))
+
+    lines = []
+    for k, rows in all_rows.items():
+        lines.append(
+            render_series(
+                "n",
+                [f"harary(k={k})", f"lhg(k={k})"],
+                rows,
+                title=f"F1: diameter vs n (k={k})",
+            )
+        )
+        ns = [r[0] for r in rows]
+        harary_diams = [r[1] for r in rows]
+        lhg_diams = [r[2] for r in rows]
+
+        # Harary: linear in n (exponent near 1 over the tail).
+        tail = slice(len(ns) // 2, None)
+        assert growth_exponent(ns[tail], harary_diams[tail]) > 0.75, k
+        # LHG: logarithmic envelope.
+        assert is_roughly_logarithmic(ns, lhg_diams), k
+        for n, diam in zip(ns, lhg_diams):
+            assert diam <= 4 * math.log2(n) + 4
+        # The winner and the widening gap.
+        assert lhg_diams[-1] < harary_diams[-1]
+        assert harary_diams[-1] / lhg_diams[-1] > 10
+    report("f1_diameter", "\n\n".join(lines))

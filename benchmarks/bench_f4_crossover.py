@@ -1,0 +1,46 @@
+"""Experiment F4 — latency crossover: where the LHG starts winning.
+
+At tiny n the Harary circulant and the LHG have comparable diameters
+(both a couple of hops); the LHG's advantage appears as soon as the
+ring gets long and then grows without bound.  The series reports the
+latency ratio Harary/LHG and asserts: ratio ≥ 1 beyond the crossover,
+monotone-ish growth, and a large factor by n ≈ 1000.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import geometric_sizes
+from repro.analysis.tables import render_series
+from repro.core.existence import build_lhg
+from repro.graphs.generators.harary import harary_graph
+from repro.graphs.traversal import diameter
+
+K = 3
+MAX_N = 1536
+
+
+def test_f4_crossover(benchmark, report):
+    rows = []
+    for n in geometric_sizes(2 * K, MAX_N, factor=2):
+        lhg, _ = build_lhg(n, K)
+        lhg_diam = diameter(lhg)
+        harary_diam = diameter(harary_graph(K, n))
+        rows.append((n, harary_diam, lhg_diam, round(harary_diam / lhg_diam, 2)))
+
+    benchmark(lambda: build_lhg(MAX_N, K))
+
+    ratios = [r[3] for r in rows]
+    # crossover: by n = 4k the LHG never loses, and the factor keeps growing
+    assert all(r >= 1.0 for r in ratios[2:])
+    assert ratios[-1] > 15
+    assert ratios[-1] > ratios[len(ratios) // 2]
+
+    report(
+        "f4_crossover",
+        render_series(
+            "n",
+            ["harary diam", "lhg diam", "ratio"],
+            rows,
+            title=f"F4: Harary/LHG latency ratio vs n (k={K})",
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Experiment F5 — construction cost: build time scales ~linearly in n.
+
+An overlay controller rebuilds the topology on every membership event,
+so construction cost is an operational number, not a curiosity.  The
+series times :func:`build_lhg` across a geometric n ladder and asserts
+the growth exponent stays near 1 (no quadratic blow-up).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.stats import growth_exponent
+from repro.analysis.tables import render_series
+from repro.core.existence import build_lhg
+
+K = 4
+SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def _build_time(n: int, repetitions: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        graph, _ = build_lhg(n, K)
+        best = min(best, time.perf_counter() - start)
+        assert graph.number_of_nodes() == n
+    return best
+
+
+def test_f5_construction_cost(benchmark, report):
+    rows = []
+    for n in SIZES:
+        rows.append((n, round(_build_time(n) * 1e3, 3)))
+
+    benchmark(lambda: build_lhg(SIZES[-1], K))
+
+    ns = [r[0] for r in rows]
+    times = [max(r[1], 1e-6) for r in rows]
+    exponent = growth_exponent(ns[2:], times[2:])
+    # linear-ish: well below quadratic even with noise
+    assert exponent < 1.7, exponent
+
+    report(
+        "f5_construction",
+        render_series(
+            "n",
+            ["build time (ms)"],
+            rows,
+            title=f"F5: construction time vs n (k={K}), growth exponent "
+            f"{exponent:.2f}",
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Experiment F6 — overlay maintenance cost under churn.
+
+Replaying seeded join/leave traces through the overlay controller, we
+measure edge churn (links added + removed) per membership event at
+several population scales.  Shape assertions: mean churn stays bounded
+by a small multiple of k·height (no O(n) rewiring), and connectivity
+never drops below k at the checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.graphs.connectivity import is_k_node_connected
+from repro.overlay.churn import churn_summary, generate_trace, replay
+from repro.overlay.membership import LHGOverlay
+
+K = 3
+POPULATIONS = (12, 24, 48, 96)
+EVENTS = 40
+
+
+def test_f6_churn(benchmark, report):
+    rows = []
+    for population in POPULATIONS:
+        trace = generate_trace(EVENTS, population, K, seed=population)
+        costs = replay(trace, K)
+        # measure only the steady-state phase (after ramp-up joins)
+        steady = costs[-EVENTS:]
+        mean, p95, worst = churn_summary(steady)
+        rows.append((population, round(mean, 2), p95, worst))
+        # churn is polylogarithmic in the population, not linear
+        assert mean <= 6 * K * (math.log2(population) + 2), population
+
+    # final-state sanity: a churned overlay is still an LHG topology
+    overlay = LHGOverlay(k=K)
+    for event in generate_trace(EVENTS, POPULATIONS[0], K, seed=1):
+        if event.kind == "join":
+            overlay.join(event.member)
+        else:
+            overlay.leave(event.member)
+    assert is_k_node_connected(overlay.topology(), K)
+
+    trace = generate_trace(EVENTS, POPULATIONS[1], K, seed=5)
+    benchmark(lambda: replay(trace, K))
+
+    report(
+        "f6_churn",
+        render_table(
+            ["population", "mean churn", "p95 churn", "worst churn"],
+            rows,
+            title=f"F6: edge churn per membership event (k={K}, {EVENTS} events)",
+        ),
+    )

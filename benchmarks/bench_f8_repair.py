@@ -1,0 +1,75 @@
+"""Experiment F8 — self-healing: repairing the overlay between bursts.
+
+k−1 fault tolerance is a *per-burst* budget: an overlay that repairs
+after each burst survives an unbounded total number of crashes.  The
+table runs an 8-burst campaign (each burst k−1 random members) against
+a k = 4, 40-member overlay and reports, per burst: connectivity of the
+damaged topology (never 0 — that is the guarantee), connectivity after
+repair (always k while n ≥ 2k), and the repair's edge bill.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.overlay.membership import LHGOverlay
+from repro.overlay.repair import execute_repair, plan_repair
+
+K, START_SIZE, BURSTS = 4, 40, 8
+
+
+def test_f8_repair(benchmark, report):
+    overlay = LHGOverlay(k=K)
+    for i in range(START_SIZE):
+        overlay.join(f"p{i}")
+    rng = random.Random(42)
+
+    rows = []
+    total_failures = 0
+    for burst_index in range(BURSTS):
+        victims = rng.sample(overlay.members, K - 1)
+        reviction = execute_repair(overlay, victims)
+        total_failures += len(victims)
+        rows.append(
+            (
+                burst_index + 1,
+                total_failures,
+                overlay.size,
+                reviction.connectivity_before,
+                reviction.connectivity_after,
+                reviction.plan.total_edge_work,
+            )
+        )
+        # the guarantee: a k-1 burst never disconnects the overlay
+        assert reviction.connectivity_before >= 1
+        # and repair restores full strength while n >= 2k
+        if overlay.size >= 2 * K:
+            assert reviction.connectivity_after == K
+    assert total_failures > K  # far beyond the single-burst budget
+
+    # benchmark the planning step on a fresh overlay
+    fresh = LHGOverlay(k=K)
+    for i in range(START_SIZE):
+        fresh.join(f"q{i}")
+    victims = fresh.members[:3]
+    benchmark(lambda: plan_repair(fresh, victims))
+
+    report(
+        "f8_repair",
+        render_table(
+            [
+                "burst",
+                "total crashed",
+                "members left",
+                "kappa damaged",
+                "kappa repaired",
+                "edge work",
+            ],
+            rows,
+            title=(
+                f"F8: crash-repair campaign — k={K}, bursts of {K - 1}, "
+                f"{START_SIZE} initial members"
+            ),
+        ),
+    )

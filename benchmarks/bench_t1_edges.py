@@ -1,0 +1,57 @@
+"""Experiment T1 — edge minimality: LHG edge counts vs Harary's ⌈kn/2⌉.
+
+Link minimality (Property 3) is what keeps the flooding message bill
+low.  This table sweeps n for several k and reports, per construction,
+the edge count and its excess over the theoretical minimum ⌈kn/2⌉.
+Shape assertions: regular points hit the bound exactly; no construction
+ever exceeds it by more than the added-leaf envelope (2k−3)·k/2 + 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.existence import build_lhg, regular_exists
+from repro.core.ktree import ktree_graph
+from repro.graphs.generators.harary import harary_minimum_edges
+
+KS = (3, 4, 5, 6)
+SPAN = 20  # sizes per k: 2k .. 2k + SPAN
+
+
+def test_t1_edge_minimality(benchmark, report):
+    rows = []
+    for k in KS:
+        for n in range(2 * k, 2 * k + SPAN + 1):
+            graph, cert = build_lhg(n, k)
+            minimum = harary_minimum_edges(k, n)
+            excess = graph.number_of_edges() - minimum
+            rows.append(
+                (
+                    k,
+                    n,
+                    cert.rule,
+                    graph.number_of_edges(),
+                    minimum,
+                    excess,
+                    regular_exists(n, k, "k-diamond"),
+                )
+            )
+
+    benchmark(lambda: ktree_graph(2 * 6 + SPAN, 6))
+
+    table = render_table(
+        ["k", "n", "rule", "edges", "harary-min", "excess", "regular-point"],
+        rows,
+        title="T1: edge counts vs the Harary minimum",
+    )
+    for k, n, _, edges, minimum, excess, regular_point in rows:
+        envelope = (2 * k - 3) * k / 2 + 1
+        assert 0 <= excess <= envelope, (k, n)
+        if regular_point:
+            assert excess == 0, (k, n)
+    # exactly the regular points hit the bound: one size in every k-1
+    exact = sum(1 for row in rows if row[5] == 0)
+    regular_points = sum(1 for row in rows if row[6])
+    assert exact == regular_points
+    assert exact >= len(rows) // 6
+    report("t1_edges", table)

@@ -1,0 +1,72 @@
+"""Experiment T4 — construction coverage: which (n, k) each rule reaches.
+
+The arbitrary-n motivation, quantified.  For each k we count, over
+n ∈ [2k, 2k + SPAN], how many sizes each rule can build, list the JD
+rule's gaps, and contrast with the special families (hypercube, de
+Bruijn, butterfly) that exist only at exponentially sparse sizes.
+Shape assertions: K-TREE/K-DIAMOND cover everything (EX ⇔ n ≥ 2k); the
+JD gap count grows with the horizon; special families cover almost
+nothing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.existence import coverage_table
+from repro.core.jenkins_demers import jd_gap_sizes
+from repro.graphs.generators.structured import special_family_coverage
+
+KS = (3, 4, 5, 6, 8)
+SPAN = 100
+
+
+def test_t4_coverage(benchmark, report):
+    rows = []
+    for k in KS:
+        table = coverage_table(k, 2 * k + SPAN)
+        total = len(table)
+        jd_count = sum(1 for _, jd, _, _ in table if jd)
+        ktree_count = sum(1 for _, _, kt, _ in table if kt)
+        kdiamond_count = sum(1 for _, _, _, kd in table if kd)
+        gaps = jd_gap_sizes(k, 2 * k + SPAN)
+        rows.append(
+            (
+                k,
+                total,
+                jd_count,
+                ktree_count,
+                kdiamond_count,
+                len(gaps),
+                ",".join(map(str, gaps[:6])) + ",...",
+            )
+        )
+        assert ktree_count == total
+        assert kdiamond_count == total
+        assert jd_count < total
+        # gaps keep appearing: horizon doubling grows the gap list
+        assert len(jd_gap_sizes(k, 2 * k + 2 * SPAN)) > len(gaps)
+
+    special = sorted({n for _, n in special_family_coverage(2 * 8 + SPAN)})
+    rows.append(
+        (
+            "special",
+            SPAN + 1,
+            "-",
+            "-",
+            "-",
+            len(special),
+            ",".join(map(str, special)),
+        )
+    )
+    assert len(special) < (SPAN + 1) // 5
+
+    benchmark(lambda: coverage_table(6, 2 * 6 + SPAN))
+
+    report(
+        "t4_coverage",
+        render_table(
+            ["k", "sizes", "jd", "k-tree", "k-diamond", "jd gaps", "gap examples"],
+            rows,
+            title=f"T4: buildable sizes per rule over n in [2k, 2k+{SPAN}]",
+        ),
+    )

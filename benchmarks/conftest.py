@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the
+evaluation (see DESIGN.md §3 and EXPERIMENTS.md).  Conventions:
+
+* each experiment is a single pytest-benchmark test, so
+  ``pytest benchmarks/ --benchmark-only`` runs the whole harness;
+* the regenerated table/series is printed AND written to
+  ``benchmarks/results/<experiment>.txt`` so the numbers survive the
+  run (EXPERIMENTS.md quotes those files);
+* every experiment *asserts its shape* — who wins, what grows how —
+  so a regression in any construction breaks the harness loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """Return a callable that records an experiment's rendered table."""
+
+    def write(experiment: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        # also emit to the terminal when run with -s
+        print(f"\n{text}", file=sys.stderr)
+
+    return write

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` (and ``python setup.py develop``) work in
+offline environments that lack the ``wheel`` package required by the
+PEP 660 editable-install path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Logarithmic Harary Graphs — a reproduction of Jenkins & Demers (ICDCS 2001).
+
+LHGs are communication topologies for robust, efficient flooding: they
+are k-node-connected, k-link-connected, link-minimal (Harary-optimal
+edge counts) **and** have O(log n) diameter, so a flood survives any
+k − 1 failures, costs the fewest possible messages, and completes in
+logarithmically many hops.
+
+Quickstart::
+
+    from repro import build_lhg, check_lhg, run_flood
+
+    graph, certificate = build_lhg(n=100, k=4)
+    report = check_lhg(graph, k=4)
+    assert report.is_lhg
+    result = run_flood(graph, source=graph.nodes()[0])
+    print(result.completion_time, result.messages)
+
+Package map:
+
+* :mod:`repro.graphs` — self-contained graph substrate (structure,
+  connectivity, Harary baseline, generators);
+* :mod:`repro.core` — the LHG constructions, property verifier,
+  certificates and routing;
+* :mod:`repro.flooding` — discrete-event flooding simulator with
+  failure injection and baseline protocols;
+* :mod:`repro.overlay` — dynamic-membership maintenance under churn;
+* :mod:`repro.analysis` — sweeps, tables, shape statistics for the
+  benchmark harness.
+"""
+
+from repro.core.existence import build_lhg, exists, regular_exists
+from repro.core.jenkins_demers import is_jd_constructible, jenkins_demers_graph
+from repro.core.kdiamond import kdiamond_graph
+from repro.core.ktree import ktree_graph
+from repro.core.properties import LHGReport, check_lhg, is_lhg
+from repro.errors import (
+    ConstructionError,
+    GraphError,
+    InfeasiblePairError,
+    ReproError,
+    SimulationError,
+)
+from repro.flooding.experiments import run_flood, run_gossip, run_treecast
+from repro.graphs.generators.harary import harary_graph
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstructionError",
+    "Graph",
+    "GraphError",
+    "InfeasiblePairError",
+    "LHGReport",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+    "build_lhg",
+    "check_lhg",
+    "exists",
+    "harary_graph",
+    "is_jd_constructible",
+    "is_lhg",
+    "jenkins_demers_graph",
+    "kdiamond_graph",
+    "ktree_graph",
+    "regular_exists",
+    "run_flood",
+    "run_gossip",
+    "run_treecast",
+]

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro`` to run the CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,25 @@
+"""Experiment support: sweeps, table rendering, shape statistics."""
+
+from repro.analysis.stats import (
+    growth_exponent,
+    is_roughly_logarithmic,
+    linear_slope,
+    mean_and_ci,
+    ratio_series,
+)
+from repro.analysis.sweep import SweepPoint, SweepResult, geometric_sizes, run_sweep
+from repro.analysis.tables import render_series, render_table
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "geometric_sizes",
+    "growth_exponent",
+    "is_roughly_logarithmic",
+    "linear_slope",
+    "mean_and_ci",
+    "ratio_series",
+    "render_series",
+    "render_table",
+    "run_sweep",
+]

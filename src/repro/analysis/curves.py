@@ -1,0 +1,131 @@
+"""Coverage-over-time curves and ASCII rendering.
+
+A dissemination run is richer than its completion time: the *coverage
+curve* (fraction of nodes reached by time t) shows the exponential
+growth phase flooding enjoys on a log-diameter topology versus the
+linear crawl on a ring-like one.  These helpers turn
+:class:`~repro.flooding.metrics.FloodResult` delivery times into curves
+and render them as ASCII plots — the text-mode equivalent of the
+figures a paper would print.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.flooding.metrics import FloodResult
+
+
+def coverage_curve(
+    result: FloodResult, buckets: int = 20
+) -> List[Tuple[float, float]]:
+    """Return ``(time, coverage_fraction)`` samples for one run.
+
+    Coverage is measured against the run's pre-failure node count, so
+    curves from different protocols on the same topology are directly
+    comparable.  ``buckets`` evenly spaced sample times span [0, T].
+
+    Raises
+    ------
+    ValueError
+        If the run delivered nothing or ``buckets < 1``.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    if not result.delivery_times:
+        raise ValueError("run delivered no messages; no curve to compute")
+    times = sorted(result.delivery_times.values())
+    horizon = times[-1]
+    total = result.n
+    samples: List[Tuple[float, float]] = []
+    for i in range(buckets + 1):
+        t = horizon * i / buckets
+        covered = _count_leq(times, t)
+        samples.append((t, covered / total))
+    return samples
+
+
+def _count_leq(sorted_values: Sequence[float], threshold: float) -> int:
+    import bisect
+
+    return bisect.bisect_right(sorted_values, threshold)
+
+
+def time_to_fraction(result: FloodResult, fraction: float) -> float:
+    """Earliest time at which coverage reaches ``fraction`` of all nodes.
+
+    Raises
+    ------
+    ValueError
+        If the run never reached the fraction.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    needed = int(fraction * result.n + 0.999999)
+    times = sorted(result.delivery_times.values())
+    if len(times) < needed:
+        raise ValueError(
+            f"run covered {len(times)}/{result.n}; never reached {fraction:.0%}"
+        )
+    return times[needed - 1]
+
+
+def ascii_curve(
+    samples: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render one coverage curve as an ASCII plot.
+
+    The x axis is time (linear, 0..max), the y axis coverage 0..1.
+    """
+    if not samples:
+        raise ValueError("no samples to render")
+    max_t = max(t for t, _ in samples) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, fraction in samples:
+        x = min(width - 1, int(t / max_t * (width - 1)))
+        y = min(height - 1, int(fraction * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append("1.0 ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("    │" + "".join(row))
+    lines.append("0.0 └" + "─" * width + f"  t=0..{max_t:g}")
+    return "\n".join(lines)
+
+
+def ascii_curves(
+    curves: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render several curves in one plot, one marker character each.
+
+    Curves share a global time axis; markers cycle through ``*+ox#``.
+    """
+    if not curves:
+        raise ValueError("no curves to render")
+    markers = "*+ox#%@"
+    max_t = max(
+        (t for _, samples in curves for t, _ in samples), default=1.0
+    ) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, samples) in enumerate(curves):
+        marker = markers[index % len(markers)]
+        for t, fraction in samples:
+            x = min(width - 1, int(t / max_t * (width - 1)))
+            y = min(height - 1, int(fraction * (height - 1)))
+            if grid[height - 1 - y][x] == " ":
+                grid[height - 1 - y][x] = marker
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _) in enumerate(curves)
+    )
+    lines = [legend, "1.0 ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    │" + "".join(row))
+    lines.append("0.0 └" + "─" * width + f"  t=0..{max_t:g}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Small statistics helpers shared by benchmarks and tests.
+
+Nothing exotic: means, sample standard deviation, normal-approximation
+confidence intervals, and least-squares slope helpers used to *assert
+shapes* (linear vs logarithmic growth) rather than absolute numbers —
+the reproduction contract for a simulator-based reimplementation.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import List, Sequence, Tuple
+
+
+def mean_and_ci(values: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Return (mean, half-width of the z·σ/√n confidence interval).
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty.
+    """
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    mean = statistics.fmean(values)
+    if len(values) < 2:
+        return (mean, 0.0)
+    stdev = statistics.stdev(values)
+    return (mean, z * stdev / math.sqrt(len(values)))
+
+
+def linear_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of y against x.
+
+    Raises
+    ------
+    ValueError
+        If the sequences differ in length, are shorter than 2, or x is
+        constant.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("x and y must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    mean_x = statistics.fmean(xs)
+    mean_y = statistics.fmean(ys)
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        raise ValueError("x values are constant")
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return numerator / denominator
+
+
+def growth_exponent(ns: Sequence[float], values: Sequence[float]) -> float:
+    """Fit ``values ≈ c · n^e`` and return the exponent ``e``.
+
+    The log–log least-squares slope: ≈1 for linear growth, ≈0 for
+    logarithmic/constant.  Benchmarks use it to assert that Harary
+    diameters grow linearly (e ≈ 1) while LHG diameters do not (e ≈ 0).
+
+    Raises
+    ------
+    ValueError
+        If any input is non-positive (logs undefined).
+    """
+    if any(n <= 0 for n in ns) or any(v <= 0 for v in values):
+        raise ValueError("growth fits need positive data")
+    return linear_slope([math.log(n) for n in ns], [math.log(v) for v in values])
+
+
+def is_roughly_logarithmic(
+    ns: Sequence[float], values: Sequence[float], ratio_cap: float = 3.0
+) -> bool:
+    """Heuristic shape test: does ``values`` grow like O(log n)?
+
+    Checks that values scale no faster than ``ratio_cap ×`` the log of the
+    size ratio across the sweep: value(n_max)/value(n_min) ≤
+    ratio_cap · log(n_max)/log(n_min).
+    """
+    if len(ns) < 2:
+        return True
+    v_ratio = values[-1] / max(values[0], 1e-12)
+    log_ratio = math.log(ns[-1]) / max(math.log(ns[0]), 1e-12)
+    return v_ratio <= ratio_cap * log_ratio
+
+
+def ratio_series(numerators: Sequence[float], denominators: Sequence[float]) -> List[float]:
+    """Element-wise ratios, guarding division by zero with inf.
+
+    Raises
+    ------
+    ValueError
+        If the sequences differ in length.
+    """
+    if len(numerators) != len(denominators):
+        raise ValueError("series must have the same length")
+    return [
+        (a / b) if b else math.inf for a, b in zip(numerators, denominators)
+    ]

@@ -1,0 +1,65 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figure series as text:
+:func:`render_table` prints aligned columns, :func:`render_series`
+prints an (x, y…) figure as rows — the same information a plot would
+carry, greppable and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Raises
+    ------
+    ValueError
+        If any row's width differs from the header count.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    series: Sequence[str],
+    points: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure as rows of (x, series values…).
+
+    ``points`` rows are ``(x, y1, y2, …)`` matching ``series`` order.
+    """
+    return render_table([x_name, *series], points, title=title)

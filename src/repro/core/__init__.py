@@ -1,0 +1,96 @@
+"""The paper's contribution: Logarithmic Harary Graph constructions.
+
+* :mod:`repro.core.tree_schema` — the abstract k-copy pasted tree all
+  constructions share;
+* :mod:`repro.core.jenkins_demers` — the target paper's construction;
+* :mod:`repro.core.ktree` / :mod:`repro.core.kdiamond` — follow-on
+  constraint builders (extensions) that close the JD coverage gaps and
+  double the k-regular sizes;
+* :mod:`repro.core.properties` — the Property 1–5 verifier;
+* :mod:`repro.core.certificates` — structural witnesses;
+* :mod:`repro.core.routing` — certificate-based O(log n) routing and
+  Menger path witnesses;
+* :mod:`repro.core.existence` — EX/REG characteristic functions and the
+  :func:`build_lhg` façade.
+"""
+
+from repro.core.certificates import ConstructionCertificate
+from repro.core.enumeration import (
+    construction_reaches,
+    enumerate_k_regular_graphs,
+    lhg_census,
+)
+from repro.core.existence import (
+    RULES,
+    build_lhg,
+    coverage_table,
+    exists,
+    regular_exists,
+    regularity_table,
+)
+from repro.core.jenkins_demers import (
+    is_jd_constructible,
+    jd_constructible_sizes,
+    jd_gap_sizes,
+    jd_regular_sizes,
+    jenkins_demers_graph,
+)
+from repro.core.kdiamond import (
+    kdiamond_exists,
+    kdiamond_graph,
+    kdiamond_only_regular_sizes,
+    kdiamond_regular_exists,
+    kdiamond_regular_sizes,
+    satisfies_kdiamond,
+)
+from repro.core.ktree import (
+    ktree_exists,
+    ktree_graph,
+    ktree_regular_exists,
+    ktree_regular_sizes,
+    satisfies_ktree,
+)
+from repro.core.planning import TopologyPlan, plan_topology, required_k
+from repro.core.properties import LHGReport, check_lhg, is_lhg
+from repro.core.routing import locate, menger_witness, tree_route
+from repro.core.tree_schema import TreeSchema, paste_copies
+
+__all__ = [
+    "ConstructionCertificate",
+    "LHGReport",
+    "RULES",
+    "TopologyPlan",
+    "TreeSchema",
+    "build_lhg",
+    "check_lhg",
+    "construction_reaches",
+    "coverage_table",
+    "enumerate_k_regular_graphs",
+    "exists",
+    "is_jd_constructible",
+    "is_lhg",
+    "jd_constructible_sizes",
+    "jd_gap_sizes",
+    "jd_regular_sizes",
+    "jenkins_demers_graph",
+    "kdiamond_exists",
+    "kdiamond_graph",
+    "kdiamond_only_regular_sizes",
+    "kdiamond_regular_exists",
+    "kdiamond_regular_sizes",
+    "ktree_exists",
+    "ktree_graph",
+    "ktree_regular_exists",
+    "ktree_regular_sizes",
+    "lhg_census",
+    "locate",
+    "menger_witness",
+    "paste_copies",
+    "plan_topology",
+    "regular_exists",
+    "regularity_table",
+    "required_k",
+    "satisfies_kdiamond",
+    "satisfies_ktree",
+    "tree_route",
+]

@@ -1,0 +1,334 @@
+"""Construction certificates: the builder's own structural witness.
+
+Every LHG builder in this library returns, next to the graph, a
+:class:`ConstructionCertificate` — an immutable snapshot of the abstract
+tree it pasted.  Holding the witness means
+
+* the verifier can check *structural* claims (copy counts, leaf sharing,
+  degree budget, child quotas) exactly, instead of re-deriving them
+  heuristically from the bare graph, and
+* the disjoint-path router can produce the k node-disjoint Menger paths
+  in O(k · log n) straight from the tree structure, the constructive
+  argument behind the paper's connectivity lemma.
+
+The certificate is also the serialisation format for built topologies
+(:meth:`to_json` / :meth:`from_json`), so an overlay controller can ship
+the structure, not just the edge list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CertificateError
+from repro.core import tree_schema as ts
+
+
+@dataclass(frozen=True)
+class InteriorRecord:
+    """Frozen snapshot of one abstract-tree interior node."""
+
+    id: int
+    parent: Optional[int]
+    depth: int
+    interior_children: Tuple[int, ...]
+    leaf_children: Tuple[int, ...]
+    added_leaf_children: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LeafRecord:
+    """Frozen snapshot of one leaf slot."""
+
+    id: int
+    parent: int
+    depth: int
+    kind: str
+    added: bool
+
+
+@dataclass(frozen=True)
+class ConstructionCertificate:
+    """Structural witness of a pasted k-copy LHG construction.
+
+    Attributes
+    ----------
+    k:
+        Connectivity level — also the number of pasted tree copies.
+    rule:
+        Name of the construction rule that produced the graph
+        (``"jenkins-demers"``, ``"k-tree"``, ``"k-diamond"``); set by the
+        builder via :meth:`with_rule`.
+    interiors / leaves:
+        Snapshots of the abstract tree, keyed by id.
+    """
+
+    k: int
+    rule: str
+    interiors: Dict[int, InteriorRecord]
+    leaves: Dict[int, LeafRecord]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_schema(cls, schema: ts.TreeSchema, rule: str = "unspecified"):
+        """Snapshot a :class:`~repro.core.tree_schema.TreeSchema`."""
+        interiors = {
+            i.id: InteriorRecord(
+                id=i.id,
+                parent=i.parent,
+                depth=i.depth,
+                interior_children=tuple(i.interior_children),
+                leaf_children=tuple(i.leaf_children),
+                added_leaf_children=tuple(i.added_leaf_children),
+            )
+            for i in schema.interiors.values()
+        }
+        leaves = {
+            l.id: LeafRecord(
+                id=l.id, parent=l.parent, depth=l.depth, kind=l.kind, added=l.added
+            )
+            for l in schema.leaves.values()
+        }
+        return cls(k=schema.k, rule=rule, interiors=interiors, leaves=leaves)
+
+    def with_rule(self, rule: str) -> "ConstructionCertificate":
+        """Return a copy tagged with the producing rule's name."""
+        return ConstructionCertificate(
+            k=self.k, rule=rule, interiors=self.interiors, leaves=self.leaves
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def interior_count(self) -> int:
+        """Number of interior nodes of the abstract tree."""
+        return len(self.interiors)
+
+    @property
+    def shared_leaves(self) -> List[LeafRecord]:
+        """Leaf slots realised as one pasted node."""
+        return [l for l in self.leaves.values() if l.kind == ts.SHARED]
+
+    @property
+    def unshared_leaves(self) -> List[LeafRecord]:
+        """Leaf slots realised as k-cliques."""
+        return [l for l in self.leaves.values() if l.kind == ts.UNSHARED]
+
+    def expected_node_count(self) -> int:
+        """Graph nodes the pasted construction must have."""
+        return (
+            self.k * self.interior_count
+            + len(self.shared_leaves)
+            + self.k * len(self.unshared_leaves)
+        )
+
+    def expected_edge_count(self) -> int:
+        """Graph edges the pasted construction must have.
+
+        Per copy: one edge per non-root interior (to its parent); plus
+        k edges per shared leaf slot (one per copy); plus, per unshared
+        slot, k parent edges and the C(k, 2) clique.
+        """
+        interior_edges = self.k * (self.interior_count - 1)
+        shared_edges = self.k * len(self.shared_leaves)
+        unshared = len(self.unshared_leaves)
+        unshared_edges = unshared * (self.k + self.k * (self.k - 1) // 2)
+        return interior_edges + shared_edges + unshared_edges
+
+    def height(self) -> int:
+        """Height of the abstract tree."""
+        return max(l.depth for l in self.leaves.values())
+
+    def root_id(self) -> int:
+        """Id of the abstract root (the interior with no parent)."""
+        for record in self.interiors.values():
+            if record.parent is None:
+                return record.id
+        raise CertificateError("certificate has no root interior")
+
+    def path_to_root(self, interior_id: int) -> List[int]:
+        """Interior ids from ``interior_id`` up to and including the root."""
+        if interior_id not in self.interiors:
+            raise CertificateError(f"unknown interior id {interior_id}")
+        path = [interior_id]
+        while True:
+            parent = self.interiors[path[-1]].parent
+            if parent is None:
+                return path
+            path.append(parent)
+
+    def descendant_leaves(self, interior_id: int) -> List[int]:
+        """All leaf-slot ids in the subtree rooted at ``interior_id``.
+
+        Added leaf slots count — they hang off the subtree like any
+        other leaf and are valid splice points for routing.
+        """
+        if interior_id not in self.interiors:
+            raise CertificateError(f"unknown interior id {interior_id}")
+        result: List[int] = []
+        stack = [interior_id]
+        while stack:
+            node = self.interiors[stack.pop()]
+            result.extend(node.leaf_children)
+            result.extend(node.added_leaf_children)
+            stack.extend(node.interior_children)
+        return result
+
+    def interior_path(self, from_id: int, to_id: int) -> List[int]:
+        """The unique abstract-tree path between two interiors."""
+        up_a = self.path_to_root(from_id)
+        up_b = self.path_to_root(to_id)
+        set_a = {node: idx for idx, node in enumerate(up_a)}
+        for idx_b, node in enumerate(up_b):
+            if node in set_a:
+                return up_a[: set_a[node] + 1] + list(reversed(up_b[:idx_b]))
+        raise CertificateError("interiors share no root — corrupt certificate")
+
+    # ------------------------------------------------------------------
+    # Verification against a concrete graph
+    # ------------------------------------------------------------------
+
+    def verify_graph(self, graph) -> None:
+        """Check that ``graph`` is exactly the pasting of this certificate.
+
+        Raises
+        ------
+        CertificateError
+            Describing the first structural mismatch found.
+        """
+        if graph.number_of_nodes() != self.expected_node_count():
+            raise CertificateError(
+                f"node count {graph.number_of_nodes()} != expected "
+                f"{self.expected_node_count()}"
+            )
+        if graph.number_of_edges() != self.expected_edge_count():
+            raise CertificateError(
+                f"edge count {graph.number_of_edges()} != expected "
+                f"{self.expected_edge_count()}"
+            )
+        for copy in range(self.k):
+            for record in self.interiors.values():
+                label = ts.interior_label(copy, record.id)
+                if not graph.has_node(label):
+                    raise CertificateError(f"missing interior node {label}")
+                if record.parent is not None:
+                    parent_label = ts.interior_label(copy, record.parent)
+                    if not graph.has_edge(parent_label, label):
+                        raise CertificateError(
+                            f"missing tree edge {parent_label} -- {label}"
+                        )
+        for leaf in self.leaves.values():
+            if leaf.kind == ts.SHARED:
+                label = ts.shared_leaf_label(leaf.id)
+                for copy in range(self.k):
+                    parent_label = ts.interior_label(copy, leaf.parent)
+                    if not graph.has_edge(parent_label, label):
+                        raise CertificateError(
+                            f"shared leaf {label} not pasted to copy {copy}"
+                        )
+                if graph.degree(label) != self.k:
+                    raise CertificateError(
+                        f"shared leaf {label} has degree {graph.degree(label)}, "
+                        f"expected {self.k}"
+                    )
+            else:
+                members = [
+                    ts.unshared_leaf_label(leaf.id, copy) for copy in range(self.k)
+                ]
+                for copy, member in enumerate(members):
+                    parent_label = ts.interior_label(copy, leaf.parent)
+                    if not graph.has_edge(parent_label, member):
+                        raise CertificateError(
+                            f"unshared member {member} not linked to its copy"
+                        )
+                for i in range(self.k):
+                    for j in range(i + 1, self.k):
+                        if not graph.has_edge(members[i], members[j]):
+                            raise CertificateError(
+                                f"unshared slot {leaf.id} clique missing edge "
+                                f"{members[i]} -- {members[j]}"
+                            )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the certificate to JSON."""
+        payload = {
+            "k": self.k,
+            "rule": self.rule,
+            "interiors": [
+                {
+                    "id": r.id,
+                    "parent": r.parent,
+                    "depth": r.depth,
+                    "interior_children": list(r.interior_children),
+                    "leaf_children": list(r.leaf_children),
+                    "added_leaf_children": list(r.added_leaf_children),
+                }
+                for r in sorted(self.interiors.values(), key=lambda r: r.id)
+            ],
+            "leaves": [
+                {
+                    "id": l.id,
+                    "parent": l.parent,
+                    "depth": l.depth,
+                    "kind": l.kind,
+                    "added": l.added,
+                }
+                for l in sorted(self.leaves.values(), key=lambda l: l.id)
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConstructionCertificate":
+        """Reconstruct a certificate serialised with :meth:`to_json`.
+
+        Raises
+        ------
+        CertificateError
+            If the payload is malformed.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CertificateError(f"invalid certificate JSON: {exc}") from exc
+        try:
+            interiors = {
+                entry["id"]: InteriorRecord(
+                    id=entry["id"],
+                    parent=entry["parent"],
+                    depth=entry["depth"],
+                    interior_children=tuple(entry["interior_children"]),
+                    leaf_children=tuple(entry["leaf_children"]),
+                    added_leaf_children=tuple(entry["added_leaf_children"]),
+                )
+                for entry in payload["interiors"]
+            }
+            leaves = {
+                entry["id"]: LeafRecord(
+                    id=entry["id"],
+                    parent=entry["parent"],
+                    depth=entry["depth"],
+                    kind=entry["kind"],
+                    added=entry["added"],
+                )
+                for entry in payload["leaves"]
+            }
+            return cls(
+                k=payload["k"],
+                rule=payload.get("rule", "unspecified"),
+                interiors=interiors,
+                leaves=leaves,
+            )
+        except (KeyError, TypeError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc}") from exc

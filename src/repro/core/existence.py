@@ -1,0 +1,203 @@
+"""Existence/regularity characteristic functions and the builder façade.
+
+The follow-on literature frames construction coverage through two
+boolean characteristic functions, which this module implements for all
+three rules:
+
+* ``EX_Π(n, k)`` — does a graph satisfying constraint Π exist for the
+  pair?  (:func:`exists`)
+* ``REG_Π(n, k)`` — does a **k-regular** such graph exist?
+  (:func:`regular_exists`)
+
+:func:`build_lhg` is the user-facing façade: it picks the best rule for
+a pair — the target paper's Jenkins–Demers rule when it applies, K-TREE
+otherwise, or K-DIAMOND when a regular graph is requested and possible —
+and returns the graph with its certificate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConstructionError, InfeasiblePairError
+from repro.core.jenkins_demers import (
+    is_jd_constructible,
+    jd_regular_sizes,
+    jenkins_demers_graph,
+)
+from repro.core.kdiamond import (
+    kdiamond_exists,
+    kdiamond_graph,
+    kdiamond_regular_exists,
+)
+from repro.core.ktree import ktree_exists, ktree_graph, ktree_regular_exists
+
+RULES = ("jenkins-demers", "k-tree", "k-diamond")
+
+
+def exists(n: int, k: int, rule: str = "k-tree") -> bool:
+    """The EX_Π characteristic function for the given rule.
+
+    Raises
+    ------
+    ConstructionError
+        If ``rule`` is not one of :data:`RULES`.
+    """
+    if rule == "jenkins-demers":
+        return is_jd_constructible(n, k)
+    if rule == "k-tree":
+        return ktree_exists(n, k)
+    if rule == "k-diamond":
+        return kdiamond_exists(n, k)
+    raise ConstructionError(f"unknown rule {rule!r}; expected one of {RULES}")
+
+
+def regular_exists(n: int, k: int, rule: str = "k-diamond") -> bool:
+    """The REG_Π characteristic function for the given rule.
+
+    Raises
+    ------
+    ConstructionError
+        If ``rule`` is not one of :data:`RULES`.
+    """
+    if rule == "jenkins-demers":
+        # The JD rule is regular exactly at its extra-free clean sizes.
+        return is_jd_constructible(n, k) and n in jd_regular_sizes(k, n)
+    if rule == "k-tree":
+        return ktree_regular_exists(n, k)
+    if rule == "k-diamond":
+        return kdiamond_regular_exists(n, k)
+    raise ConstructionError(f"unknown rule {rule!r}; expected one of {RULES}")
+
+
+def build_lhg(n: int, k: int, rule: str = "auto", prefer_regular: bool = True):
+    """Build an LHG for (n, k), choosing the construction rule.
+
+    Parameters
+    ----------
+    rule:
+        ``"auto"`` (default) or one of :data:`RULES`.  Auto policy:
+
+        1. if ``prefer_regular`` and a k-regular graph exists only via
+           K-DIAMOND, use K-DIAMOND;
+        2. else use the target paper's Jenkins–Demers rule when it can
+           build the pair;
+        3. else fall back to K-TREE (always succeeds for n ≥ 2k).
+    prefer_regular:
+        Whether the auto policy should trade the JD rule for K-DIAMOND
+        to gain k-regularity (fewer edges, cheaper flooding).
+
+    Returns
+    -------
+    (Graph, ConstructionCertificate)
+
+    Raises
+    ------
+    InfeasiblePairError
+        If no rule can build the pair (n < 2k or k < 2), or the named
+        rule cannot.
+    ConstructionError
+        If ``rule`` is not recognised.
+
+    Examples
+    --------
+    >>> graph, cert = build_lhg(8, 3)
+    >>> graph.number_of_nodes(), cert.rule
+    (8, 'k-diamond')
+    """
+    if rule == "auto":
+        if k < 2 or n < 2 * k:
+            raise InfeasiblePairError(
+                n, k, "auto", f"no LHG construction exists below n=2k={2 * k} or k<2"
+            )
+        jd_ok = is_jd_constructible(n, k)
+        if prefer_regular and kdiamond_regular_exists(n, k):
+            if not (jd_ok and regular_exists(n, k, "jenkins-demers")):
+                return kdiamond_graph(n, k)
+        if jd_ok:
+            return jenkins_demers_graph(n, k)
+        return ktree_graph(n, k)
+    if rule == "jenkins-demers":
+        return jenkins_demers_graph(n, k)
+    if rule == "k-tree":
+        return ktree_graph(n, k)
+    if rule == "k-diamond":
+        return kdiamond_graph(n, k)
+    raise ConstructionError(f"unknown rule {rule!r}; expected 'auto' or {RULES}")
+
+
+def explain_construction(n: int, k: int, rule: str = "auto") -> List[str]:
+    """Return a human-readable step list for building the (n, k) LHG.
+
+    Narrates the actual plan the chosen rule computes: the K_{k,k}
+    base, each batch of leaf→interior conversions, and the residue
+    handling (added leaves / unshared cliques / paired extras).
+
+    Raises
+    ------
+    InfeasiblePairError / ConstructionError
+        As :func:`build_lhg` for the same arguments.
+    """
+    _, certificate = build_lhg(n, k, rule=rule)
+    chosen = certificate.rule
+    steps = [
+        f"target: an LHG for (n={n}, k={k}) via the {chosen!r} rule",
+        f"base: {k} tree copies pasted at {k} shared leaves "
+        f"(K_{{{k},{k}}}, {2 * k} nodes)",
+    ]
+    conversions = certificate.interior_count - 1
+    if conversions:
+        steps.append(
+            f"grow: convert {conversions} leaves into interior nodes "
+            f"(each adds k-1={k - 1} interior copies and k-1 fresh shared "
+            f"leaves: +{2 * (k - 1)} nodes per conversion), keeping the "
+            f"tree height-balanced (final height {certificate.height()})"
+        )
+    unshared = len(certificate.unshared_leaves)
+    if unshared:
+        steps.append(
+            f"residue: realise {unshared} leaf slot(s) as unshared "
+            f"{k}-cliques (one member per copy: +{k - 1} nodes each, "
+            f"every member keeps degree k)"
+        )
+    added = sum(1 for leaf in certificate.leaves.values() if leaf.added)
+    if added:
+        steps.append(
+            f"residue: attach {added} added shared leaf/leaves to a node "
+            f"just above the leaves (+1 node each; host degree exceeds k)"
+        )
+    steps.append(
+        f"result: {certificate.expected_node_count()} nodes, "
+        f"{certificate.expected_edge_count()} edges, diameter bounded by "
+        f"2*(height+1)+1 = {2 * (certificate.height() + 1) + 1}"
+    )
+    return steps
+
+
+def coverage_table(k: int, max_n: int) -> List[Tuple[int, bool, bool, bool]]:
+    """Per-n existence of the three rules: rows ``(n, jd, ktree, kdiamond)``.
+
+    The substrate of coverage experiment T4.
+    """
+    return [
+        (
+            n,
+            is_jd_constructible(n, k),
+            ktree_exists(n, k),
+            kdiamond_exists(n, k),
+        )
+        for n in range(2 * k, max_n + 1)
+    ]
+
+
+def regularity_table(k: int, max_n: int) -> List[Tuple[int, bool, bool, bool]]:
+    """Per-n regular-existence rows ``(n, jd, ktree, kdiamond)`` (exp. T5)."""
+    return [
+        (
+            n,
+            regular_exists(n, k, "jenkins-demers"),
+            ktree_regular_exists(n, k),
+            kdiamond_regular_exists(n, k),
+        )
+        for n in range(2 * k, max_n + 1)
+    ]

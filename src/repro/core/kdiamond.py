@@ -1,0 +1,174 @@
+"""K-DIAMOND constraint builder (extension module, follow-on literature).
+
+**Scope note.** Like :mod:`repro.core.ktree`, K-DIAMOND comes from the
+follow-on work, not the target Jenkins–Demers paper.  It exists to make
+**k-regular** LHGs (Property 5 — the absolute-minimum-edge graphs) reach
+twice as many sizes:
+
+* K-TREE / JD regular points:   n = 2k + 2α(k − 1)
+* K-DIAMOND regular points:     n = 2k +  α(k − 1)
+
+The trick is the **unshared leaf**: instead of pasting a leaf slot into
+one node shared by all k trees, realise it as a k-clique with one member
+per tree copy.  Converting a shared slot to an unshared one adds k − 1
+nodes — *half* a conversion step — and every clique member has degree
+exactly k (k − 1 clique edges + 1 parent edge), preserving regularity.
+
+Added leaves are capped at k − 2 per host (rule 5d), exactly the residue
+range left over after conversions and one optional unshared slot:
+
+    n = 2k + α(k − 1) + j,   α ∈ ℕ, j ∈ {0 … k−2}
+    EX_K-DIAMOND(n, k)  ⇔  n ≥ 2k          (same as K-TREE)
+    REG_K-DIAMOND(n, k) ⇔  (n − 2k) mod (k − 1) = 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import InfeasiblePairError
+from repro.core.tree_schema import TreeSchema, grown_schema, paste_copies
+
+RULE_NAME = "k-diamond"
+
+
+@dataclass(frozen=True)
+class KDiamondPlan:
+    """Build plan: α conversions, u ∈ {0, 1} unshared slots, j added leaves."""
+
+    n: int
+    k: int
+    conversions: int
+    unshared: int
+    added_leaves: int
+
+
+def kdiamond_exists(n: int, k: int) -> bool:
+    """The EX_K-DIAMOND characteristic function: true iff n ≥ 2k (k ≥ 2)."""
+    return k >= 2 and n >= 2 * k
+
+
+def kdiamond_regular_exists(n: int, k: int) -> bool:
+    """The REG_K-DIAMOND characteristic function: n = 2k + α(k − 1)."""
+    if not kdiamond_exists(n, k):
+        return False
+    return (n - 2 * k) % (k - 1) == 0
+
+
+def kdiamond_plan(n: int, k: int) -> KDiamondPlan:
+    """Compute the K-DIAMOND plan for (n, k).
+
+    Maximising conversions leaves a residue r ∈ {0 … 2k−3}; one unshared
+    slot absorbs k − 1 of it, added leaves the rest (≤ k − 2, within the
+    rule-5d quota of a single host).
+
+    Raises
+    ------
+    InfeasiblePairError
+        If n < 2k or k < 2 — K-DIAMOND has no other gaps.
+    """
+    if k < 2:
+        raise InfeasiblePairError(n, k, RULE_NAME, "needs k >= 2")
+    if n < 2 * k:
+        raise InfeasiblePairError(
+            n, k, RULE_NAME, f"minimum size for connectivity k={k} is n=2k={2 * k}"
+        )
+    step = 2 * (k - 1)
+    conversions = (n - 2 * k) // step
+    residue = (n - 2 * k) % step
+    unshared = residue // (k - 1)
+    added = residue % (k - 1)
+    return KDiamondPlan(
+        n=n, k=k, conversions=conversions, unshared=unshared, added_leaves=added
+    )
+
+
+def kdiamond_schema(n: int, k: int) -> TreeSchema:
+    """Build the abstract K-DIAMOND tree for (n, k)."""
+    plan = kdiamond_plan(n, k)
+    schema = grown_schema(k, plan.conversions)
+    for _ in range(plan.unshared):
+        schema.mark_unshared()
+    if plan.added_leaves:
+        host = schema.interiors_above_leaves(include_root=True)[0]
+        for _ in range(plan.added_leaves):
+            schema.add_extra_leaf(host)
+    assert schema.node_count() == n, schema.describe()
+    return schema
+
+
+def kdiamond_graph(n: int, k: int):
+    """Build an LHG satisfying the K-DIAMOND constraint for any n ≥ 2k.
+
+    k-regular whenever ``(n − 2k) mod (k − 1) == 0`` — twice as dense a
+    set of regular sizes as the JD/K-TREE constructions offer.
+
+    Returns ``(Graph, ConstructionCertificate)``.
+
+    Raises
+    ------
+    InfeasiblePairError
+        If n < 2k or k < 2.
+    """
+    schema = kdiamond_schema(n, k)
+    graph, certificate = paste_copies(schema)
+    graph.name = f"kdiamond({n},{k})"
+    return graph, certificate.with_rule(RULE_NAME)
+
+
+def kdiamond_regular_sizes(k: int, max_n: int) -> List[int]:
+    """All n ≤ max_n where the K-DIAMOND construction is k-regular."""
+    sizes = []
+    n = 2 * k
+    while n <= max_n:
+        sizes.append(n)
+        n += k - 1
+    return sizes
+
+
+def kdiamond_only_regular_sizes(k: int, max_n: int) -> List[int]:
+    """Sizes where only K-DIAMOND (not K-TREE/JD) yields a k-regular LHG.
+
+    These are the odd-α points n = 2k + α(k − 1): infinitely many of
+    them, the follow-on paper's headline regularity result — reproduced
+    by experiment T5.
+    """
+    from repro.core.ktree import ktree_regular_exists
+
+    return [
+        n
+        for n in kdiamond_regular_sizes(k, max_n)
+        if not ktree_regular_exists(n, k)
+    ]
+
+
+def satisfies_kdiamond(certificate) -> bool:
+    """Check a construction certificate against the K-DIAMOND rule set.
+
+    Verifies: leaves shared or unshared (rules 2–4); root has k children
+    (5b); other interiors 0 or k−1 structural children (5c); added
+    leaves only just above the leaves, at most k−2 each (5d); tree
+    height-balanced (5a).
+    """
+    k = certificate.k
+    depths = {l.depth for l in certificate.leaves.values()}
+    if max(depths) - min(depths) > 1:
+        return False
+    if any(l.kind not in ("shared", "unshared") for l in certificate.leaves.values()):
+        return False
+    for record in certificate.interiors.values():
+        structural = len(record.interior_children) + len(record.leaf_children)
+        added = len(record.added_leaf_children)
+        if record.parent is None:
+            if structural != k:
+                return False
+        else:
+            if structural not in (0, k - 1):
+                return False
+        if added:
+            if not record.leaf_children:
+                return False
+            if added > max(0, k - 2):
+                return False
+    return True

@@ -1,0 +1,147 @@
+"""K-TREE constraint builder (extension module, follow-on literature).
+
+**Scope note.** K-TREE is *not* part of the target Jenkins–Demers paper;
+it is the generalisation introduced by the follow-on work (Baldoni et
+al.) to close the JD rule's coverage gaps.  It is included here, clearly
+fenced off, because the benchmark suite needs a constructor for the
+(n, k) pairs the JD rule misses (experiment T4) and because every
+JD-buildable graph also satisfies K-TREE, making it a convenient
+superset validator.
+
+The constraint relaxes exactly one JD rule: nodes just above the leaves
+(the root included) may carry up to **2k − 3 added leaves each**, singly
+rather than in pairs.  Since a conversion step adds 2(k − 1) = 2k − 2
+nodes, a slack of 2k − 3 per host closes every gap:
+
+    EX_K-TREE(n, k) = true  ⇔  n ≥ 2k
+    REG_K-TREE(n, k) = true ⇔  n = 2k + 2α(k − 1)
+
+(the regular points coincide with the JD rule's clean sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import InfeasiblePairError
+from repro.core.tree_schema import TreeSchema, grown_schema, paste_copies
+
+RULE_NAME = "k-tree"
+
+
+@dataclass(frozen=True)
+class KTreePlan:
+    """Build plan under the K-TREE constraint: α conversions + j added leaves."""
+
+    n: int
+    k: int
+    conversions: int
+    added_leaves: int
+
+
+def ktree_exists(n: int, k: int) -> bool:
+    """The EX_K-TREE characteristic function: true iff n ≥ 2k (for k ≥ 2)."""
+    return k >= 2 and n >= 2 * k
+
+
+def ktree_regular_exists(n: int, k: int) -> bool:
+    """The REG_K-TREE characteristic function.
+
+    True exactly at the clean sizes n = 2k + 2α(k − 1): any added leaf
+    pushes its host's degree above k, breaking regularity.
+    """
+    if not ktree_exists(n, k):
+        return False
+    return (n - 2 * k) % (2 * (k - 1)) == 0
+
+
+def ktree_plan(n: int, k: int) -> KTreePlan:
+    """Compute the (unique maximal-conversions) K-TREE plan for (n, k).
+
+    Raises
+    ------
+    InfeasiblePairError
+        If n < 2k or k < 2 — K-TREE has no other gaps.
+    """
+    if k < 2:
+        raise InfeasiblePairError(n, k, RULE_NAME, "needs k >= 2")
+    if n < 2 * k:
+        raise InfeasiblePairError(
+            n, k, RULE_NAME, f"minimum size for connectivity k={k} is n=2k={2 * k}"
+        )
+    step = 2 * (k - 1)
+    conversions = (n - 2 * k) // step
+    added = (n - 2 * k) % step
+    # added is in 0 .. 2k-3, within the per-host quota of rule 3d, so a
+    # single host suffices.
+    return KTreePlan(n=n, k=k, conversions=conversions, added_leaves=added)
+
+
+def ktree_schema(n: int, k: int) -> TreeSchema:
+    """Build the abstract K-TREE tree for (n, k)."""
+    plan = ktree_plan(n, k)
+    schema = grown_schema(k, plan.conversions)
+    if plan.added_leaves:
+        host = schema.interiors_above_leaves(include_root=True)[0]
+        for _ in range(plan.added_leaves):
+            schema.add_extra_leaf(host)
+    assert schema.node_count() == n, schema.describe()
+    return schema
+
+
+def ktree_graph(n: int, k: int):
+    """Build an LHG satisfying the K-TREE constraint for any n ≥ 2k.
+
+    Returns ``(Graph, ConstructionCertificate)``.
+
+    Raises
+    ------
+    InfeasiblePairError
+        If n < 2k or k < 2.
+    """
+    schema = ktree_schema(n, k)
+    graph, certificate = paste_copies(schema)
+    graph.name = f"ktree({n},{k})"
+    return graph, certificate.with_rule(RULE_NAME)
+
+
+def ktree_regular_sizes(k: int, max_n: int) -> List[int]:
+    """All n ≤ max_n where the K-TREE construction is k-regular."""
+    sizes = []
+    n = 2 * k
+    while n <= max_n:
+        sizes.append(n)
+        n += 2 * (k - 1)
+    return sizes
+
+
+def satisfies_ktree(certificate) -> bool:
+    """Check a construction certificate against the K-TREE rule set.
+
+    Verifies: all leaves shared (rule 2); root has k children (3b);
+    other interiors have 0 or k−1 structural children (3c); added leaves
+    only on hosts just above the leaves, at most 2k−3 each (3d); the
+    tree is height-balanced (3a).
+    """
+    k = certificate.k
+    if any(l.kind != "shared" for l in certificate.leaves.values()):
+        return False
+    depths = {l.depth for l in certificate.leaves.values()}
+    if max(depths) - min(depths) > 1:
+        return False
+    for record in certificate.interiors.values():
+        structural = len(record.interior_children) + len(record.leaf_children)
+        added = len(record.added_leaf_children)
+        if record.parent is None:
+            if structural != k:
+                return False
+        else:
+            if structural not in (0, k - 1):
+                return False
+        if added:
+            if not record.leaf_children:
+                return False
+            if added > 2 * k - 3:
+                return False
+    return True

@@ -1,0 +1,144 @@
+"""Topology planning: turn operational requirements into an (n, k) choice.
+
+The paper's knobs are n (given by the membership) and k (chosen).  This
+module packages the arithmetic an operator needs:
+
+* how large must k be to survive f failures?  (k = f + 1)
+* what diameter / flood latency / message bill does that k imply at n?
+* is a k-regular (minimum-edge) LHG available at this exact n, and if
+  not, what are the nearest sizes that have one?
+
+:func:`plan_topology` answers all of it in one call and raises typed
+errors when the requirements are unsatisfiable (e.g. more failures than
+members).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConstructionError
+from repro.core.existence import build_lhg, regular_exists
+from repro.core.jenkins_demers import is_jd_constructible
+from repro.core.properties import theoretical_diameter_bound
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """The planner's answer for one (n, failures) requirement.
+
+    ``expected_diameter`` is exact (measured on the built graph);
+    ``latency_bound`` is the certificate's worst-case guarantee.
+    """
+
+    n: int
+    k: int
+    rule: str
+    edges: int
+    expected_diameter: int
+    latency_bound: int
+    k_regular: bool
+    nearest_regular_sizes: Tuple[int, ...]
+    paper_rule_applies: bool
+
+    @property
+    def message_cost_per_broadcast(self) -> int:
+        """Messages one failure-free flood will send (exactly 2m − (n−1))."""
+        return 2 * self.edges - (self.n - 1)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph plan."""
+        regular = "k-regular (minimum edges)" if self.k_regular else (
+            f"not k-regular here; nearest regular sizes "
+            f"{self.nearest_regular_sizes}"
+        )
+        return (
+            f"n={self.n}, k={self.k} via {self.rule}: {self.edges} links, "
+            f"diameter {self.expected_diameter} (guaranteed ≤ "
+            f"{self.latency_bound}), {self.message_cost_per_broadcast} "
+            f"messages/broadcast, {regular}"
+        )
+
+
+def required_k(failures_tolerated: int) -> int:
+    """Connectivity needed to survive the given number of crashes.
+
+    Raises
+    ------
+    ConstructionError
+        If ``failures_tolerated < 1`` (use a plain tree) — the LHG
+        machinery needs k ≥ 2.
+    """
+    if failures_tolerated < 1:
+        raise ConstructionError(
+            "for zero fault tolerance use a spanning tree; LHGs need k >= 2"
+        )
+    return failures_tolerated + 1
+
+
+def nearest_regular_sizes(n: int, k: int, count: int = 2) -> List[int]:
+    """The ``count`` sizes closest to ``n`` with a k-regular LHG."""
+    candidates: List[Tuple[int, int]] = []
+    for candidate in range(2 * k, max(n * 2, 4 * k) + k):
+        if regular_exists(candidate, k, "k-diamond"):
+            candidates.append((abs(candidate - n), candidate))
+    candidates.sort()
+    return sorted(size for _, size in candidates[:count])
+
+
+def plan_topology(
+    n: int,
+    failures_tolerated: int,
+    latency_budget_hops: Optional[int] = None,
+) -> TopologyPlan:
+    """Plan an LHG deployment for ``n`` members surviving ``f`` crashes.
+
+    Parameters
+    ----------
+    latency_budget_hops:
+        Optional hard cap on the worst-case flood depth; the planner
+        raises if no LHG at this (n, k) can honour it.
+
+    Raises
+    ------
+    ConstructionError
+        If the requirement is unsatisfiable: k ≥ n (too few members for
+        the fault tolerance), n < 2k (below the construction minimum),
+        or the latency budget is tighter than the guaranteed bound.
+    """
+    k = required_k(failures_tolerated)
+    if n <= k:
+        raise ConstructionError(
+            f"surviving {failures_tolerated} crashes needs k={k} < n; "
+            f"got n={n} members"
+        )
+    if n < 2 * k:
+        raise ConstructionError(
+            f"the constructions need n >= 2k = {2 * k}; with n={n} use a "
+            f"complete graph (it is {n - 1}-connected) until membership grows"
+        )
+    graph, certificate = build_lhg(n, k)
+    from repro.graphs.traversal import diameter
+
+    measured = diameter(graph)
+    bound = theoretical_diameter_bound(certificate)
+    if latency_budget_hops is not None and bound > latency_budget_hops:
+        raise ConstructionError(
+            f"cannot guarantee ≤ {latency_budget_hops} hops at (n={n}, "
+            f"k={k}): the construction's bound is {bound} "
+            f"(measured {measured}); lower n, raise the budget, or raise k"
+        )
+    regular = graph.regular_degree() == k
+    return TopologyPlan(
+        n=n,
+        k=k,
+        rule=certificate.rule,
+        edges=graph.number_of_edges(),
+        expected_diameter=measured,
+        latency_bound=bound,
+        k_regular=regular,
+        nearest_regular_sizes=tuple(nearest_regular_sizes(n, k)),
+        paper_rule_applies=is_jd_constructible(n, k),
+    )

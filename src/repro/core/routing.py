@@ -1,0 +1,243 @@
+"""Structure-aware routing over pasted LHG constructions.
+
+The point of Property 4 is that flooding — and point-to-point routing —
+needs only O(log n) hops.  This module exploits the construction
+certificate to route **without any global search**:
+
+* :func:`locate` classifies a graph label back into the abstract tree
+  (which copy, which interior / leaf slot);
+* :func:`tree_route` produces an s→t path of length ≤ 2·height + O(1)
+  in O(log n) time, using only the certificate (the "structural route");
+* :func:`menger_witness` returns k internally node-disjoint s–t paths —
+  the constructive content of the paper's connectivity lemma — via the
+  exact max-flow machinery, validated against the certificate's k.
+
+The routing ablation benchmark (A2) compares the structural route
+against BFS shortest paths (quality) and the flow witness (cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import CertificateError, GraphError
+from repro.core.certificates import ConstructionCertificate
+from repro.core.tree_schema import (
+    SHARED,
+    interior_label,
+    shared_leaf_label,
+    unshared_leaf_label,
+)
+from repro.graphs.connectivity import node_disjoint_paths
+from repro.graphs.graph import Graph, Node
+
+
+@dataclass(frozen=True)
+class NodeLocation:
+    """Where a graph label sits in the abstract construction tree.
+
+    ``kind`` is ``"interior"``, ``"shared-leaf"`` or ``"unshared-leaf"``;
+    ``copy`` is the tree copy for interiors and unshared members, and
+    ``None`` for shared leaves (they belong to every copy).
+    """
+
+    kind: str
+    copy: Optional[int]
+    tree_id: int  # interior id or leaf-slot id
+
+
+def locate(certificate: ConstructionCertificate, label: Node) -> NodeLocation:
+    """Classify a pasted-graph label against its certificate.
+
+    Raises
+    ------
+    CertificateError
+        If the label does not belong to this construction.
+    """
+    if isinstance(label, tuple) and len(label) == 3 and label[0] == "T":
+        _, copy, interior_id = label
+        if 0 <= copy < certificate.k and interior_id in certificate.interiors:
+            return NodeLocation(kind="interior", copy=copy, tree_id=interior_id)
+    if isinstance(label, tuple) and len(label) == 2 and label[0] == "L":
+        _, leaf_id = label
+        leaf = certificate.leaves.get(leaf_id)
+        if leaf is not None and leaf.kind == SHARED:
+            return NodeLocation(kind="shared-leaf", copy=None, tree_id=leaf_id)
+    if isinstance(label, tuple) and len(label) == 3 and label[0] == "U":
+        _, leaf_id, copy = label
+        leaf = certificate.leaves.get(leaf_id)
+        if leaf is not None and leaf.kind != SHARED and 0 <= copy < certificate.k:
+            return NodeLocation(kind="unshared-leaf", copy=copy, tree_id=leaf_id)
+    raise CertificateError(f"label {label!r} is not part of this construction")
+
+
+def _leaf_entry(
+    certificate: ConstructionCertificate, leaf_id: int, copy: int
+) -> Node:
+    """The graph node through which copy ``copy`` touches leaf slot ``leaf_id``."""
+    leaf = certificate.leaves[leaf_id]
+    if leaf.kind == SHARED:
+        return shared_leaf_label(leaf_id)
+    return unshared_leaf_label(leaf_id, copy)
+
+
+def _descend_to_leaf(
+    certificate: ConstructionCertificate, interior_id: int, copy: int
+) -> Tuple[List[Node], int]:
+    """Path from an interior's copy down to some descendant leaf's entry node.
+
+    Returns ``(path, leaf_id)`` where the path starts at the interior and
+    ends at the leaf node for this copy.
+    """
+    path = [interior_label(copy, interior_id)]
+    current = certificate.interiors[interior_id]
+    while True:
+        if current.leaf_children or current.added_leaf_children:
+            leaf_id = (
+                current.leaf_children[0]
+                if current.leaf_children
+                else current.added_leaf_children[0]
+            )
+            path.append(_leaf_entry(certificate, leaf_id, copy))
+            return path, leaf_id
+        current = certificate.interiors[current.interior_children[0]]
+        path.append(interior_label(copy, current.id))
+
+
+def _interior_walk(
+    certificate: ConstructionCertificate, copy: int, from_id: int, to_id: int
+) -> List[Node]:
+    """The unique within-copy tree path between two interiors."""
+    return [
+        interior_label(copy, node)
+        for node in certificate.interior_path(from_id, to_id)
+    ]
+
+
+def _cross_copies(
+    certificate: ConstructionCertificate,
+    from_interior: int,
+    from_copy: int,
+    to_copy: int,
+) -> Tuple[List[Node], int]:
+    """Path from an interior's copy to the *same* interior in another copy.
+
+    Descends to a descendant leaf, crosses at the pasting point (free for
+    shared leaves, one clique hop for unshared), and climbs back up.
+    Returns ``(path, leaf_id)``.
+    """
+    down, leaf_id = _descend_to_leaf(certificate, from_interior, from_copy)
+    leaf = certificate.leaves[leaf_id]
+    path = list(down)
+    if leaf.kind != SHARED:
+        path.append(unshared_leaf_label(leaf_id, to_copy))
+    # Climb from the leaf's parent in the target copy back to the interior.
+    climb = _interior_walk(certificate, to_copy, leaf.parent, from_interior)
+    path.extend(climb)
+    return path, leaf_id
+
+
+def tree_route(
+    certificate: ConstructionCertificate, source: Node, target: Node
+) -> List[Node]:
+    """Route from ``source`` to ``target`` using only the certificate.
+
+    The returned path is simple, valid in the pasted graph, and at most
+    ``2·(height + 1) + 2`` hops long — O(log n) for k ≥ 3 — computed in
+    time proportional to its length.  It is **not** always a shortest
+    path (that is what BFS is for); benchmark A2 measures the stretch.
+
+    Raises
+    ------
+    CertificateError
+        If either label is not part of the construction.
+    """
+    if source == target:
+        return [source]
+    src = locate(certificate, source)
+    dst = locate(certificate, target)
+
+    # Normalise both endpoints to interiors plus optional leaf prefixes:
+    # a leaf endpoint contributes its parent interior and a one-hop stub.
+    src_prefix, src_interior, src_copy = _anchor(certificate, source, src, prefer=dst)
+    dst_prefix, dst_interior, dst_copy = _anchor(certificate, target, dst, prefer=src)
+
+    if src_copy == dst_copy:
+        middle = _interior_walk(certificate, src_copy, src_interior, dst_interior)
+    else:
+        cross, _ = _cross_copies(certificate, src_interior, src_copy, dst_copy)
+        middle = cross + _interior_walk(
+            certificate, dst_copy, src_interior, dst_interior
+        )[1:]
+
+    path = src_prefix + middle + list(reversed(dst_prefix))
+    return _simplify(path)
+
+
+def _anchor(
+    certificate: ConstructionCertificate,
+    label: Node,
+    location: NodeLocation,
+    prefer: NodeLocation,
+) -> Tuple[List[Node], int, int]:
+    """Anchor a node at an interior: ``(prefix-before-interior, interior, copy)``.
+
+    For interiors the prefix is empty.  Leaves anchor at their parent;
+    shared leaves choose the *preferred* copy (the other endpoint's) when
+    available so same-copy routing stays within one tree.
+    """
+    if location.kind == "interior":
+        return [], location.tree_id, location.copy
+    leaf = certificate.leaves[location.tree_id]
+    if location.kind == "shared-leaf":
+        copy = prefer.copy if prefer.copy is not None else 0
+        return [label], leaf.parent, copy
+    return [label], leaf.parent, location.copy
+
+
+def _simplify(path: List[Node]) -> List[Node]:
+    """Remove immediate duplicates and loops, keeping the walk a simple path."""
+    out: List[Node] = []
+    index = {}
+    for node in path:
+        if node in index:
+            cut = index[node]
+            for dropped in out[cut + 1 :]:
+                del index[dropped]
+            del out[cut + 1 :]
+        else:
+            index[node] = len(out)
+            out.append(node)
+    return out
+
+
+def route_length_bound(certificate: ConstructionCertificate) -> int:
+    """Worst-case hop count :func:`tree_route` may produce."""
+    return 2 * (certificate.height() + 1) + 2
+
+
+def menger_witness(
+    graph: Graph,
+    certificate: ConstructionCertificate,
+    source: Node,
+    target: Node,
+) -> List[List[Node]]:
+    """Return k internally node-disjoint s–t paths (Menger witness).
+
+    Uses the exact max-flow machinery and checks the family size against
+    the certificate's k — a runtime re-proof of Property 1 for the pair.
+
+    Raises
+    ------
+    GraphError
+        If fewer than k disjoint paths exist (the graph is not the
+        k-connected construction its certificate claims).
+    """
+    paths = node_disjoint_paths(graph, source, target)
+    if len(paths) < certificate.k:
+        raise GraphError(
+            f"only {len(paths)} disjoint paths between {source!r} and "
+            f"{target!r}; certificate claims k={certificate.k}"
+        )
+    return paths[: certificate.k]

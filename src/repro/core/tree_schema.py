@@ -1,0 +1,429 @@
+"""The tree skeleton shared by every LHG construction.
+
+Jenkins & Demers' construction — and the follow-on K-TREE / K-DIAMOND
+constraints that generalise it — all describe the same object: an
+abstract tree ``T`` whose **interior nodes are replicated k times** (one
+copy per tree T_1 … T_k) and whose **leaves are pasted** across the
+copies.  This module models that abstract tree:
+
+* the root has ``k`` child slots, every other interior has ``k − 1``;
+* a *leaf slot* hangs off an interior and is realised either as one
+  **shared** graph node (a leaf of all k trees — JD rule) or as an
+  **unshared** clique of k graph nodes (K-DIAMOND rule 4);
+* interiors *just above the leaves* may carry extra **added** leaf slots
+  (JD: ≤ 2 each on ≤ k non-root interiors; K-TREE: ≤ 2k−3 each;
+  K-DIAMOND: ≤ k−2 each);
+* growth happens by **converting** the oldest leaf slot into a new
+  interior with k − 1 fresh leaf slots, which keeps the tree
+  height-balanced (leaves always live on at most two adjacent depths).
+
+The node-count arithmetic that all existence theorems rest on:
+
+* interiors contribute ``k`` graph nodes each (one per copy),
+* shared leaf slots contribute 1, unshared slots contribute ``k``,
+* hence the base tree (one root, k shared leaves) yields n = 2k, and a
+  conversion adds ``k − 1`` interior-copy nodes plus ``k − 1`` fresh
+  shared leaves = 2(k − 1) nodes.
+
+:func:`paste_copies` turns a schema into the actual
+:class:`~repro.graphs.graph.Graph` plus a
+:class:`~repro.core.certificates.ConstructionCertificate`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConstructionError
+
+SHARED = "shared"
+UNSHARED = "unshared"
+
+
+@dataclass
+class Interior:
+    """One interior node of the abstract tree ``T``.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id; 0 is the root.
+    parent:
+        Parent interior id, or ``None`` for the root.
+    depth:
+        Root is depth 0.
+    interior_children:
+        Ids of children that are interiors.
+    leaf_children:
+        Ids of structural leaf slots currently hanging here.
+    added_leaf_children:
+        Ids of extra leaf slots attached beyond the structural quota.
+    """
+
+    id: int
+    parent: Optional[int]
+    depth: int
+    interior_children: List[int] = field(default_factory=list)
+    leaf_children: List[int] = field(default_factory=list)
+    added_leaf_children: List[int] = field(default_factory=list)
+
+    @property
+    def child_count(self) -> int:
+        """Total children (interiors + structural leaves + added leaves)."""
+        return (
+            len(self.interior_children)
+            + len(self.leaf_children)
+            + len(self.added_leaf_children)
+        )
+
+    @property
+    def is_above_leaves(self) -> bool:
+        """True when at least one child is a leaf slot."""
+        return bool(self.leaf_children) or bool(self.added_leaf_children)
+
+
+@dataclass
+class LeafSlot:
+    """One leaf slot of the abstract tree.
+
+    ``kind`` is :data:`SHARED` (one pasted graph node) or
+    :data:`UNSHARED` (a k-clique, one member per tree copy);
+    ``added`` marks slots attached beyond the structural k − 1 quota.
+    """
+
+    id: int
+    parent: int
+    depth: int
+    kind: str = SHARED
+    added: bool = False
+
+
+class TreeSchema:
+    """A mutable abstract construction tree for connectivity level ``k``.
+
+    The constructor builds the base schema — a root with ``k`` shared
+    leaf slots — whose pasted graph is the smallest LHG (n = 2k, the
+    complete bipartite K_{k,k}).  Grow it with :meth:`convert_next_leaf`,
+    :meth:`add_extra_leaf` and :meth:`mark_unshared`, then materialise
+    with :func:`paste_copies`.
+
+    Raises
+    ------
+    ConstructionError
+        If ``k < 2`` — with one tree copy and no pasting there is no
+        construction (k = 1 "LHGs" are just trees).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ConstructionError(f"tree schema needs k >= 2, got k={k}")
+        self.k = k
+        self.interiors: Dict[int, Interior] = {}
+        self.leaves: Dict[int, LeafSlot] = {}
+        self._next_interior = 0
+        self._next_leaf = 0
+        self._conversion_queue: Deque[int] = deque()
+        root = self._new_interior(parent=None, depth=0)
+        for _ in range(k):
+            self._new_leaf(root.id)
+
+    # ------------------------------------------------------------------
+    # Internal allocation
+    # ------------------------------------------------------------------
+
+    def _new_interior(self, parent: Optional[int], depth: int) -> Interior:
+        node = Interior(id=self._next_interior, parent=parent, depth=depth)
+        self._next_interior += 1
+        self.interiors[node.id] = node
+        if parent is not None:
+            self.interiors[parent].interior_children.append(node.id)
+        return node
+
+    def _new_leaf(self, parent: int, added: bool = False) -> LeafSlot:
+        leaf = LeafSlot(
+            id=self._next_leaf,
+            parent=parent,
+            depth=self.interiors[parent].depth + 1,
+            added=added,
+        )
+        self._next_leaf += 1
+        self.leaves[leaf.id] = leaf
+        holder = self.interiors[parent]
+        if added:
+            holder.added_leaf_children.append(leaf.id)
+        else:
+            holder.leaf_children.append(leaf.id)
+            self._conversion_queue.append(leaf.id)
+        return leaf
+
+    # ------------------------------------------------------------------
+    # Growth operations
+    # ------------------------------------------------------------------
+
+    def convert_next_leaf(self) -> int:
+        """Convert the oldest structural shared leaf into an interior node.
+
+        The new interior receives ``k − 1`` fresh shared leaf slots.
+        FIFO order guarantees leaves only ever occupy two adjacent
+        depths, i.e. the tree stays height-balanced (rule 3a / 5a).
+
+        Returns the id of the new interior.
+
+        Raises
+        ------
+        ConstructionError
+            If no convertible leaf remains (cannot happen while k ≥ 3,
+            every conversion enqueues k − 1 ≥ 2 replacements) or the
+            front leaf is no longer shared/structural.
+        """
+        while self._conversion_queue:
+            leaf_id = self._conversion_queue.popleft()
+            leaf = self.leaves.get(leaf_id)
+            if leaf is None or leaf.kind != SHARED or leaf.added:
+                continue
+            parent = self.interiors[leaf.parent]
+            parent.leaf_children.remove(leaf_id)
+            del self.leaves[leaf_id]
+            node = self._new_interior(parent=parent.id, depth=leaf.depth)
+            for _ in range(self.k - 1):
+                self._new_leaf(node.id)
+            return node.id
+        raise ConstructionError("no convertible shared leaf slot remains")
+
+    def add_extra_leaf(self, parent_id: Optional[int] = None) -> int:
+        """Attach one *added* shared leaf to a node just above the leaves.
+
+        Parameters
+        ----------
+        parent_id:
+            Target interior; defaults to the first interior (in id
+            order) that already has a structural leaf child.
+
+        Returns the new leaf id.
+
+        Raises
+        ------
+        ConstructionError
+            If the chosen interior has no leaf children (added leaves may
+            only hang "just above the leaves" per rules 3d / 5d).
+        """
+        if parent_id is None:
+            parent_id = next(
+                (i.id for i in self.interiors.values() if i.leaf_children), None
+            )
+            if parent_id is None:
+                raise ConstructionError("no interior sits just above the leaves")
+        holder = self.interiors[parent_id]
+        if not holder.leaf_children:
+            raise ConstructionError(
+                f"interior {parent_id} has no leaf children; added leaves must "
+                f"attach just above the leaves"
+            )
+        return self._new_leaf(parent_id, added=True).id
+
+    def mark_unshared(self, leaf_id: Optional[int] = None) -> int:
+        """Turn a shared leaf slot into an unshared k-clique slot (rule 4).
+
+        Parameters
+        ----------
+        leaf_id:
+            Slot to convert; defaults to the youngest structural shared
+            leaf (deepest level), which keeps the shallow levels available
+            for later conversions.
+
+        Returns the id of the modified slot.
+
+        Raises
+        ------
+        ConstructionError
+            If the slot does not exist or is not a shared slot.
+        """
+        if leaf_id is None:
+            candidates = [
+                l.id
+                for l in self.leaves.values()
+                if l.kind == SHARED and not l.added
+            ]
+            if not candidates:
+                raise ConstructionError("no shared leaf slot to mark unshared")
+            leaf_id = max(candidates)
+        leaf = self.leaves.get(leaf_id)
+        if leaf is None:
+            raise ConstructionError(f"leaf slot {leaf_id} does not exist")
+        if leaf.kind != SHARED:
+            raise ConstructionError(f"leaf slot {leaf_id} is already unshared")
+        leaf.kind = UNSHARED
+        return leaf_id
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def interior_count(self) -> int:
+        """Number of interior nodes ``m`` of the abstract tree."""
+        return len(self.interiors)
+
+    @property
+    def shared_leaf_count(self) -> int:
+        """Shared leaf slots, including added ones."""
+        return sum(1 for l in self.leaves.values() if l.kind == SHARED)
+
+    @property
+    def unshared_leaf_count(self) -> int:
+        """Unshared (k-clique) leaf slots."""
+        return sum(1 for l in self.leaves.values() if l.kind == UNSHARED)
+
+    @property
+    def added_leaf_count(self) -> int:
+        """Added leaf slots (beyond the structural k − 1 quota)."""
+        return sum(1 for l in self.leaves.values() if l.added)
+
+    def node_count(self) -> int:
+        """Number of graph nodes the pasted k-copy graph will have."""
+        return (
+            self.k * self.interior_count
+            + self.shared_leaf_count
+            + self.k * self.unshared_leaf_count
+        )
+
+    def height(self) -> int:
+        """Height of the abstract tree (leaf slots included)."""
+        return max(l.depth for l in self.leaves.values())
+
+    def is_height_balanced(self) -> bool:
+        """True when all leaf slots live on at most two adjacent depths."""
+        depths = {l.depth for l in self.leaves.values()}
+        return max(depths) - min(depths) <= 1
+
+    def interiors_above_leaves(self, include_root: bool = True) -> List[int]:
+        """Ids of interiors with at least one structural leaf child."""
+        return [
+            i.id
+            for i in sorted(self.interiors.values(), key=lambda x: x.id)
+            if i.leaf_children and (include_root or i.parent is not None)
+        ]
+
+    def leaf_parent(self, leaf_id: int) -> int:
+        """Return the interior id a leaf slot hangs off."""
+        return self.leaves[leaf_id].parent
+
+    def tree_path_to_root(self, interior_id: int) -> List[int]:
+        """Return interior ids from ``interior_id`` up to and including the root."""
+        path = [interior_id]
+        while True:
+            parent = self.interiors[path[-1]].parent
+            if parent is None:
+                return path
+            path.append(parent)
+
+    def describe(self) -> str:
+        """One-line summary used in certificates and error messages."""
+        return (
+            f"TreeSchema(k={self.k}, interiors={self.interior_count}, "
+            f"shared={self.shared_leaf_count}, unshared={self.unshared_leaf_count}, "
+            f"added={self.added_leaf_count}, height={self.height()}, "
+            f"n={self.node_count()})"
+        )
+
+
+def grown_schema(k: int, conversions: int) -> TreeSchema:
+    """Return a base schema grown by ``conversions`` leaf conversions.
+
+    Node-count arithmetic: the result pastes to n = 2k + 2·conversions·(k−1).
+
+    Raises
+    ------
+    ConstructionError
+        If ``k == 2`` and conversions would exhaust the two leaf slots
+        — impossible: for k = 2 each conversion replaces one leaf with
+        one leaf, so any number of conversions is fine; the error can
+        only arise from an internal inconsistency.
+    """
+    schema = TreeSchema(k)
+    for _ in range(conversions):
+        schema.convert_next_leaf()
+    return schema
+
+
+# ----------------------------------------------------------------------
+# Pasting the k copies into a concrete graph
+# ----------------------------------------------------------------------
+
+InteriorLabel = Tuple[str, int, int]  # ("T", copy, interior_id)
+SharedLabel = Tuple[str, int]  # ("L", leaf_id)
+UnsharedLabel = Tuple[str, int, int]  # ("U", leaf_id, copy)
+
+
+def interior_label(copy: int, interior_id: int) -> InteriorLabel:
+    """Graph label of interior ``interior_id`` in tree copy ``copy``."""
+    return ("T", copy, interior_id)
+
+
+def shared_leaf_label(leaf_id: int) -> SharedLabel:
+    """Graph label of the single pasted node of a shared leaf slot."""
+    return ("L", leaf_id)
+
+
+def unshared_leaf_label(leaf_id: int, copy: int) -> UnsharedLabel:
+    """Graph label of clique member ``copy`` of an unshared leaf slot."""
+    return ("U", leaf_id, copy)
+
+
+def paste_copies(schema: TreeSchema):
+    """Materialise the k pasted tree copies as a concrete graph.
+
+    Edge rules (exactly the paper's):
+
+    * each copy replicates every interior–interior tree edge;
+    * a **shared** leaf slot becomes one node adjacent to its parent's
+      copy in *every* tree (rule: "each leaf is a leaf of all k trees");
+    * an **unshared** slot becomes a k-clique whose member ``i`` is
+      adjacent to the parent's copy in tree ``i`` (K-DIAMOND rule 4).
+
+    Returns
+    -------
+    (Graph, ConstructionCertificate)
+        The graph and a certificate recording the schema structure, from
+        which the verifier and the disjoint-path router work.
+    """
+    from repro.core.certificates import ConstructionCertificate
+    from repro.graphs.graph import Graph
+
+    k = schema.k
+    graph = Graph(name=f"lhg(k={k}, n={schema.node_count()})")
+
+    for copy in range(k):
+        for interior in schema.interiors.values():
+            graph.add_node(interior_label(copy, interior.id))
+    for leaf in schema.leaves.values():
+        if leaf.kind == SHARED:
+            graph.add_node(shared_leaf_label(leaf.id))
+        else:
+            for copy in range(k):
+                graph.add_node(unshared_leaf_label(leaf.id, copy))
+
+    for copy in range(k):
+        for interior in schema.interiors.values():
+            if interior.parent is not None:
+                graph.add_edge(
+                    interior_label(copy, interior.parent),
+                    interior_label(copy, interior.id),
+                )
+    for leaf in schema.leaves.values():
+        if leaf.kind == SHARED:
+            label = shared_leaf_label(leaf.id)
+            for copy in range(k):
+                graph.add_edge(interior_label(copy, leaf.parent), label)
+        else:
+            members = [unshared_leaf_label(leaf.id, copy) for copy in range(k)]
+            for copy, member in enumerate(members):
+                graph.add_edge(interior_label(copy, leaf.parent), member)
+            for i in range(k):
+                for j in range(i + 1, k):
+                    graph.add_edge(members[i], members[j])
+
+    certificate = ConstructionCertificate.from_schema(schema)
+    return graph, certificate

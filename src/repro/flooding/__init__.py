@@ -1,0 +1,88 @@
+"""Event-driven flooding simulation: engine, network, failures, protocols.
+
+The paper's motivating application is robust flooding over an LHG
+topology.  This package simulates it end-to-end:
+
+* :mod:`repro.flooding.simulator` — deterministic discrete-event engine;
+* :mod:`repro.flooding.network` — crash-prone message-passing network
+  with pluggable latency models;
+* :mod:`repro.flooding.failures` — crash/link-failure schedules and
+  adversaries (random, targeted, minimum-cut);
+* :mod:`repro.flooding.protocols` — deterministic flooding plus gossip
+  and spanning-tree baselines;
+* :mod:`repro.flooding.metrics` / :mod:`repro.flooding.experiments` —
+  result records and one-call experiment runners.
+"""
+
+from repro.flooding.experiments import (
+    repeat_runs,
+    run_broadcast_stream,
+    run_echo,
+    run_failure_detection,
+    run_flood,
+    run_gossip,
+    run_redundant_unicast,
+    run_reliable_flood,
+    run_treecast,
+    run_unicast,
+    run_view_change,
+)
+from repro.flooding.failures import (
+    FailureSchedule,
+    crash_before_start,
+    minimum_cut_attack,
+    random_crashes,
+    random_link_failures,
+    survivors,
+    targeted_crashes,
+)
+from repro.flooding.metrics import FloodResult, ResultAggregate, reachable_from
+from repro.flooding.network import (
+    BandwidthLatency,
+    ConstantLatency,
+    ExponentialLatency,
+    FixedLinkLatency,
+    LatencyModel,
+    Network,
+    NodeApi,
+    Protocol,
+    UniformLatency,
+)
+from repro.flooding.simulator import Simulator
+from repro.flooding.trace import TraceCollector, TraceEvent
+
+__all__ = [
+    "BandwidthLatency",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "FailureSchedule",
+    "FixedLinkLatency",
+    "FloodResult",
+    "LatencyModel",
+    "Network",
+    "NodeApi",
+    "Protocol",
+    "ResultAggregate",
+    "Simulator",
+    "TraceCollector",
+    "TraceEvent",
+    "UniformLatency",
+    "crash_before_start",
+    "minimum_cut_attack",
+    "random_crashes",
+    "random_link_failures",
+    "reachable_from",
+    "repeat_runs",
+    "run_broadcast_stream",
+    "run_echo",
+    "run_failure_detection",
+    "run_flood",
+    "run_gossip",
+    "run_redundant_unicast",
+    "run_reliable_flood",
+    "run_treecast",
+    "run_unicast",
+    "run_view_change",
+    "survivors",
+    "targeted_crashes",
+]

@@ -1,0 +1,100 @@
+"""Event queue primitives for the discrete-event simulator.
+
+A simulation is a totally ordered stream of :class:`Event` objects.
+Ordering is ``(time, priority, sequence)``: the sequence number breaks
+ties deterministically in scheduling order, which makes every run
+bit-reproducible for a fixed seed — a hard requirement for the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    priority:
+        Secondary key; lower fires first at equal times.  Failure events
+        use a negative priority so a crash at time t beats a message
+        delivery at time t (the conservative adversary).
+    sequence:
+        Scheduling-order tie-breaker (assigned by the queue).
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Debug/trace tag.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time``; returns the (cancellable) event.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` is negative or not finite.
+        """
+        if not (time >= 0):  # also rejects NaN
+            raise SchedulingError(f"cannot schedule at time {time!r}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Return the next non-cancelled event, or ``None`` when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,402 @@
+"""High-level experiment runners: one call = one simulated dissemination.
+
+These functions wire together simulator + network + failure schedule +
+protocol and return a :class:`~repro.flooding.metrics.FloodResult`.
+They are the API the benchmarks, examples and integration tests share,
+so every number in EXPERIMENTS.md traces back to one of these runners.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
+from repro.flooding.metrics import FloodResult, ResultAggregate, reachable_from
+from repro.flooding.network import LatencyModel, Network
+from repro.flooding.protocols.flood import FloodProtocol
+from repro.flooding.protocols.gossip import PushGossipProtocol
+from repro.flooding.protocols.treecast import TreeCastProtocol
+from repro.flooding.simulator import Simulator
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+# Generous ceiling: flooding sends < 2m messages, gossip fanout*rounds*n.
+_EVENT_BUDGET_FACTOR = 50
+
+
+def _event_budget(graph: Graph) -> int:
+    return _EVENT_BUDGET_FACTOR * (
+        graph.number_of_nodes() + graph.number_of_edges() + 100
+    )
+
+
+def _finish(
+    protocol_name: str,
+    graph: Graph,
+    source: NodeId,
+    schedule: FailureSchedule,
+    network: Network,
+) -> FloodResult:
+    alive_graph = survivors(graph, schedule)
+    reachable = reachable_from(alive_graph, source)
+    covered = {
+        node for node in network.delivery_times if network.is_alive(node)
+    }
+    times = {
+        node: t for node, t in network.delivery_times.items() if node in covered
+    }
+    completion = max(times.values()) if times else None
+    return FloodResult(
+        protocol=protocol_name,
+        n=graph.number_of_nodes(),
+        alive=alive_graph.number_of_nodes(),
+        reachable=len(reachable),
+        covered=len(covered),
+        messages=network.stats.messages_sent,
+        completion_time=completion,
+        delivery_times=times,
+    )
+
+
+def run_flood(
+    graph: Graph,
+    source: NodeId,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+) -> FloodResult:
+    """Flood ``graph`` from ``source`` under a failure schedule.
+
+    Raises
+    ------
+    SimulationError
+        If the source is scheduled to crash at time 0 (the experiment
+        would be vacuous) or the event budget is exceeded.
+    """
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the flood source is crashed at start")
+    simulator = Simulator()
+    network = Network(
+        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    apply_schedule(schedule, network, simulator)
+    protocol = FloodProtocol(network, source)
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=_event_budget(graph))
+    return _finish("flood", graph, source, schedule, network)
+
+
+def run_gossip(
+    graph: Graph,
+    source: NodeId,
+    fanout: int = 2,
+    rounds: int = 16,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+) -> FloodResult:
+    """Push-gossip ``graph`` from ``source`` (probabilistic baseline)."""
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the gossip source is crashed at start")
+    simulator = Simulator()
+    network = Network(
+        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    apply_schedule(schedule, network, simulator)
+    protocol = PushGossipProtocol(
+        network, source, fanout=fanout, rounds=rounds, seed=seed
+    )
+    network.attach(protocol, start_nodes=graph.nodes())
+    simulator.run(max_events=_event_budget(graph) * max(1, rounds))
+    return _finish("gossip", graph, source, schedule, network)
+
+
+def run_treecast(
+    graph: Graph,
+    source: NodeId,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+) -> FloodResult:
+    """Broadcast over a precomputed BFS spanning tree (fragile baseline)."""
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the treecast source is crashed at start")
+    simulator = Simulator()
+    network = Network(
+        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    apply_schedule(schedule, network, simulator)
+    protocol = TreeCastProtocol(network, graph, source)
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=_event_budget(graph))
+    return _finish("treecast", graph, source, schedule, network)
+
+
+def run_unicast(
+    graph: Graph,
+    path,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+) -> Tuple[Optional[float], int]:
+    """Send one source-routed unicast along ``path``.
+
+    Returns ``(delivery_time, hops_taken)``; the time is ``None`` when a
+    failure severed the route.
+    """
+    from repro.flooding.protocols.unicast import SourceRoutedUnicast
+
+    schedule = failures or FailureSchedule()
+    simulator = Simulator()
+    network = Network(graph, simulator, latency=latency)
+    apply_schedule(schedule, network, simulator)
+    protocol = SourceRoutedUnicast(network, path)
+    network.attach(protocol, start_nodes=[protocol.source])
+    simulator.run(max_events=_event_budget(graph))
+    return protocol.delivered_at, protocol.hops_taken
+
+
+def run_redundant_unicast(
+    graph: Graph,
+    paths,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+) -> Tuple[Optional[float], int, int]:
+    """Send one unicast along several disjoint paths simultaneously.
+
+    Returns ``(first_delivery_time, copies_received, messages_sent)``.
+    """
+    from repro.flooding.protocols.unicast import RedundantUnicast
+
+    schedule = failures or FailureSchedule()
+    simulator = Simulator()
+    network = Network(graph, simulator, latency=latency)
+    apply_schedule(schedule, network, simulator)
+    protocol = RedundantUnicast(network, paths)
+    network.attach(protocol, start_nodes=[protocol.source])
+    simulator.run(max_events=_event_budget(graph))
+    return protocol.delivered_at, protocol.copies_received, protocol.messages_sent
+
+
+def run_failure_detection(
+    graph: Graph,
+    crashed,
+    crash_time: float,
+    period: float = 1.0,
+    timeout: float = 3.5,
+    horizon: float = 40.0,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+):
+    """Run the heartbeat detector against a timed crash set.
+
+    Returns a
+    :class:`~repro.flooding.protocols.heartbeat.DetectionReport`.
+    """
+    from repro.flooding.protocols.heartbeat import HeartbeatProtocol
+
+    schedule = FailureSchedule()
+    for victim in crashed:
+        schedule.crash(victim, time=crash_time)
+    simulator = Simulator()
+    network = Network(
+        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    apply_schedule(schedule, network, simulator)
+    protocol = HeartbeatProtocol(
+        network, period=period, timeout=timeout, horizon=horizon
+    )
+    network.attach(protocol)
+    simulator.run(max_events=10_000_000)
+    return protocol.detection_report(set(crashed), crash_time)
+
+
+def run_broadcast_stream(
+    graph: Graph,
+    source: NodeId,
+    count: int,
+    latency: Optional[LatencyModel] = None,
+    interval: float = 0.0,
+):
+    """Flood ``count`` messages back-to-back; return (makespan, covered, msgs).
+
+    ``covered`` is True when every message reached every node.  Pair
+    with :class:`~repro.flooding.network.BandwidthLatency` to measure
+    sustained broadcast throughput (experiment T6).
+    """
+    from repro.flooding.protocols.flood import StreamFloodProtocol
+
+    simulator = Simulator()
+    network = Network(graph, simulator, latency=latency)
+    protocol = StreamFloodProtocol(network, source, count, interval=interval)
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=_event_budget(graph) * max(1, count))
+    return (
+        protocol.makespan(),
+        protocol.fully_covered(graph.number_of_nodes()),
+        network.stats.messages_sent,
+    )
+
+
+def run_echo(
+    graph: Graph,
+    source: NodeId,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+    value_of=lambda node: 1,
+    combine=lambda a, b: a + b,
+):
+    """Run flood-and-echo (PIF) from ``source``.
+
+    Returns the :class:`~repro.flooding.protocols.echo.EchoProtocol`
+    instance so callers can inspect completion, the aggregate, the
+    implicit spanning tree, and pending echoes (under failures the
+    protocol legitimately never completes).
+
+    Raises
+    ------
+    SimulationError
+        If the source is crashed at start.
+    """
+    from repro.flooding.protocols.echo import EchoProtocol
+
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the echo source is crashed at start")
+    simulator = Simulator()
+    network = Network(graph, simulator, latency=latency)
+    apply_schedule(schedule, network, simulator)
+    protocol = EchoProtocol(network, source, value_of=value_of, combine=combine)
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=_event_budget(graph))
+    return protocol
+
+
+def run_reliable_flood(
+    graph: Graph,
+    source: NodeId,
+    failures: Optional[FailureSchedule] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    retry_timeout: float = 3.0,
+    max_retries: int = 8,
+) -> FloodResult:
+    """Flood with per-link ACK/retransmission over lossy links.
+
+    Raises
+    ------
+    SimulationError
+        If the source is crashed at start.
+    """
+    from repro.flooding.protocols.reliable import ReliableFloodProtocol
+
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the flood source is crashed at start")
+    simulator = Simulator()
+    network = Network(
+        graph, simulator, loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    apply_schedule(schedule, network, simulator)
+    protocol = ReliableFloodProtocol(
+        network, source, retry_timeout=retry_timeout, max_retries=max_retries
+    )
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=_event_budget(graph) * (max_retries + 2))
+    return _finish("reliable-flood", graph, source, schedule, network)
+
+
+def run_view_change(
+    graph: Graph,
+    coordinator: NodeId,
+    crashed,
+    crash_time: float,
+    period: float = 1.0,
+    timeout: float = 3.5,
+    decision_delay: float = 2.0,
+    horizon: float = 60.0,
+    latency: Optional[LatencyModel] = None,
+):
+    """Run the in-band view-change pipeline against a timed crash burst.
+
+    Returns a
+    :class:`~repro.flooding.protocols.viewchange.ViewChangeReport`.
+
+    Raises
+    ------
+    SimulationError
+        If the coordinator is among the crashed set (fail-over is out of
+        scope for this protocol).
+    """
+    from repro.flooding.protocols.viewchange import ViewChangeProtocol
+
+    crashed_set = set(crashed)
+    if coordinator in crashed_set:
+        raise SimulationError("coordinator fail-over is not modelled")
+    schedule = FailureSchedule()
+    for victim in crashed_set:
+        schedule.crash(victim, time=crash_time)
+    simulator = Simulator()
+    network = Network(graph, simulator, latency=latency)
+    apply_schedule(schedule, network, simulator)
+    protocol = ViewChangeProtocol(
+        network,
+        coordinator,
+        period=period,
+        timeout=timeout,
+        decision_delay=decision_delay,
+        horizon=horizon,
+    )
+    network.attach(protocol)
+    simulator.run(max_events=20_000_000)
+    return protocol.convergence_report(crashed_set, crash_time)
+
+
+def repeat_runs(
+    runner,
+    graph: Graph,
+    source: NodeId,
+    schedule_factory,
+    repetitions: int,
+    **runner_kwargs,
+) -> ResultAggregate:
+    """Run ``runner`` over seeded failure schedules and aggregate.
+
+    Parameters
+    ----------
+    runner:
+        One of :func:`run_flood` / :func:`run_gossip` / :func:`run_treecast`.
+    schedule_factory:
+        ``seed -> FailureSchedule`` (or ``None`` for failure-free runs).
+    repetitions:
+        Number of seeds (0, 1, 2, …).
+    runner_kwargs:
+        Extra keyword arguments forwarded to the runner.  For
+        :func:`run_gossip` a ``seed`` kwarg is injected per repetition
+        unless already fixed by the caller; likewise a fresh
+        ``loss_seed`` is injected per repetition whenever a non-zero
+        ``loss_rate`` is requested without a pinned seed.
+    """
+    aggregate = ResultAggregate()
+    inject_seed = runner is run_gossip and "seed" not in runner_kwargs
+    inject_loss_seed = (
+        runner_kwargs.get("loss_rate", 0.0) and "loss_seed" not in runner_kwargs
+    )
+    for seed in range(repetitions):
+        schedule = schedule_factory(seed) if schedule_factory else None
+        kwargs = dict(runner_kwargs)
+        if inject_seed:
+            kwargs["seed"] = seed
+        if inject_loss_seed:
+            kwargs["loss_seed"] = seed
+        aggregate.add(runner(graph, source, failures=schedule, **kwargs))
+    return aggregate

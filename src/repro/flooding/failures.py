@@ -1,0 +1,235 @@
+"""Failure schedules: crash and link-failure injection.
+
+A :class:`FailureSchedule` is a declarative list of failure events that
+:func:`apply_schedule` installs into a simulator/network pair.  Crashes
+use a negative event priority so a crash at time t wins against every
+message delivery at time t — the conservative adversary (the protocol
+never benefits from a doomed node's last-instant forwarding).
+
+Builders cover the adversaries the experiments need:
+
+* :func:`crash_before_start` — f nodes dead from time 0 (the paper's
+  "resilient to k−1 failures" setting);
+* :func:`random_crashes` / :func:`random_link_failures` — seeded random
+  choices at a given time;
+* :func:`targeted_crashes` — highest-degree-first, the worst-case-ish
+  adversary for irregular graphs;
+* :func:`minimum_cut_attack` — crash a *minimum node cut* (size k), the
+  certified cheapest disconnection, used to show k failures can break
+  what k−1 cannot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.flooding.network import FAILURE_PRIORITY, Network
+from repro.flooding.simulator import Simulator
+from repro.graphs.connectivity import minimum_node_cut
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash-stop ``node`` at ``time``."""
+
+    time: float
+    node: NodeId
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Kill link (u, v) at ``time``."""
+
+    time: float
+    u: NodeId
+    v: NodeId
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered bag of failure events."""
+
+    crashes: List[NodeCrash] = field(default_factory=list)
+    link_failures: List[LinkFailure] = field(default_factory=list)
+
+    def crash(self, node: NodeId, time: float = 0.0) -> "FailureSchedule":
+        """Add one crash; returns self for chaining."""
+        self.crashes.append(NodeCrash(time=time, node=node))
+        return self
+
+    def fail_link(self, u: NodeId, v: NodeId, time: float = 0.0) -> "FailureSchedule":
+        """Add one link failure; returns self for chaining."""
+        self.link_failures.append(LinkFailure(time=time, u=u, v=v))
+        return self
+
+    @property
+    def crashed_nodes(self) -> Set[NodeId]:
+        """All nodes this schedule will crash (at any time)."""
+        return {c.node for c in self.crashes}
+
+    def merged(self, other: "FailureSchedule") -> "FailureSchedule":
+        """Union of two schedules."""
+        return FailureSchedule(
+            crashes=self.crashes + other.crashes,
+            link_failures=self.link_failures + other.link_failures,
+        )
+
+
+def apply_schedule(
+    schedule: FailureSchedule, network: Network, simulator: Simulator
+) -> None:
+    """Install every failure event of ``schedule`` into the simulation.
+
+    Failures at time 0 are applied immediately (before any start event),
+    matching the "initially dead" interpretation.
+    """
+    for crash in schedule.crashes:
+        if crash.time <= 0:
+            network.crash_node(crash.node)
+        else:
+            simulator.schedule(
+                crash.time,
+                lambda node=crash.node: network.crash_node(node),
+                priority=FAILURE_PRIORITY,
+                label=f"crash:{crash.node!r}",
+            )
+    for failure in schedule.link_failures:
+        if failure.time <= 0:
+            network.fail_link(failure.u, failure.v)
+        else:
+            simulator.schedule(
+                failure.time,
+                lambda u=failure.u, v=failure.v: network.fail_link(u, v),
+                priority=FAILURE_PRIORITY,
+                label=f"linkfail:{failure.u!r}-{failure.v!r}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Schedule builders
+# ----------------------------------------------------------------------
+
+
+def crash_before_start(nodes: Sequence[NodeId]) -> FailureSchedule:
+    """Crash the given nodes at time 0."""
+    schedule = FailureSchedule()
+    for node in nodes:
+        schedule.crash(node, time=0.0)
+    return schedule
+
+
+def random_crashes(
+    graph: Graph,
+    count: int,
+    seed: int = 0,
+    time: float = 0.0,
+    protect: Optional[Set[NodeId]] = None,
+) -> FailureSchedule:
+    """Crash ``count`` random nodes (never the protected ones).
+
+    Raises
+    ------
+    SimulationError
+        If fewer than ``count`` unprotected nodes exist.
+    """
+    protected = protect or set()
+    eligible = sorted(
+        (v for v in graph.nodes() if v not in protected), key=repr
+    )
+    if count > len(eligible):
+        raise SimulationError(
+            f"cannot crash {count} of {len(eligible)} eligible nodes"
+        )
+    chosen = random.Random(seed).sample(eligible, count)
+    schedule = FailureSchedule()
+    for node in chosen:
+        schedule.crash(node, time=time)
+    return schedule
+
+
+def targeted_crashes(
+    graph: Graph,
+    count: int,
+    time: float = 0.0,
+    protect: Optional[Set[NodeId]] = None,
+) -> FailureSchedule:
+    """Crash the ``count`` highest-degree unprotected nodes.
+
+    On k-regular LHGs this coincides with random choice (all degrees are
+    equal); on irregular graphs it approximates the worst adversary.
+
+    Raises
+    ------
+    SimulationError
+        If fewer than ``count`` unprotected nodes exist.
+    """
+    protected = protect or set()
+    eligible = [v for v in graph.nodes() if v not in protected]
+    if count > len(eligible):
+        raise SimulationError(
+            f"cannot crash {count} of {len(eligible)} eligible nodes"
+        )
+    eligible.sort(key=lambda v: (-graph.degree(v), repr(v)))
+    schedule = FailureSchedule()
+    for node in eligible[:count]:
+        schedule.crash(node, time=time)
+    return schedule
+
+
+def random_link_failures(
+    graph: Graph, count: int, seed: int = 0, time: float = 0.0
+) -> FailureSchedule:
+    """Kill ``count`` random links at ``time``.
+
+    Raises
+    ------
+    SimulationError
+        If the graph has fewer than ``count`` links.
+    """
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    if count > len(edges):
+        raise SimulationError(f"cannot fail {count} of {len(edges)} links")
+    chosen = random.Random(seed).sample(edges, count)
+    schedule = FailureSchedule()
+    for u, v in chosen:
+        schedule.fail_link(u, v, time=time)
+    return schedule
+
+
+def minimum_cut_attack(
+    graph: Graph, protect: Optional[Set[NodeId]] = None
+) -> FailureSchedule:
+    """Crash a certified minimum node cut at time 0.
+
+    On a k-connected graph this is the cheapest possible disconnection —
+    exactly k crashes.  Used by the resilience experiments to show the
+    cliff at f = k.  If the cut contains protected nodes the schedule is
+    built anyway (the caller decides how to interpret it).
+
+    Raises
+    ------
+    GraphError
+        Propagated from :func:`minimum_node_cut` for degenerate graphs.
+    """
+    cut = minimum_node_cut(graph)
+    protected = protect or set()
+    return crash_before_start(sorted((v for v in cut if v not in protected), key=repr))
+
+
+def survivors(graph: Graph, schedule: FailureSchedule) -> Graph:
+    """The topology as seen after all of ``schedule`` has struck.
+
+    Removes crashed nodes and failed links; the ground truth the metrics
+    layer uses to compute *reachable* coverage.
+    """
+    remaining = graph.without_nodes(schedule.crashed_nodes & set(graph.nodes()))
+    for failure in schedule.link_failures:
+        if remaining.has_edge(failure.u, failure.v):
+            remaining.remove_edge(failure.u, failure.v)
+    return remaining

@@ -1,0 +1,152 @@
+"""Run metrics: coverage, latency, message cost.
+
+A :class:`FloodResult` is the unit every experiment aggregates.  The key
+distinction is **coverage vs reachable coverage**: with f ≥ k failures a
+k-connected graph may legitimately partition, so a protocol should be
+judged against the nodes that *remained reachable* from the source in
+the survivor graph, not against the pre-failure population.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_levels
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Outcome of one dissemination run.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol name ("flood", "gossip", "treecast", …).
+    n:
+        Pre-failure node count.
+    alive:
+        Nodes alive for the whole run (n − crashes).
+    reachable:
+        Alive nodes reachable from the source in the survivor topology —
+        the fair denominator for delivery ratio.
+    covered:
+        Alive nodes that received the payload.
+    messages:
+        Total messages sent on links (including those later dropped).
+    completion_time:
+        Simulated time of the last delivery (``None`` if nothing beyond
+        the source was covered).
+    delivery_times:
+        Per-node first-delivery times.
+    """
+
+    protocol: str
+    n: int
+    alive: int
+    reachable: int
+    covered: int
+    messages: int
+    completion_time: Optional[float]
+    delivery_times: Dict[NodeId, float] = field(default_factory=dict)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """covered / reachable (1.0 when nothing was reachable)."""
+        if self.reachable == 0:
+            return 1.0
+        return self.covered / self.reachable
+
+    @property
+    def absolute_delivery_ratio(self) -> float:
+        """covered / alive — the pessimistic, partition-blaming ratio."""
+        if self.alive == 0:
+            return 1.0
+        return self.covered / self.alive
+
+    @property
+    def fully_covered(self) -> bool:
+        """True when every reachable alive node got the payload."""
+        return self.covered >= self.reachable
+
+    def latency_percentile(self, fraction: float) -> Optional[float]:
+        """Delivery-time percentile over covered nodes (``0 < fraction ≤ 1``)."""
+        if not self.delivery_times:
+            return None
+        times = sorted(self.delivery_times.values())
+        index = min(len(times) - 1, max(0, int(fraction * len(times)) - 1))
+        return times[index]
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean first-delivery time over covered nodes."""
+        if not self.delivery_times:
+            return None
+        return statistics.fmean(self.delivery_times.values())
+
+
+def reachable_from(graph: Graph, source: NodeId) -> Set[NodeId]:
+    """Nodes reachable from ``source`` in ``graph`` (source included).
+
+    Returns the empty set when the source itself is gone.
+    """
+    if not graph.has_node(source):
+        return set()
+    return set(bfs_levels(graph, source))
+
+
+@dataclass
+class ResultAggregate:
+    """Statistics over repeated seeded runs of one configuration."""
+
+    results: List[FloodResult] = field(default_factory=list)
+
+    def add(self, result: FloodResult) -> None:
+        """Record one run."""
+        self.results.append(result)
+
+    @property
+    def runs(self) -> int:
+        """Number of recorded runs."""
+        return len(self.results)
+
+    def mean_delivery_ratio(self) -> float:
+        """Average delivery ratio across runs."""
+        if not self.results:
+            return 0.0
+        return statistics.fmean(r.delivery_ratio for r in self.results)
+
+    def min_delivery_ratio(self) -> float:
+        """Worst delivery ratio across runs."""
+        if not self.results:
+            return 0.0
+        return min(r.delivery_ratio for r in self.results)
+
+    def full_coverage_fraction(self) -> float:
+        """Fraction of runs that covered every reachable node."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.fully_covered) / len(self.results)
+
+    def mean_messages(self) -> float:
+        """Average message count across runs."""
+        if not self.results:
+            return 0.0
+        return statistics.fmean(r.messages for r in self.results)
+
+    def mean_completion_time(self) -> Optional[float]:
+        """Average completion time over runs that completed at all."""
+        times = [
+            r.completion_time for r in self.results if r.completion_time is not None
+        ]
+        return statistics.fmean(times) if times else None
+
+    def max_completion_time(self) -> Optional[float]:
+        """Worst completion time over runs that completed at all."""
+        times = [
+            r.completion_time for r in self.results if r.completion_time is not None
+        ]
+        return max(times) if times else None

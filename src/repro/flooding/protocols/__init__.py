@@ -1,0 +1,33 @@
+"""Dissemination protocols: flooding plus the related-work baselines."""
+
+from repro.flooding.protocols.flood import (
+    FloodMessage,
+    FloodProtocol,
+    MultiSourceFloodProtocol,
+)
+from repro.flooding.protocols.gossip import PushGossipProtocol
+from repro.flooding.protocols.heartbeat import (
+    DetectionReport,
+    HeartbeatProtocol,
+    Suspicion,
+)
+from repro.flooding.protocols.treecast import TreeCastProtocol
+from repro.flooding.protocols.unicast import (
+    RedundantUnicast,
+    RoutedMessage,
+    SourceRoutedUnicast,
+)
+
+__all__ = [
+    "DetectionReport",
+    "FloodMessage",
+    "FloodProtocol",
+    "HeartbeatProtocol",
+    "MultiSourceFloodProtocol",
+    "PushGossipProtocol",
+    "RedundantUnicast",
+    "RoutedMessage",
+    "SourceRoutedUnicast",
+    "Suspicion",
+    "TreeCastProtocol",
+]

@@ -1,0 +1,178 @@
+"""Propagation of Information with Feedback (PIF): flood + echo.
+
+Flooding answers "tell everyone"; many systems also need the converse —
+"tell everyone **and know when they all got it**", or aggregate a value
+from every node (min/max/sum/count).  The classic solution is the
+echo/PIF algorithm of Segall and Chang:
+
+* the **wave** phase is plain flooding; each node adopts the first
+  sender as its *parent*, implicitly building a spanning tree;
+* the **echo** phase sends acknowledgements up the parent tree: a node
+  echoes once all the neighbours it forwarded to have either echoed or
+  declined (sent a NACK because they already had the message);
+* the source's echo completion certifies *global delivery* and carries
+  the aggregate folded over the whole membership.
+
+On an LHG the wave inherits the O(log n) depth, so the full
+wave + echo round trip costs ~2·eccentricity — the paper's latency
+advantage squared over ring-like topologies for any "broadcast then
+confirm" workload.
+
+Termination under failures: a crashed node cannot echo, so the source
+would wait forever — the protocol therefore exposes partial progress
+(``echoes_pending``) and the failure experiments assert exactly which
+subtrees are blocked; production deployments pair it with the heartbeat
+detector (``repro.flooding.protocols.heartbeat``) to prune dead
+branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set
+
+from repro.errors import ProtocolError
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class _Wave:
+    """Wave-phase payload."""
+
+    value_tag: str = "wave"
+
+
+@dataclass(frozen=True)
+class _Echo:
+    """Echo-phase payload carrying the subtree aggregate."""
+
+    aggregate: Any
+
+
+@dataclass(frozen=True)
+class _Decline:
+    """NACK: receiver already belongs to another branch."""
+
+
+class EchoProtocol(Protocol):
+    """Flood-and-echo with aggregation.
+
+    Parameters
+    ----------
+    network:
+        The simulated network.
+    source:
+        Wave origin; learns completion and the global aggregate.
+    value_of:
+        Per-node contribution, e.g. ``lambda node: 1`` to count nodes.
+    combine:
+        Associative fold over contributions (default addition).
+
+    Attributes
+    ----------
+    completed_at:
+        Simulated time the source's echo completed (``None`` while
+        pending — e.g. forever under an unrepaired crash).
+    aggregate:
+        The folded value at completion.
+    parent:
+        The implicit spanning tree (node → parent).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        source: NodeId,
+        value_of: Callable[[NodeId], Any] = lambda node: 1,
+        combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    ) -> None:
+        self.network = network
+        self.source = source
+        self.value_of = value_of
+        self.combine = combine
+        self.parent: Dict[NodeId, Optional[NodeId]] = {}
+        self._pending: Dict[NodeId, Set[NodeId]] = {}
+        self._partial: Dict[NodeId, Any] = {}
+        self.completed_at: Optional[float] = None
+        self.aggregate: Any = None
+
+    # ------------------------------------------------------------------
+
+    def _begin_wave(self, node: NodeId, api: NodeApi) -> None:
+        self._partial[node] = self.value_of(node)
+        targets = [
+            neighbor
+            for neighbor in api.neighbors()
+            if neighbor != self.parent.get(node)
+        ]
+        self._pending[node] = set(targets)
+        for neighbor in targets:
+            api.send(neighbor, _Wave())
+        if not targets:
+            self._emit_echo(node, api)
+
+    def _emit_echo(self, node: NodeId, api: NodeApi) -> None:
+        parent = self.parent.get(node)
+        if parent is None:
+            self.completed_at = api.now
+            self.aggregate = self._partial[node]
+        else:
+            api.send(parent, _Echo(aggregate=self._partial[node]))
+
+    def _absorb(self, node: NodeId, child: NodeId, api: NodeApi) -> None:
+        pending = self._pending.get(node)
+        if pending is None or child not in pending:
+            raise ProtocolError(
+                f"{node!r} got an unexpected echo/decline from {child!r}"
+            )
+        pending.discard(child)
+        if not pending:
+            self._emit_echo(node, api)
+
+    # ------------------------------------------------------------------
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        if node != self.source:
+            return
+        self.parent[node] = None
+        self.network.mark_delivered(node)
+        self._begin_wave(node, api)
+
+    def on_message(self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi) -> None:
+        if isinstance(payload, _Wave):
+            if node in self.parent:
+                api.send(sender, _Decline())
+            else:
+                self.parent[node] = sender
+                self.network.mark_delivered(node)
+                self._begin_wave(node, api)
+        elif isinstance(payload, _Echo):
+            self._partial[node] = self.combine(
+                self._partial[node], payload.aggregate
+            )
+            self._absorb(node, sender, api)
+        elif isinstance(payload, _Decline):
+            self._absorb(node, sender, api)
+        else:
+            raise ProtocolError(f"unexpected payload {payload!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        """Whether the source's echo has completed."""
+        return self.completed_at is not None
+
+    def echoes_pending(self) -> Dict[NodeId, Set[NodeId]]:
+        """Per-node neighbours still owing an echo (diagnostics)."""
+        return {
+            node: set(waiting)
+            for node, waiting in self._pending.items()
+            if waiting
+        }
+
+    def covered(self) -> Set[NodeId]:
+        """Nodes the wave reached."""
+        return set(self.parent)

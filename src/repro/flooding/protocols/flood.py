@@ -1,0 +1,187 @@
+"""Deterministic flooding — the protocol LHGs are built to carry.
+
+The protocol is the paper's one-liner: *on first receipt of a message,
+forward it to every neighbour except the one it came from*.  On a
+topology with m links a failure-free flood sends at most 2m − (n − 1)
+messages, so link-minimal graphs (Property 3) directly minimise the
+message bill; on a graph of diameter D with unit latencies, full
+coverage happens at time ≤ D, so Property 4 bounds the latency.
+
+The duplicate-suppression state is one bit per (node, message) pair —
+the whole point of flooding's robustness: any alive path delivers, no
+routing state to repair after failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FloodMessage:
+    """A flooded payload, identified by (origin, message_id)."""
+
+    origin: NodeId
+    message_id: int
+    payload: Any = None
+
+
+class FloodProtocol(Protocol):
+    """Classic deterministic flooding from a single source.
+
+    Parameters
+    ----------
+    network:
+        The network (used to record delivery times in its metrics).
+    source:
+        The origin node; it floods at its start event.
+    payload:
+        Opaque payload carried by the message.
+
+    Notes
+    -----
+    ``seen`` is exposed for the metrics layer: a node is *covered* when
+    it has seen the message (the source counts).
+    """
+
+    def __init__(self, network: Network, source: NodeId, payload: Any = "data") -> None:
+        self.network = network
+        self.source = source
+        self.message = FloodMessage(origin=source, message_id=0, payload=payload)
+        self.seen: Set[NodeId] = set()
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        if node != self.source:
+            return
+        self.seen.add(node)
+        self.network.mark_delivered(node)
+        for neighbor in api.neighbors():
+            api.send(neighbor, self.message)
+
+    def on_message(
+        self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi
+    ) -> None:
+        if node in self.seen:
+            return
+        self.seen.add(node)
+        self.network.mark_delivered(node)
+        for neighbor in api.neighbors():
+            if neighbor != sender:
+                api.send(neighbor, payload)
+
+
+class StreamFloodProtocol(Protocol):
+    """One source floods a back-to-back stream of ``count`` messages.
+
+    Used by the throughput experiment (T6): under finite link bandwidth
+    the messages pipeline down the topology, so the *makespan* (last
+    delivery of the last message) measures sustained broadcast
+    throughput, not just one-shot latency.
+
+    ``interval`` staggers the injections (0 = all at start).
+    """
+
+    def __init__(
+        self, network: Network, source: NodeId, count: int, interval: float = 0.0
+    ) -> None:
+        self.network = network
+        self.source = source
+        self.count = count
+        self.interval = interval
+        self.seen: Dict[int, Set[NodeId]] = {}
+        self.last_delivery: Dict[int, float] = {}
+
+    def _deliver(self, node: NodeId, message: FloodMessage, api: NodeApi) -> bool:
+        seen = self.seen.setdefault(message.message_id, set())
+        if node in seen:
+            return False
+        seen.add(node)
+        self.last_delivery[message.message_id] = api.now
+        return True
+
+    def _inject(self, message_id: int, api: NodeApi) -> None:
+        message = FloodMessage(origin=self.source, message_id=message_id)
+        if self._deliver(self.source, message, api):
+            for neighbor in api.neighbors():
+                api.send(neighbor, message)
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        if node != self.source:
+            return
+        if self.interval <= 0:
+            for message_id in range(self.count):
+                self._inject(message_id, api)
+        else:
+            self._inject(0, api)
+            if self.count > 1:
+                api.set_timer(self.interval, 1)
+
+    def on_timer(self, node: NodeId, tag, api: NodeApi) -> None:
+        message_id = int(tag)
+        self._inject(message_id, api)
+        if message_id + 1 < self.count:
+            api.set_timer(self.interval, message_id + 1)
+
+    def on_message(self, node: NodeId, payload, sender: NodeId, api: NodeApi) -> None:
+        if self._deliver(node, payload, api):
+            for neighbor in api.neighbors():
+                if neighbor != sender:
+                    api.send(neighbor, payload)
+
+    def makespan(self) -> Optional[float]:
+        """Time of the last delivery of any message (None before running)."""
+        return max(self.last_delivery.values()) if self.last_delivery else None
+
+    def fully_covered(self, n: int) -> bool:
+        """Did every message reach all ``n`` nodes?"""
+        return len(self.seen) == self.count and all(
+            len(nodes) == n for nodes in self.seen.values()
+        )
+
+
+class MultiSourceFloodProtocol(Protocol):
+    """Flooding of several concurrent messages (stress/overhead tests).
+
+    Each source floods its own message; duplicate suppression is per
+    message.  Used by the message-overhead experiment to confirm cost
+    scales linearly with both message count and edge count.
+    """
+
+    def __init__(self, network: Network, sources: Tuple[NodeId, ...]) -> None:
+        self.network = network
+        self.sources = sources
+        self.seen: Dict[Tuple[NodeId, int], Set[NodeId]] = {}
+        self.delivery_times: Dict[Tuple[NodeId, int], Dict[NodeId, float]] = {}
+
+    def _key(self, message: FloodMessage) -> Tuple[NodeId, int]:
+        return (message.origin, message.message_id)
+
+    def _deliver(self, node: NodeId, message: FloodMessage, api: NodeApi) -> bool:
+        key = self._key(message)
+        seen = self.seen.setdefault(key, set())
+        if node in seen:
+            return False
+        seen.add(node)
+        self.delivery_times.setdefault(key, {})[node] = api.now
+        return True
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        if node not in self.sources:
+            return
+        message = FloodMessage(origin=node, message_id=self.sources.index(node))
+        if self._deliver(node, message, api):
+            for neighbor in api.neighbors():
+                api.send(neighbor, message)
+
+    def on_message(
+        self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi
+    ) -> None:
+        if self._deliver(node, payload, api):
+            for neighbor in api.neighbors():
+                if neighbor != sender:
+                    api.send(neighbor, payload)

@@ -1,0 +1,96 @@
+"""Round-based push gossip — the probabilistic baseline.
+
+The paper's introduction contrasts deterministic flooding on k-connected
+graphs with gossip on random graphs: gossip needs no topology but
+delivers only *with high probability* and pays for its robustness with
+redundant transmissions.  This implementation is the classic push
+variant:
+
+* time is divided into rounds of fixed length;
+* every infected node sends the rumour to ``fanout`` random neighbours
+  each round, for ``rounds`` rounds.
+
+On an LHG the neighbour set is the topology; on a complete graph this
+degenerates to classic uniform gossip.  Seeded, hence reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable, Set
+
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+_ROUND_TAG = "gossip-round"
+
+
+class PushGossipProtocol(Protocol):
+    """Push gossip from a single source over the topology's links.
+
+    Parameters
+    ----------
+    network:
+        The simulated network.
+    source:
+        Rumour origin.
+    fanout:
+        Neighbours contacted per round (clipped to the degree).
+    rounds:
+        Number of rounds each infected node actively gossips.
+    round_length:
+        Simulated time per round; keep ≥ the max link latency so rounds
+        do not overlap.
+    seed:
+        RNG seed for target selection.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        source: NodeId,
+        fanout: int = 2,
+        rounds: int = 16,
+        round_length: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.source = source
+        self.fanout = fanout
+        self.rounds = rounds
+        self.round_length = round_length
+        self.seen: Set[NodeId] = set()
+        self._rng = random.Random(seed)
+        self._rounds_left: dict = {}
+
+    def _infect(self, node: NodeId, api: NodeApi) -> None:
+        if node in self.seen:
+            return
+        self.seen.add(node)
+        self.network.mark_delivered(node)
+        self._rounds_left[node] = self.rounds
+        api.set_timer(0.0, _ROUND_TAG)
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        if node == self.source:
+            self._infect(node, api)
+
+    def on_message(
+        self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi
+    ) -> None:
+        self._infect(node, api)
+
+    def on_timer(self, node: NodeId, tag: Any, api: NodeApi) -> None:
+        if tag != _ROUND_TAG or self._rounds_left.get(node, 0) <= 0:
+            return
+        self._rounds_left[node] -= 1
+        neighbors = api.neighbors()
+        if neighbors:
+            picks = self._rng.sample(
+                neighbors, min(self.fanout, len(neighbors))
+            )
+            for target in picks:
+                api.send(target, "rumour")
+        if self._rounds_left[node] > 0:
+            api.set_timer(self.round_length, _ROUND_TAG)

@@ -1,0 +1,205 @@
+"""Heartbeat failure detection over the LHG's links.
+
+The self-healing loop (experiment F8) needs crashes to be *detected*
+before they can be repaired.  This protocol closes that loop inside the
+simulator: every node periodically heartbeats its topology neighbours
+and suspects a neighbour whose heartbeat has been silent longer than a
+timeout — the classic eventually-perfect local failure detector, run
+over exactly the links the LHG already maintains (no extra topology).
+
+Because every node has ≥ k neighbours, a real crash is observed by ≥ k
+independent detectors — the same redundancy that protects flooding also
+makes detection robust to individual message loss.
+
+Quality metrics (collected per run):
+
+* **detection time** — crash instant → first/last neighbour suspicion;
+* **completeness** — did every alive neighbour of a crashed node
+  eventually suspect it?
+* **accuracy** — false suspicions (alive nodes suspected), which appear
+  when the timeout is tight relative to the latency tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+_BEAT_TAG = "hb-send"
+_CHECK_TAG = "hb-check"
+
+
+@dataclass
+class Suspicion:
+    """One suspicion event: ``observer`` suspected ``subject`` at ``time``."""
+
+    observer: NodeId
+    subject: NodeId
+    time: float
+
+
+class HeartbeatProtocol(Protocol):
+    """Periodic heartbeats with timeout-based suspicion.
+
+    Parameters
+    ----------
+    network:
+        The simulated network.
+    period:
+        Heartbeat interval.
+    timeout:
+        Silence threshold; must exceed ``period`` or every node is
+        immediately suspected between beats.
+    horizon:
+        Nodes stop beating/checking after this simulated time, bounding
+        the run (the detector itself is perpetual in a real system).
+
+    Raises
+    ------
+    ProtocolError
+        If ``timeout <= period`` or parameters are non-positive.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        period: float = 1.0,
+        timeout: float = 3.5,
+        horizon: float = 40.0,
+    ) -> None:
+        if period <= 0 or timeout <= 0 or horizon <= 0:
+            raise ProtocolError("period, timeout and horizon must be positive")
+        if timeout <= period:
+            raise ProtocolError(
+                f"timeout ({timeout}) must exceed the period ({period})"
+            )
+        self.network = network
+        self.period = period
+        self.timeout = timeout
+        self.horizon = horizon
+        self.last_heard: Dict[Tuple[NodeId, NodeId], float] = {}
+        self.suspected: Dict[NodeId, Set[NodeId]] = {}
+        self.suspicions: List[Suspicion] = []
+        self.heartbeats_sent = 0
+
+    # ------------------------------------------------------------------
+    # Protocol callbacks
+    # ------------------------------------------------------------------
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        self.suspected[node] = set()
+        for neighbor in api.neighbors():
+            # grace: pretend we heard everyone at start
+            self.last_heard[(node, neighbor)] = api.now
+        api.set_timer(0.0, _BEAT_TAG)
+        api.set_timer(self.timeout, _CHECK_TAG)
+
+    def on_message(self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi) -> None:
+        if payload != "heartbeat":
+            raise ProtocolError(f"unexpected payload {payload!r}")
+        self.last_heard[(node, sender)] = api.now
+        if sender in self.suspected.get(node, set()):
+            # eventually-perfect behaviour: revoke a false suspicion
+            self.suspected[node].discard(sender)
+
+    def on_timer(self, node: NodeId, tag: Any, api: NodeApi) -> None:
+        if api.now > self.horizon:
+            return
+        if tag == _BEAT_TAG:
+            for neighbor in api.neighbors():
+                api.send(neighbor, "heartbeat")
+                self.heartbeats_sent += 1
+            api.set_timer(self.period, _BEAT_TAG)
+        elif tag == _CHECK_TAG:
+            for neighbor in api.neighbors():
+                silent_for = api.now - self.last_heard.get(
+                    (node, neighbor), 0.0
+                )
+                if silent_for > self.timeout and neighbor not in self.suspected[node]:
+                    self.suspected[node].add(neighbor)
+                    self.suspicions.append(
+                        Suspicion(observer=node, subject=neighbor, time=api.now)
+                    )
+            api.set_timer(self.period, _CHECK_TAG)
+
+    # ------------------------------------------------------------------
+    # Quality metrics
+    # ------------------------------------------------------------------
+
+    def suspicion_times(self, subject: NodeId) -> List[float]:
+        """Times at which (still-alive) observers suspected ``subject``."""
+        return sorted(
+            s.time
+            for s in self.suspicions
+            if s.subject == subject and self.network.is_alive(s.observer)
+        )
+
+    def detection_report(
+        self, crashed: Set[NodeId], crash_time: float
+    ) -> "DetectionReport":
+        """Summarise detection quality for a crash set at ``crash_time``."""
+        detection_delays: List[float] = []
+        missed_observers = 0
+        for victim in crashed:
+            observers = [
+                v
+                for v in self.network.graph.neighbors(victim)
+                if self.network.is_alive(v)
+            ]
+            suspected_by = {
+                s.observer
+                for s in self.suspicions
+                if s.subject == victim and s.observer in observers
+            }
+            missed_observers += len(set(observers) - suspected_by)
+            for s in self.suspicions:
+                if s.subject == victim and s.observer in observers:
+                    detection_delays.append(s.time - crash_time)
+        false_suspicions = sum(
+            1
+            for s in self.suspicions
+            if s.subject not in crashed and self.network.is_alive(s.subject)
+        )
+        return DetectionReport(
+            crashed=frozenset(crashed),
+            detection_delays=tuple(sorted(detection_delays)),
+            missed_observers=missed_observers,
+            false_suspicions=false_suspicions,
+            heartbeats_sent=self.heartbeats_sent,
+        )
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Quality of one failure-detection run."""
+
+    crashed: frozenset
+    detection_delays: Tuple[float, ...]
+    missed_observers: int
+    false_suspicions: int
+    heartbeats_sent: int
+
+    @property
+    def complete(self) -> bool:
+        """Every alive neighbour of every crashed node raised a suspicion."""
+        return self.missed_observers == 0
+
+    @property
+    def accurate(self) -> bool:
+        """No alive node was (durably) suspected."""
+        return self.false_suspicions == 0
+
+    @property
+    def worst_detection_delay(self) -> Optional[float]:
+        """Slowest neighbour's detection delay, or ``None`` if undetected."""
+        return self.detection_delays[-1] if self.detection_delays else None
+
+    @property
+    def best_detection_delay(self) -> Optional[float]:
+        """Fastest neighbour's detection delay."""
+        return self.detection_delays[0] if self.detection_delays else None

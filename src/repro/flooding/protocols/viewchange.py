@@ -1,0 +1,255 @@
+"""View-change membership: detect, decide, disseminate — all in-band.
+
+The autonomic examples orchestrate detection and repair from *outside*
+the simulator.  This protocol runs the whole membership pipeline as
+messages over the LHG itself:
+
+1. **detect** — every node heartbeats its topology neighbours and
+   suspects on silence (the local detector of
+   :mod:`repro.flooding.protocols.heartbeat`);
+2. **report** — a first local suspicion is flooded as a SUSPECT notice,
+   so it reaches the coordinator over any of the k disjoint paths —
+   crash-tolerant reporting for free;
+3. **decide** — the coordinator (a designated member) collects
+   suspicions and, after a short quiet period that batches a burst,
+   announces view v+1 = members − suspected;
+4. **disseminate** — the NEW-VIEW announcement floods over the *old*
+   topology; since a burst of ≤ k−1 crashes cannot disconnect it, every
+   surviving member adopts the view.
+
+The measurable outcome — crash instant → last adoption — is the
+*membership convergence latency*, the operational number a
+view-oriented system (virtual synchrony, primary-backup, etc.) cares
+about.  Experiment F11 charts it against the detection timeout and n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+_BEAT = "vc-beat"
+_CHECK = "vc-check"
+_DECIDE = "vc-decide"
+
+
+@dataclass(frozen=True)
+class _Heartbeat:
+    pass
+
+
+@dataclass(frozen=True)
+class _Suspect:
+    """Flooded notice: ``reporter`` suspects ``subject``."""
+
+    subject: NodeId
+    reporter: NodeId
+
+
+@dataclass(frozen=True)
+class NewView:
+    """Flooded view announcement."""
+
+    view_id: int
+    members: FrozenSet[NodeId]
+
+
+class ViewChangeProtocol(Protocol):
+    """Coordinator-led view changes over a crash-prone LHG.
+
+    Parameters
+    ----------
+    network:
+        The simulated network (topology = the current view's LHG).
+    coordinator:
+        The member that decides views.  Assumed alive (coordinator
+        fail-over is out of scope; a real system would rank members).
+    period / timeout:
+        Heartbeat interval and suspicion threshold per neighbour.
+    decision_delay:
+        Quiet period after the first suspicion before deciding, so one
+        burst of crashes becomes one view change rather than several.
+    horizon:
+        Stop beating/checking after this simulated time.
+
+    Attributes
+    ----------
+    adopted:
+        Per node, (view id, adoption time) of the highest view seen.
+    decided_at:
+        When the coordinator announced the new view (None if never).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        coordinator: NodeId,
+        period: float = 1.0,
+        timeout: float = 3.5,
+        decision_delay: float = 2.0,
+        horizon: float = 60.0,
+    ) -> None:
+        if timeout <= period:
+            raise ProtocolError("timeout must exceed the heartbeat period")
+        if decision_delay < 0:
+            raise ProtocolError("decision_delay must be non-negative")
+        self.network = network
+        self.coordinator = coordinator
+        self.period = period
+        self.timeout = timeout
+        self.decision_delay = decision_delay
+        self.horizon = horizon
+
+        self.last_heard: Dict[Tuple[NodeId, NodeId], float] = {}
+        self.locally_suspected: Dict[NodeId, Set[NodeId]] = {}
+        self.flooded: Dict[NodeId, Set[Any]] = {}
+        self.coordinator_suspects: Set[NodeId] = set()
+        self._decision_epoch = 0
+        self.decided_at: Optional[float] = None
+        self.new_view: Optional[NewView] = None
+        self.adopted: Dict[NodeId, Tuple[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # flooding helper (wave with dedup, reused for SUSPECT and NEW-VIEW)
+    # ------------------------------------------------------------------
+
+    def _flood(self, node: NodeId, item: Any, api: NodeApi, skip: Optional[NodeId] = None) -> bool:
+        seen = self.flooded.setdefault(node, set())
+        if item in seen:
+            return False
+        seen.add(item)
+        for neighbor in api.neighbors():
+            if neighbor != skip:
+                api.send(neighbor, item)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        self.locally_suspected[node] = set()
+        for neighbor in api.neighbors():
+            self.last_heard[(node, neighbor)] = api.now
+        api.set_timer(0.0, _BEAT)
+        api.set_timer(self.timeout, _CHECK)
+
+    def on_timer(self, node: NodeId, tag: Any, api: NodeApi) -> None:
+        if isinstance(tag, tuple) and tag[0] == _DECIDE:
+            # debounced: only the timer armed by the latest suspicion fires
+            if tag[1] == self._decision_epoch:
+                self._decide(node, api)
+            return
+        if api.now > self.horizon:
+            return
+        if tag == _BEAT:
+            for neighbor in api.neighbors():
+                api.send(neighbor, _Heartbeat())
+            api.set_timer(self.period, _BEAT)
+        elif tag == _CHECK:
+            for neighbor in api.neighbors():
+                silent = api.now - self.last_heard.get((node, neighbor), 0.0)
+                if silent > self.timeout and neighbor not in self.locally_suspected[node]:
+                    self.locally_suspected[node].add(neighbor)
+                    self._report(node, neighbor, api)
+            api.set_timer(self.period, _CHECK)
+
+    def _report(self, node: NodeId, subject: NodeId, api: NodeApi) -> None:
+        notice = _Suspect(subject=subject, reporter=node)
+        self._flood(node, notice, api)
+        if node == self.coordinator:
+            self._register_suspicion(node, subject, api)
+
+    def _register_suspicion(self, node: NodeId, subject: NodeId, api: NodeApi) -> None:
+        if subject in self.coordinator_suspects:
+            return
+        self.coordinator_suspects.add(subject)
+        if self.decided_at is None:
+            # restart the quiet period so one burst yields one view
+            self._decision_epoch += 1
+            api.set_timer(self.decision_delay, (_DECIDE, self._decision_epoch))
+
+    def _decide(self, node: NodeId, api: NodeApi) -> None:
+        if self.decided_at is not None:
+            return
+        members = frozenset(
+            member
+            for member in self.network.graph.nodes()
+            if member not in self.coordinator_suspects
+        )
+        self.new_view = NewView(view_id=1, members=members)
+        self.decided_at = api.now
+        self._adopt(node, self.new_view, api)
+
+    def _adopt(self, node: NodeId, view: NewView, api: NodeApi) -> None:
+        current = self.adopted.get(node)
+        if current is None or view.view_id > current[0]:
+            self.adopted[node] = (view.view_id, api.now)
+        self._flood(node, view, api)
+
+    def on_message(self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi) -> None:
+        if isinstance(payload, _Heartbeat):
+            self.last_heard[(node, sender)] = api.now
+            self.locally_suspected.get(node, set()).discard(sender)
+        elif isinstance(payload, _Suspect):
+            if self._flood(node, payload, api, skip=sender):
+                if node == self.coordinator:
+                    self._register_suspicion(node, payload.subject, api)
+        elif isinstance(payload, NewView):
+            current = self.adopted.get(node)
+            is_new = self._flood(node, payload, api, skip=sender)
+            if is_new and (current is None or payload.view_id > current[0]):
+                self.adopted[node] = (payload.view_id, api.now)
+        else:
+            raise ProtocolError(f"unexpected payload {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Outcome metrics
+    # ------------------------------------------------------------------
+
+    def convergence_report(
+        self, crashed: Set[NodeId], crash_time: float
+    ) -> "ViewChangeReport":
+        """Summarise the view change triggered by ``crashed`` at ``crash_time``."""
+        survivors = [
+            v for v in self.network.graph.nodes() if v not in crashed
+        ]
+        adopted_times = [
+            self.adopted[v][1]
+            for v in survivors
+            if v in self.adopted and self.adopted[v][0] >= 1
+        ]
+        correct_membership = (
+            self.new_view is not None
+            and self.new_view.members == frozenset(survivors)
+        )
+        return ViewChangeReport(
+            decided_at=self.decided_at,
+            decision_delay=(
+                None if self.decided_at is None else self.decided_at - crash_time
+            ),
+            adopters=len(adopted_times),
+            survivors=len(survivors),
+            last_adoption=(max(adopted_times) if adopted_times else None),
+            correct_membership=correct_membership,
+        )
+
+
+@dataclass(frozen=True)
+class ViewChangeReport:
+    """Outcome of one crash-triggered view change."""
+
+    decided_at: Optional[float]
+    decision_delay: Optional[float]
+    adopters: int
+    survivors: int
+    last_adoption: Optional[float]
+    correct_membership: bool
+
+    @property
+    def converged(self) -> bool:
+        """Every survivor adopted the (correct) new view."""
+        return self.correct_membership and self.adopters == self.survivors

@@ -1,0 +1,149 @@
+"""Execution tracing: record and render what a protocol actually did.
+
+Attach a :class:`TraceCollector` to a network
+(``network.add_observer(trace)``) and every send/deliver/drop/crash
+event lands in an ordered, queryable record.  Useful for
+
+* debugging protocols ("who forwarded what to whom, and when?"),
+* teaching (render the first rounds of a flood as a timeline),
+* white-box tests (assert a protocol *never* sent after some event).
+
+Observation is strictly passive — collectors cannot perturb the
+simulation, and tracing a run leaves its results bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed network event.
+
+    ``kind`` is ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"`` or
+    ``"link-down"``; the relevant ids sit in ``sender``/``receiver``/
+    ``node``; ``detail`` carries the drop reason or payload repr.
+    """
+
+    kind: str
+    time: float
+    sender: Optional[NodeId] = None
+    receiver: Optional[NodeId] = None
+    node: Optional[NodeId] = None
+    detail: str = ""
+
+
+class TraceCollector:
+    """Collects network events in order (see module docstring).
+
+    Parameters
+    ----------
+    keep_payloads:
+        Record ``repr(payload)`` on send/deliver events (off by default
+        to keep traces light).
+    limit:
+        Hard cap on stored events; beyond it new events are counted but
+        not stored (``truncated`` reports how many).
+    """
+
+    def __init__(self, keep_payloads: bool = False, limit: int = 100_000) -> None:
+        self.keep_payloads = keep_payloads
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.truncated = 0
+
+    def __call__(self, kind: str, time: float, **details: Any) -> None:
+        if len(self.events) >= self.limit:
+            self.truncated += 1
+            return
+        detail = ""
+        if kind == "drop":
+            detail = details.get("reason", "")
+        elif self.keep_payloads and "payload" in details:
+            detail = repr(details["payload"])
+        self.events.append(
+            TraceEvent(
+                kind=kind,
+                time=time,
+                sender=details.get("sender"),
+                receiver=details.get("receiver"),
+                node=details.get("node") or details.get("u"),
+                detail=detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        return dict(Counter(e.kind for e in self.events))
+
+    def messages_between(
+        self, sender: NodeId, receiver: NodeId
+    ) -> List[TraceEvent]:
+        """Send events from ``sender`` to ``receiver``, in order."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "send" and e.sender == sender and e.receiver == receiver
+        ]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        """Earliest event of a kind, or ``None``."""
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def activity_histogram(self, bucket: float = 1.0) -> Dict[float, int]:
+        """Sends per time bucket — the traffic profile of the run.
+
+        Raises
+        ------
+        ValueError
+            If ``bucket`` is not positive.
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        histogram: Dict[float, int] = {}
+        for event in self.events:
+            if event.kind == "send":
+                slot = int(event.time / bucket) * bucket
+                histogram[slot] = histogram.get(slot, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_timeline(self, limit: int = 40) -> str:
+        """First ``limit`` events as an indented text timeline."""
+        lines = []
+        for event in self.events[:limit]:
+            if event.kind in ("send", "deliver", "drop"):
+                arrow = {"send": "->", "deliver": "=>", "drop": "x>"}[event.kind]
+                suffix = f"  ({event.detail})" if event.detail else ""
+                lines.append(
+                    f"t={event.time:<8g} {event.kind:<7} "
+                    f"{event.sender!r} {arrow} {event.receiver!r}{suffix}"
+                )
+            else:
+                lines.append(
+                    f"t={event.time:<8g} {event.kind:<7} {event.node!r}"
+                )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.truncated:
+            lines.append(f"... {self.truncated} events beyond the collector limit")
+        return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Cut-vertex structure: articulation points, bridges, biconnected components.
+
+Tarjan's linear-time DFS low-link algorithms.  These give an independent
+second opinion on the connectivity layer (a graph is 2-node-connected
+iff it is connected with no articulation point, 2-edge-connected iff no
+bridge) and explain *why* the fragile baselines fail: a spanning tree is
+all bridges, so any interior crash partitions it, while a verified LHG
+has no cut vertex at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, Node, edge_key
+from repro.graphs.traversal import is_connected
+
+
+def articulation_points(graph: Graph) -> Set[Node]:
+    """Return all cut vertices (nodes whose removal disconnects a component).
+
+    Iterative Tarjan low-link; linear in nodes + edges.  Nodes in
+    different components are handled independently.
+    """
+    visited: Set[Node] = set()
+    discovery: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    parent: Dict[Node, Node] = {}
+    cuts: Set[Node] = set()
+    counter = 0
+
+    for root in graph:
+        if root in visited:
+            continue
+        root_children = 0
+        stack: List[Tuple[Node, List[Node]]] = [(root, list(graph.neighbors(root)))]
+        visited.add(root)
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                neighbor = todo.pop()
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parent[neighbor] = node
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    if node == root:
+                        root_children += 1
+                    stack.append((neighbor, list(graph.neighbors(neighbor))))
+                elif neighbor != parent.get(node):
+                    low[node] = min(low[node], discovery[neighbor])
+            else:
+                stack.pop()
+                if stack:
+                    upper = stack[-1][0]
+                    low[upper] = min(low[upper], low[node])
+                    if upper != root and low[node] >= discovery[upper]:
+                        cuts.add(upper)
+        if root_children >= 2:
+            cuts.add(root)
+    return cuts
+
+
+def bridges(graph: Graph) -> Set[FrozenSet[Node]]:
+    """Return all bridges as frozenset edge keys.
+
+    A bridge is an edge whose removal disconnects its component; a graph
+    is 2-edge-connected iff it is connected and bridge-free.
+    """
+    visited: Set[Node] = set()
+    discovery: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    parent: Dict[Node, Node] = {}
+    result: Set[FrozenSet[Node]] = set()
+    counter = 0
+
+    for root in graph:
+        if root in visited:
+            continue
+        stack: List[Tuple[Node, List[Node]]] = [(root, list(graph.neighbors(root)))]
+        visited.add(root)
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                neighbor = todo.pop()
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parent[neighbor] = node
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append((neighbor, list(graph.neighbors(neighbor))))
+                elif neighbor != parent.get(node):
+                    low[node] = min(low[node], discovery[neighbor])
+            else:
+                stack.pop()
+                if stack:
+                    upper = stack[-1][0]
+                    low[upper] = min(low[upper], low[node])
+                    if low[node] > discovery[upper]:
+                        result.add(edge_key(upper, node))
+    return result
+
+
+def biconnected_components(graph: Graph) -> List[Set[Node]]:
+    """Return the node sets of the biconnected components.
+
+    Uses an edge stack alongside the low-link DFS: when a cut condition
+    fires, the edges accumulated since the child's discovery form one
+    component.  Isolated nodes yield singleton components.
+    """
+    visited: Set[Node] = set()
+    discovery: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    parent: Dict[Node, Node] = {}
+    components: List[Set[Node]] = []
+    edge_stack: List[Edge] = []
+    counter = 0
+
+    def pop_component(u: Node, v: Node) -> None:
+        component: Set[Node] = set()
+        while edge_stack:
+            a, b = edge_stack.pop()
+            component.update((a, b))
+            if (a, b) == (u, v) or (b, a) == (u, v):
+                break
+        if component:
+            components.append(component)
+
+    for root in graph:
+        if root in visited:
+            continue
+        if graph.degree(root) == 0:
+            components.append({root})
+            continue
+        stack: List[Tuple[Node, List[Node]]] = [(root, list(graph.neighbors(root)))]
+        visited.add(root)
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                neighbor = todo.pop()
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    parent[neighbor] = node
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    edge_stack.append((node, neighbor))
+                    stack.append((neighbor, list(graph.neighbors(neighbor))))
+                elif neighbor != parent.get(node) and discovery[neighbor] < discovery[node]:
+                    edge_stack.append((node, neighbor))
+                    low[node] = min(low[node], discovery[neighbor])
+            else:
+                stack.pop()
+                if stack:
+                    upper = stack[-1][0]
+                    low[upper] = min(low[upper], low[node])
+                    if low[node] >= discovery[upper]:
+                        pop_component(upper, node)
+    return components
+
+
+def is_biconnected(graph: Graph) -> bool:
+    """True iff the graph is connected, has ≥ 3 nodes, and no cut vertex.
+
+    Equivalent to 2-node-connectivity; used as a cheap cross-check of
+    the max-flow based :func:`repro.graphs.connectivity.is_k_node_connected`.
+    """
+    if graph.number_of_nodes() < 3:
+        return False
+    return is_connected(graph) and not articulation_points(graph)

@@ -1,0 +1,186 @@
+"""Classic deterministic graph generators.
+
+These small families serve three roles in the reproduction:
+
+* building blocks for the LHG constructions (balanced trees, stars),
+* edge cases for the test suite (paths, cycles, complete graphs have
+  known κ, λ, diameter, and regularity), and
+* baselines in the related-work comparisons.
+
+Nodes are integers ``0 … n-1`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.graph import Graph
+
+
+def empty_graph(n: int) -> Graph:
+    """Return ``n`` isolated nodes.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``n`` is negative.
+    """
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    return Graph(nodes=range(n), name=f"empty({n})")
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path P_n on ``n`` nodes (n − 1 edges)."""
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n), name=f"path({n})")
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle C_n (requires n ≥ 3).
+
+    C_n is exactly the Harary graph H(2, n): 2-connected, 2-regular,
+    link-minimal, but with linear diameter ⌊n/2⌋ — the canonical example
+    of why LHGs are needed.
+    """
+    if n < 3:
+        raise GeneratorParameterError(f"a cycle needs n >= 3, got {n}")
+    graph = Graph(nodes=range(n), name=f"cycle({n})")
+    graph.add_edges_from((i, (i + 1) % n) for i in range(n))
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph K_n."""
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n), name=f"complete({n})")
+    graph.add_edges_from((i, j) for i in range(n) for j in range(i + 1, n))
+    return graph
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Return K_{a,b} with parts ``0…a-1`` and ``a…a+b-1``.
+
+    K_{k,k} is the smallest Jenkins–Demers LHG (the (2k, k) base case),
+    which makes this generator a handy independent witness in tests.
+    """
+    if a < 0 or b < 0:
+        raise GeneratorParameterError(f"parts must be non-negative, got {a}, {b}")
+    graph = Graph(nodes=range(a + b), name=f"complete_bipartite({a},{b})")
+    graph.add_edges_from((i, a + j) for i in range(a) for j in range(b))
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Return a star: hub 0 joined to leaves ``1 … n``.
+
+    The result has ``n + 1`` nodes, matching the usual S_n convention.
+    """
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    graph = Graph(nodes=range(n + 1), name=f"star({n})")
+    graph.add_edges_from((0, i) for i in range(1, n + 1))
+    return graph
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Return the perfectly balanced tree with the given branching factor.
+
+    The root is node 0; children of node ``v`` are ``v·b + 1 … v·b + b``
+    in level order.  Height 0 yields the single root.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``branching < 1`` or ``height < 0``.
+    """
+    if branching < 1:
+        raise GeneratorParameterError(
+            f"branching factor must be >= 1, got {branching}"
+        )
+    if height < 0:
+        raise GeneratorParameterError(f"height must be >= 0, got {height}")
+    if branching == 1:
+        return path_graph(height + 1)
+    n = (branching ** (height + 1) - 1) // (branching - 1)
+    graph = Graph(nodes=range(n), name=f"balanced_tree({branching},{height})")
+    for v in range(n):
+        for c in range(1, branching + 1):
+            child = v * branching + c
+            if child < n:
+                graph.add_edge(v, child)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows × cols`` 2-D grid; node ``(r, c)`` pairs as labels."""
+    if rows < 1 or cols < 1:
+        raise GeneratorParameterError(
+            f"grid dimensions must be positive, got {rows}x{cols}"
+        )
+    graph = Graph(name=f"grid({rows},{cols})")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+            if r > 0:
+                graph.add_edge((r - 1, c), (r, c))
+            if c > 0:
+                graph.add_edge((r, c - 1), (r, c))
+    return graph
+
+
+def circulant_graph(n: int, offsets: List[int]) -> Graph:
+    """Return the circulant graph C_n(offsets).
+
+    Node ``i`` is joined to ``(i ± d) mod n`` for each offset ``d``.
+    Classic Harary graphs are circulants plus at most one diagonal, so
+    this generator underpins :mod:`repro.graphs.generators.harary`.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``n < 3`` or any offset lies outside ``1 … n//2``.
+    """
+    if n < 3:
+        raise GeneratorParameterError(f"circulant needs n >= 3, got {n}")
+    graph = Graph(nodes=range(n), name=f"circulant({n},{sorted(set(offsets))})")
+    for d in offsets:
+        if not 1 <= d <= n // 2:
+            raise GeneratorParameterError(
+                f"offset {d} outside valid range 1..{n // 2}"
+            )
+        for i in range(n):
+            graph.add_edge(i, (i + d) % n)
+    return graph
+
+
+def wheel_graph(n: int) -> Graph:
+    """Return the wheel W_n: a hub 0 joined to every node of a cycle ``1…n``."""
+    if n < 3:
+        raise GeneratorParameterError(f"a wheel needs n >= 3 rim nodes, got {n}")
+    graph = Graph(nodes=range(n + 1), name=f"wheel({n})")
+    for i in range(1, n + 1):
+        graph.add_edge(0, i)
+        graph.add_edge(i, 1 + (i % n))
+    return graph
+
+
+def petersen_graph() -> Graph:
+    """Return the Petersen graph — a 3-regular, 3-connected test classic."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    return Graph(nodes=range(10), edges=outer + inner + spokes, name="petersen")
+
+
+def edge_list_pairs(graph: Graph) -> List[Tuple[int, int]]:
+    """Return the edge list of an integer-labelled graph, sorted canonically.
+
+    Convenience for table output and golden tests.
+    """
+    return sorted(tuple(sorted(edge)) for edge in graph.iter_edges())

@@ -1,0 +1,116 @@
+"""Classic Harary graphs H(k, n) — the paper's eponymous baseline.
+
+Harary (1962) showed the minimum number of edges of any k-connected
+graph on n nodes is ⌈kn/2⌉ and gave constructions achieving it.  The
+resulting graphs are k-node-connected, k-edge-connected and
+link-minimal — LHG Properties 1–3 — but their diameter is Θ(n/k):
+**linear** in the network size.  That linear diameter is exactly the
+inefficiency Jenkins & Demers' Logarithmic Harary Graphs remove, so
+H(k, n) is the baseline every diameter/latency experiment compares
+against.
+
+Construction cases (following Harary's original paper):
+
+* ``k`` even, ``k = 2r``: the circulant C_n(1, …, r).
+* ``k`` odd, ``n`` even, ``k = 2r + 1``: C_n(1, …, r) plus the diagonal
+  offset n/2.
+* ``k`` odd, ``n`` odd: C_n(1, …, r) plus (n+1)/2 near-diagonal edges;
+  node 0 ends with degree k + 1 and every other node with degree k
+  (a perfectly k-regular graph cannot exist when ``k·n`` is odd).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import circulant_graph, complete_graph, path_graph
+
+
+def harary_minimum_edges(k: int, n: int) -> int:
+    """Return ⌈kn/2⌉ — the fewest edges any k-connected n-node graph can have."""
+    if k < 1 or n <= k:
+        raise GeneratorParameterError(
+            f"a k-connected graph needs n > k >= 1, got k={k}, n={n}"
+        )
+    return math.ceil(k * n / 2)
+
+
+def harary_graph(k: int, n: int) -> Graph:
+    """Return the classic Harary graph H(k, n).
+
+    The result is k-connected with exactly ⌈kn/2⌉ edges — the minimum
+    possible.  Its diameter is roughly ``n / (2 ⌊k/2⌋)``, i.e. linear in
+    ``n`` for fixed ``k``.
+
+    Parameters
+    ----------
+    k:
+        Desired connectivity, ``1 ≤ k < n``.
+    n:
+        Number of nodes.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``k < 1`` or ``n ≤ k``.
+
+    Examples
+    --------
+    >>> g = harary_graph(4, 10)
+    >>> g.number_of_edges()
+    20
+    >>> g.regular_degree()
+    4
+    """
+    if k < 1 or n <= k:
+        raise GeneratorParameterError(
+            f"harary_graph needs n > k >= 1, got k={k}, n={n}"
+        )
+    if k == 1:
+        graph = path_graph(n)
+        graph.name = f"harary({k},{n})"
+        return graph
+    if k == n - 1:
+        graph = complete_graph(n)
+        graph.name = f"harary({k},{n})"
+        return graph
+
+    half = k // 2
+    if k % 2 == 0:
+        graph = circulant_graph(n, list(range(1, half + 1)))
+    elif n % 2 == 0:
+        graph = circulant_graph(n, list(range(1, half + 1)) + [n // 2])
+    else:
+        graph = circulant_graph(n, list(range(1, half + 1)))
+        # Odd k, odd n: k-regularity is impossible (kn odd), so Harary's
+        # construction gives node 0 degree k + 1 and everyone else k.
+        graph.add_edge(0, (n - 1) // 2)
+        graph.add_edge(0, (n + 1) // 2)
+        for i in range(1, (n - 1) // 2):
+            graph.add_edge(i, i + (n + 1) // 2)
+    graph.name = f"harary({k},{n})"
+    return graph
+
+
+def harary_diameter_estimate(k: int, n: int) -> int:
+    """Return the hop diameter the circulant core of H(k, n) implies.
+
+    For even ``k = 2r`` the farthest pair is ⌈(n/2)/r⌉ hops apart; odd
+    ``k`` gains the diagonal shortcut, roughly halving the distance but
+    leaving it Θ(n/k).  The exact value is computed in tests/benches via
+    BFS; this closed form exists so benches can annotate expected scale.
+    """
+    if k < 1 or n <= k:
+        raise GeneratorParameterError(
+            f"needs n > k >= 1, got k={k}, n={n}"
+        )
+    if k == n - 1:
+        return 1
+    half = max(1, k // 2)
+    if k % 2 == 0:
+        return math.ceil((n // 2) / half)
+    # Diagonal edges cut the ring in two; worst case is about a quarter
+    # of the ring at stride ``half`` plus one diagonal hop.
+    return math.ceil((n / 4) / half) + 1

@@ -1,0 +1,260 @@
+"""Random graph generators used as probabilistic baselines.
+
+Gossip-based dissemination (the main alternative the paper's intro
+discusses) runs over random topologies whose connectivity holds only
+*with high probability*.  These generators supply those baselines:
+
+* :func:`gnp_random_graph` — Erdős–Rényi G(n, p);
+* :func:`random_regular_graph` — uniform-ish d-regular graphs via the
+  pairing/configuration model with rejection;
+* :func:`random_tree` — uniform labelled trees via Prüfer sequences;
+* :func:`random_k_out_graph` — each node picks k random neighbours, the
+  "k-random graph" of deterministic-dissemination systems like Araneola.
+
+Every generator takes an explicit ``seed`` so experiments replay
+exactly; no module-level random state is touched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+
+
+def gnp_random_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Return an Erdős–Rényi G(n, p) sample.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``n`` is negative or ``p`` is outside [0, 1].
+    """
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GeneratorParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n), name=f"gnp({n},{p})")
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def connected_gnp_graph(
+    n: int, p: float, seed: int = 0, max_tries: int = 100
+) -> Graph:
+    """Return a connected G(n, p) sample, rejecting disconnected draws.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If no connected sample is found within ``max_tries`` attempts —
+        a sign that ``p`` is below the connectivity threshold ln(n)/n.
+    """
+    for attempt in range(max_tries):
+        graph = gnp_random_graph(n, p, seed=seed + attempt)
+        if is_connected(graph):
+            return graph
+    raise GeneratorParameterError(
+        f"no connected G({n}, {p}) sample in {max_tries} tries; "
+        f"p is likely below the ~ln(n)/n connectivity threshold"
+    )
+
+
+def random_regular_graph(
+    degree: int, n: int, seed: int = 0, max_tries: int = 200
+) -> Graph:
+    """Return a simple ``degree``-regular graph on ``n`` nodes.
+
+    Uses the pairing (configuration) model: put ``degree`` stubs on each
+    node, draw a uniform perfect matching of stubs, reject drawings with
+    self-loops or parallel edges.  Rejection keeps the distribution close
+    to uniform for the moderate degrees used in benchmarks.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If ``degree·n`` is odd, ``degree ≥ n``, or no simple pairing is
+        found within ``max_tries``.
+    """
+    if degree < 0 or n < 0:
+        raise GeneratorParameterError(
+            f"degree and n must be non-negative, got {degree}, {n}"
+        )
+    if degree >= n and n > 0:
+        raise GeneratorParameterError(
+            f"degree {degree} impossible on {n} nodes (needs degree < n)"
+        )
+    if (degree * n) % 2 != 0:
+        raise GeneratorParameterError(
+            f"degree*n must be even, got {degree}*{n}"
+        )
+    if degree == 0 or n == 0:
+        return Graph(nodes=range(n), name=f"random_regular({degree},{n})")
+
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        edges = _pair_stubs_incrementally(degree, n, rng)
+        if edges is not None:
+            graph = Graph(nodes=range(n), name=f"random_regular({degree},{n})")
+            graph.add_edges_from(edges)
+            return graph
+    raise GeneratorParameterError(
+        f"no simple {degree}-regular pairing on {n} nodes in {max_tries} tries"
+    )
+
+
+def _pair_stubs_incrementally(degree: int, n: int, rng: random.Random):
+    """One Steger–Wormald-style pairing attempt.
+
+    Pairs stubs one edge at a time, rejecting only the individual draw
+    (not the whole matching) when it would create a loop or a duplicate;
+    gives up and returns ``None`` only when no suitable pair remains.
+    """
+    stubs = [v for v in range(n) for _ in range(degree)]
+    rng.shuffle(stubs)
+    edges = set()
+    while stubs:
+        placed = False
+        for _ in range(10 * len(stubs)):
+            i = rng.randrange(len(stubs))
+            j = rng.randrange(len(stubs))
+            if i == j:
+                continue
+            u, v = stubs[i], stubs[j]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                continue
+            edges.add((min(u, v), max(u, v)))
+            for index in sorted((i, j), reverse=True):
+                stubs[index] = stubs[-1]
+                stubs.pop()
+            placed = True
+            break
+        if not placed:
+            return None  # dead end: remaining stubs admit no simple edge
+    return edges
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Return a uniformly random labelled tree on ``n`` nodes (Prüfer).
+
+    Trees are the canonical low-cost but failure-fragile dissemination
+    topology (one crash partitions them) — the baseline motivating the
+    paper's k-connectivity requirement.
+    """
+    if n < 1:
+        raise GeneratorParameterError(f"a tree needs n >= 1, got {n}")
+    graph = Graph(nodes=range(n), name=f"random_tree({n})")
+    if n == 1:
+        return graph
+    if n == 2:
+        graph.add_edge(0, 1)
+        return graph
+    rng = random.Random(seed)
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    # Standard Prüfer decoding: repeatedly join the smallest leaf to the
+    # next sequence element.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, v)
+        degree[leaf] = 0  # consumed; must not reappear as a final leaf
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    last = [v for v in range(n) if degree[v] == 1]
+    graph.add_edge(last[0], last[1])
+    return graph
+
+
+def random_k_out_graph(n: int, k: int, seed: int = 0) -> Graph:
+    """Return the undirected union of ``k`` random out-choices per node.
+
+    Every node selects ``k`` distinct random targets; the union of the
+    selections, viewed undirected, gives degree between k and ~2k.  This
+    is the "k-random graph" used by deterministic dissemination systems
+    (e.g. Araneola) that the paper's intro contrasts with LHGs.
+    """
+    if n < 2:
+        raise GeneratorParameterError(f"needs n >= 2, got {n}")
+    if not 1 <= k < n:
+        raise GeneratorParameterError(f"needs 1 <= k < n, got k={k}, n={n}")
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n), name=f"random_k_out({n},{k})")
+    for v in range(n):
+        others = [u for u in range(n) if u != v]
+        for target in rng.sample(others, k):
+            graph.add_edge(v, target)
+    return graph
+
+
+def random_hamiltonian_expander(
+    n: int, cycles: int, seed: int = 0, max_tries: int = 200
+) -> Graph:
+    """Return the union of ``cycles`` independent random Hamiltonian cycles.
+
+    Law & Siu's expander construction (cited in the paper's related
+    work): superposing d random Hamiltonian cycles gives a 2d-regular
+    graph that is an expander with high probability.  Cycles are resampled
+    if their union would create a duplicate edge, keeping the graph simple.
+    """
+    if n < 3:
+        raise GeneratorParameterError(f"needs n >= 3, got {n}")
+    if cycles < 1:
+        raise GeneratorParameterError(f"needs cycles >= 1, got {cycles}")
+    if 2 * cycles >= n:
+        raise GeneratorParameterError(
+            f"{cycles} cycles need n > {2 * cycles} for a simple graph"
+        )
+    rng = random.Random(seed)
+    graph = Graph(nodes=range(n), name=f"hamiltonian_expander({n},{cycles})")
+    built = 0
+    for _ in range(max_tries):
+        if built == cycles:
+            break
+        order: List[int] = list(range(n))
+        rng.shuffle(order)
+        cycle_edges = list(zip(order, order[1:] + order[:1]))
+        if any(graph.has_edge(u, v) for u, v in cycle_edges):
+            continue
+        graph.add_edges_from(cycle_edges)
+        built += 1
+    if built != cycles:
+        raise GeneratorParameterError(
+            f"could not superpose {cycles} edge-disjoint Hamiltonian cycles "
+            f"on {n} nodes in {max_tries} tries"
+        )
+    return graph
+
+
+def sample_failure_set(
+    nodes: List[object], count: int, seed: int = 0, exclude: Optional[set] = None
+) -> List[object]:
+    """Return ``count`` distinct nodes drawn without replacement.
+
+    Shared helper for failure-injection experiments; ``exclude`` protects
+    nodes (e.g. the flood source) from selection.
+
+    Raises
+    ------
+    GeneratorParameterError
+        If fewer than ``count`` eligible nodes exist.
+    """
+    eligible = [v for v in nodes if not exclude or v not in exclude]
+    if count > len(eligible):
+        raise GeneratorParameterError(
+            f"cannot sample {count} failures from {len(eligible)} eligible nodes"
+        )
+    return random.Random(seed).sample(eligible, count)

@@ -1,0 +1,172 @@
+"""Structured log-diameter families from the related-work section.
+
+The paper's introduction (and the follow-on literature) observes that
+well-known families — hypercubes, de Bruijn graphs, butterflies — are
+*instances* of Logarithmic Harary Graphs but exist only for very special
+node counts (2^d, d^D, d·2^d …), which makes them unusable when the
+network size n is arbitrary.  These generators exist so the benchmark
+suite can chart exactly that sparsity of valid (n, k) pairs against the
+Jenkins–Demers construction (experiment T4) and compare diameters where
+the families do exist.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Tuple
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.graph import Graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Return the ``dimension``-cube Q_d on 2^d nodes.
+
+    Q_d is d-regular, d-connected, and has diameter d = log2(n): an LHG
+    that exists only when n is a power of two.  Nodes are integers whose
+    bits encode the coordinates.
+    """
+    if dimension < 1:
+        raise GeneratorParameterError(f"dimension must be >= 1, got {dimension}")
+    n = 1 << dimension
+    graph = Graph(nodes=range(n), name=f"hypercube({dimension})")
+    for v in range(n):
+        for bit in range(dimension):
+            graph.add_edge(v, v ^ (1 << bit))
+    return graph
+
+
+def debruijn_graph(symbols: int, length: int) -> Graph:
+    """Return the undirected simple de Bruijn graph B(symbols, length).
+
+    Nodes are the ``symbols^length`` strings over a ``symbols``-letter
+    alphabet; the directed de Bruijn arcs (shift left, append a symbol)
+    are taken as undirected edges with self-loops dropped.  Degree is at
+    most ``2·symbols`` and the diameter is ``length`` = log_symbols(n):
+    another special-(n, k) LHG-style family.
+
+    Nodes are tuples of ints for clarity; relabel if integers are needed.
+    """
+    if symbols < 2:
+        raise GeneratorParameterError(f"alphabet size must be >= 2, got {symbols}")
+    if length < 1:
+        raise GeneratorParameterError(f"word length must be >= 1, got {length}")
+    graph = Graph(name=f"debruijn({symbols},{length})")
+    for word in product(range(symbols), repeat=length):
+        graph.add_node(word)
+    for word in graph.nodes():
+        for symbol in range(symbols):
+            successor = word[1:] + (symbol,)
+            if successor != word:
+                graph.add_edge(word, successor)
+    return graph
+
+
+def butterfly_graph(dimension: int) -> Graph:
+    """Return the wrap-around butterfly BF(dimension) on d·2^d nodes.
+
+    Nodes are ``(level, word)`` with ``level ∈ 0…d−1`` and ``word`` a
+    d-bit integer.  Each node connects to the next level (wrapping) via
+    the *straight* edge (same word) and the *cross* edge (word with bit
+    ``level`` flipped).  The graph is 4-regular with Θ(log n) diameter —
+    the structure underlying the Viceroy overlay cited by the paper's
+    related work.
+    """
+    if dimension < 2:
+        raise GeneratorParameterError(f"dimension must be >= 2, got {dimension}")
+    graph = Graph(name=f"butterfly({dimension})")
+    size = 1 << dimension
+    for level in range(dimension):
+        for word in range(size):
+            graph.add_node((level, word))
+    for level in range(dimension):
+        next_level = (level + 1) % dimension
+        for word in range(size):
+            graph.add_edge((level, word), (next_level, word))
+            graph.add_edge((level, word), (next_level, word ^ (1 << level)))
+    return graph
+
+
+def cube_connected_cycles(dimension: int) -> Graph:
+    """Return the cube-connected-cycles network CCC(dimension).
+
+    Each hypercube corner is replaced by a ``dimension``-cycle; node
+    ``(i, w)`` joins its cycle neighbours and the cycle node of the
+    corner across hypercube dimension ``i``.  3-regular, Θ(log n)
+    diameter, exists only for n = d·2^d.
+    """
+    if dimension < 3:
+        raise GeneratorParameterError(f"dimension must be >= 3, got {dimension}")
+    graph = Graph(name=f"ccc({dimension})")
+    size = 1 << dimension
+    for i in range(dimension):
+        for w in range(size):
+            graph.add_node((i, w))
+    for i in range(dimension):
+        for w in range(size):
+            graph.add_edge((i, w), ((i + 1) % dimension, w))
+            graph.add_edge((i, w), (i, w ^ (1 << i)))
+    return graph
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """Return the 2-D torus (wrap-around grid), 4-regular for sizes ≥ 3."""
+    if rows < 3 or cols < 3:
+        raise GeneratorParameterError(
+            f"torus needs both dimensions >= 3, got {rows}x{cols}"
+        )
+    graph = Graph(name=f"torus({rows},{cols})")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_edge((r, c), ((r + 1) % rows, c))
+            graph.add_edge((r, c), (r, (c + 1) % cols))
+    return graph
+
+
+def valid_hypercube_sizes(max_n: int) -> List[int]:
+    """Return the node counts ≤ ``max_n`` for which a hypercube exists."""
+    sizes = []
+    d = 1
+    while (1 << d) <= max_n:
+        sizes.append(1 << d)
+        d += 1
+    return sizes
+
+
+def valid_debruijn_sizes(symbols: int, max_n: int) -> List[int]:
+    """Return node counts ≤ ``max_n`` for which B(symbols, ·) exists."""
+    if symbols < 2:
+        raise GeneratorParameterError(f"alphabet size must be >= 2, got {symbols}")
+    sizes = []
+    n = symbols
+    while n <= max_n:
+        sizes.append(n)
+        n *= symbols
+    return sizes
+
+
+def valid_butterfly_sizes(max_n: int) -> List[int]:
+    """Return node counts ≤ ``max_n`` for which a wrapped butterfly exists."""
+    sizes = []
+    d = 2
+    while d * (1 << d) <= max_n:
+        sizes.append(d * (1 << d))
+        d += 1
+    return sizes
+
+
+def special_family_coverage(max_n: int) -> Iterator[Tuple[str, int]]:
+    """Yield ``(family, n)`` for every special-family size up to ``max_n``.
+
+    Used by the coverage benchmark (T4) to visualise how sparse the
+    related-work families are compared with the LHG constructions.
+    """
+    for n in valid_hypercube_sizes(max_n):
+        yield ("hypercube", n)
+    for n in valid_debruijn_sizes(2, max_n):
+        yield ("debruijn-2", n)
+    for n in valid_butterfly_sizes(max_n):
+        yield ("butterfly", n)

@@ -1,0 +1,135 @@
+"""Serialisation for :class:`~repro.graphs.graph.Graph`.
+
+Three formats, chosen for the workflows the repo actually has:
+
+* **edge list** (text) — interchange with graph tools and golden files;
+* **JSON adjacency** — lossless round-trip including isolated nodes and
+  the graph name;
+* **DOT** — quick visual inspection with Graphviz.
+
+Node labels survive JSON round-trips when they are JSON-representable
+scalars or (nested) lists/tuples; tuples are restored as tuples, which
+covers every construction in this library (LHG nodes are tuples like
+``("copy", 2, 5)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, TextIO
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def write_edge_list(graph: Graph, stream: TextIO) -> None:
+    """Write one ``u<TAB>v`` line per edge (labels via ``repr``).
+
+    Lossy for non-string labels and isolated nodes; meant for human
+    inspection and diffing, not round-trips.  Use JSON for fidelity.
+    """
+    for u, v in sorted(graph.iter_edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+        stream.write(f"{u!r}\t{v!r}\n")
+
+
+def read_integer_edge_list(stream: TextIO) -> Graph:
+    """Read a whitespace-separated integer edge list.
+
+    Blank lines and ``#`` comments are skipped.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines.
+    """
+    graph = Graph()
+    for line_number, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = text.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"line {line_number}: expected two fields, got {len(parts)}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {line_number}: non-integer label") from exc
+        graph.add_edge(u, v)
+    return graph
+
+
+def _encode_label(label: Any) -> Any:
+    """Encode a node label into a JSON-safe shape, tagging tuples."""
+    if isinstance(label, tuple):
+        return {"__tuple__": [_encode_label(item) for item in label]}
+    if isinstance(label, (str, int, float, bool)) or label is None:
+        return label
+    raise GraphError(
+        f"label {label!r} of type {type(label).__name__} is not JSON-serialisable"
+    )
+
+
+def _decode_label(value: Any) -> Any:
+    """Inverse of :func:`_encode_label`."""
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_label(item) for item in value["__tuple__"])
+    return value
+
+
+def to_json(graph: Graph) -> str:
+    """Serialise the graph (name, nodes, edges) to a JSON string."""
+    payload = {
+        "name": graph.name,
+        "nodes": [_encode_label(v) for v in graph.nodes()],
+        "edges": [
+            [_encode_label(u), _encode_label(v)] for u, v in graph.iter_edges()
+        ],
+    }
+    return json.dumps(payload, sort_keys=False)
+
+
+def from_json(text: str) -> Graph:
+    """Reconstruct a graph serialised with :func:`to_json`.
+
+    Raises
+    ------
+    GraphError
+        If the payload is missing required keys or malformed.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "nodes" not in payload or "edges" not in payload:
+        raise GraphError("JSON graph payload needs 'nodes' and 'edges' keys")
+    graph = Graph(name=payload.get("name", ""))
+    for label in payload["nodes"]:
+        graph.add_node(_decode_label(label))
+    for pair in payload["edges"]:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise GraphError(f"malformed edge entry: {pair!r}")
+        graph.add_edge(_decode_label(pair[0]), _decode_label(pair[1]))
+    return graph
+
+
+def to_dot(graph: Graph, highlight: List[Any] = ()) -> str:
+    """Render the graph in Graphviz DOT (undirected).
+
+    Parameters
+    ----------
+    highlight:
+        Nodes to draw filled, e.g. a flood source or a min cut.
+    """
+    marked = set(highlight)
+    lines = ["graph G {"]
+    if graph.name:
+        lines.append(f'  label="{graph.name}";')
+    for node in graph.nodes():
+        attrs = ' [style=filled, fillcolor=lightblue]' if node in marked else ""
+        lines.append(f'  "{node!r}"{attrs};')
+    for u, v in graph.iter_edges():
+        lines.append(f'  "{u!r}" -- "{v!r}";')
+    lines.append("}")
+    return "\n".join(lines)

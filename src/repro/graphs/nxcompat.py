@@ -1,0 +1,58 @@
+"""Optional networkx interoperability.
+
+The library itself never depends on networkx — the substrate is pure
+stdlib so the reproduction stands on its own.  The test suite, however,
+cross-validates connectivity, diameter and the Harary construction
+against networkx, and downstream users may want to hand graphs to the
+wider ecosystem.  Import errors are raised lazily so environments
+without networkx can still use everything else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+
+def _networkx():
+    """Import networkx lazily with a clear error when absent."""
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env without networkx
+        raise GraphError(
+            "networkx is not installed; install repro[test] for interop"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    """Convert to a :class:`networkx.Graph` (labels preserved)."""
+    nx = _networkx()
+    out = nx.Graph(name=graph.name)
+    out.add_nodes_from(graph.nodes())
+    out.add_edges_from(graph.iter_edges())
+    return out
+
+
+def from_networkx(nx_graph: "networkx.Graph") -> Graph:
+    """Convert from networkx, rejecting directed/multi graphs.
+
+    Raises
+    ------
+    GraphError
+        If the input graph is directed or a multigraph (the substrate
+        models simple undirected graphs only).
+    """
+    if nx_graph.is_directed():
+        raise GraphError("directed graphs are not supported")
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported")
+    graph = Graph(name=str(nx_graph.name) if nx_graph.name else "")
+    graph.add_nodes_from(nx_graph.nodes())
+    graph.add_edges_from(nx_graph.edges())
+    return graph

@@ -1,0 +1,235 @@
+"""Structural property helpers: degree statistics, regularity, expansion.
+
+These are the measurement utilities the analysis layer and the
+benchmarks share.  The LHG-specific property bundle (Properties 1–5 of
+the paper's definition) lives in :mod:`repro.core.properties`; this
+module provides the generic building blocks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_levels
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a graph's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    histogram: Dict[int, int]
+
+    @property
+    def is_regular(self) -> bool:
+        """True when every node shares one degree."""
+        return self.minimum == self.maximum
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Return min/max/mean degree and the degree histogram.
+
+    Raises
+    ------
+    GraphError
+        If the graph is empty (no degrees to summarise).
+    """
+    degrees = list(graph.degrees().values())
+    if not degrees:
+        raise GraphError("degree statistics of an empty graph are undefined")
+    histogram: Dict[int, int] = {}
+    for d in degrees:
+        histogram[d] = histogram.get(d, 0) + 1
+    return DegreeStats(
+        minimum=min(degrees),
+        maximum=max(degrees),
+        mean=sum(degrees) / len(degrees),
+        histogram=dict(sorted(histogram.items())),
+    )
+
+
+def is_k_regular(graph: Graph, k: int) -> bool:
+    """Return ``True`` if every node has degree exactly ``k`` (Property 5)."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return all(d == k for d in graph.degrees().values())
+
+
+def irregularity(graph: Graph, k: int) -> int:
+    """Return the total degree excess over ``k``: Σ max(0, deg(v) − k).
+
+    Zero iff the graph is k-regular given min-degree ≥ k; benchmarks T1
+    and T5 report it as "how far from the perfectly minimal graph".
+    """
+    return sum(max(0, d - k) for d in graph.degrees().values())
+
+
+def degree_excess_nodes(graph: Graph, k: int) -> List[Tuple[Node, int]]:
+    """Return the nodes whose degree exceeds ``k`` with their excess."""
+    return sorted(
+        ((v, d - k) for v, d in graph.degrees().items() if d > k),
+        key=lambda item: repr(item[0]),
+    )
+
+
+def edge_expansion_estimate(
+    graph: Graph, samples: int = 200, seed: int = 0
+) -> float:
+    """Estimate the edge expansion h(G) = min |∂S| / |S| over small cuts.
+
+    Exact expansion is NP-hard, so this samples random connected subsets
+    S with |S| ≤ n/2 (grown by randomised BFS) and returns the smallest
+    boundary ratio seen — an *upper bound* on h(G).  Deterministic in
+    ``seed``.  Used by the related-work benchmark comparing LHGs with
+    random expanders.
+
+    Raises
+    ------
+    GraphError
+        If the graph has fewer than two nodes.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        raise GraphError("expansion needs at least two nodes")
+    rng = random.Random(seed)
+    nodes = graph.nodes()
+    best = float("inf")
+    for _ in range(samples):
+        target_size = rng.randint(1, max(1, n // 2))
+        start = rng.choice(nodes)
+        subset = {start}
+        frontier = [start]
+        while frontier and len(subset) < target_size:
+            current = frontier.pop(rng.randrange(len(frontier)))
+            for neighbor in graph.neighbors(current):
+                if neighbor not in subset and len(subset) < target_size:
+                    subset.add(neighbor)
+                    frontier.append(neighbor)
+        boundary = sum(
+            1
+            for u in subset
+            for v in graph.neighbors(u)
+            if v not in subset
+        )
+        best = min(best, boundary / len(subset))
+    return best
+
+
+def girth(graph: Graph, cap: Optional[int] = None) -> Optional[int]:
+    """Return the length of the shortest cycle, or ``None`` if acyclic.
+
+    BFS from every node; a non-tree edge at BFS depth d closes a cycle
+    of length ≤ 2d + 1.  ``cap`` stops early once a cycle of length
+    ≤ cap is found (returns that length).
+    """
+    best: Optional[int] = None
+    for root in graph:
+        dist = {root: 0}
+        parent: Dict[Node, Optional[Node]] = {root: None}
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    parent[neighbor] = node
+                    queue.append(neighbor)
+                elif parent[node] != neighbor:
+                    cycle_len = dist[node] + dist[neighbor] + 1
+                    if best is None or cycle_len < best:
+                        best = cycle_len
+                        if cap is not None and best <= cap:
+                            return best
+    return best
+
+
+def logarithmic_diameter_bound(n: int, k: int, slack: float = 4.0) -> int:
+    """Return the hop budget Property 4 allows for an (n, k) LHG.
+
+    The constructions give diameter ≤ 2·log_{k−1}(n) + O(1) for k ≥ 3;
+    the bound used across the verifiers is ``slack · log2(n) + slack``
+    expressed in *hops*, deliberately generous so it tests the O(log n)
+    *class*, not a particular constant.  For k = 2 no logarithmic bound
+    exists (cycles are the only minimal 2-connected graphs) and the
+    function returns ``n`` (vacuous).
+
+    Raises
+    ------
+    GraphError
+        If ``n < 2`` or ``k < 1``.
+    """
+    if n < 2 or k < 1:
+        raise GraphError(f"needs n >= 2, k >= 1, got n={n}, k={k}")
+    if k <= 2:
+        return n
+    return int(slack * math.log2(n) + slack)
+
+
+def local_clustering(graph: Graph, node: Node) -> float:
+    """Return the local clustering coefficient of ``node``.
+
+    Fraction of the node's neighbour pairs that are themselves adjacent;
+    0.0 for degree < 2.  LHG interiors and shared leaves live in
+    triangle-free neighbourhoods (coefficient 0); K-DIAMOND's unshared
+    clique members are the only clustered nodes — a structural signature
+    the topology atlas surfaces.
+    """
+    neighbors = list(graph.neighbors(node))
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    links = sum(
+        1
+        for i, u in enumerate(neighbors)
+        for v in neighbors[i + 1 :]
+        if graph.has_edge(u, v)
+    )
+    return 2.0 * links / (degree * (degree - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Return the mean local clustering coefficient over all nodes.
+
+    Raises
+    ------
+    GraphError
+        If the graph is empty.
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphError("clustering of an empty graph is undefined")
+    return sum(local_clustering(graph, v) for v in graph) / n
+
+
+def triangle_count(graph: Graph) -> int:
+    """Return the number of triangles in the graph."""
+    count = 0
+    for u in graph:
+        neighbors = [v for v in graph.neighbors(u) if repr(v) > repr(u)]
+        for i, v in enumerate(neighbors):
+            v_neighbors = graph.neighbors(v)
+            for w in neighbors[i + 1 :]:
+                if w in v_neighbors:
+                    count += 1
+    return count
+
+
+def distance_histogram(graph: Graph, source: Node) -> Dict[int, int]:
+    """Return how many nodes sit at each hop distance from ``source``.
+
+    The flooding analysis uses this to predict per-round coverage: in a
+    failure-free unit-latency flood, round r reaches exactly the nodes
+    at distance r.
+    """
+    levels = bfs_levels(graph, source)
+    histogram: Dict[int, int] = {}
+    for distance in levels.values():
+        histogram[distance] = histogram.get(distance, 0) + 1
+    return dict(sorted(histogram.items()))

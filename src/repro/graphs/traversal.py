@@ -1,0 +1,339 @@
+"""Traversal and distance algorithms on :class:`~repro.graphs.graph.Graph`.
+
+These routines back the LHG property verifiers (connectivity and the
+logarithmic-diameter check, Properties 1–4) and the flooding analysis:
+
+* breadth-first and depth-first traversal,
+* connected components and connectivity predicates,
+* single-source shortest paths (hop counts) and path reconstruction,
+* eccentricity, diameter (exact and sampled), radius, and average path
+  length.
+
+All distances are **hop counts** (unweighted); the flooding simulator
+handles weighted latencies itself.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DisconnectedGraphError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node
+
+
+def bfs_order(graph: Graph, source: Node) -> List[Node]:
+    """Return nodes in breadth-first order from ``source``.
+
+    Raises
+    ------
+    NodeNotFoundError
+        If ``source`` is not in the graph.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    visited: Set[Node] = {source}
+    order: List[Node] = [source]
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_levels(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Return hop distances from ``source`` to every reachable node.
+
+    The returned mapping includes ``source`` itself at distance 0 and
+    omits unreachable nodes.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    dist: Dict[Node, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        base = dist[node]
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = base + 1
+                queue.append(neighbor)
+    return dist
+
+
+def bfs_parents(graph: Graph, source: Node) -> Dict[Node, Optional[Node]]:
+    """Return a BFS tree as a child → parent map (source maps to ``None``)."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    parents: Dict[Node, Optional[Node]] = {source: None}
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def dfs_order(graph: Graph, source: Node) -> List[Node]:
+    """Return nodes in (iterative) depth-first preorder from ``source``."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    visited: Set[Node] = set()
+    order: List[Node] = []
+    stack: List[Node] = [source]
+    while stack:
+        node = stack.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        order.append(node)
+        # Reverse-sorted push keeps the visit order deterministic for the
+        # common case of sortable node labels; fall back to arbitrary
+        # order for mixed-type labels.
+        neighbors = [n for n in graph.neighbors(node) if n not in visited]
+        try:
+            neighbors.sort(reverse=True)
+        except TypeError:
+            pass
+        stack.extend(neighbors)
+    return order
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+    """Return one shortest ``source`` → ``target`` path, or ``None``.
+
+    The path is returned as a node list including both endpoints; a
+    trivial ``[source]`` is returned when ``source == target``.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    if source == target:
+        return [source]
+    parents = _bfs_parents_until(graph, source, target)
+    if target not in parents:
+        return None
+    path: List[Node] = [target]
+    while path[-1] != source:
+        parent = parents[path[-1]]
+        assert parent is not None  # source is the only None-parent node
+        path.append(parent)
+    path.reverse()
+    return path
+
+
+def _bfs_parents_until(
+    graph: Graph, source: Node, target: Node
+) -> Dict[Node, Optional[Node]]:
+    """BFS parent map that stops as soon as ``target`` is reached."""
+    parents: Dict[Node, Optional[Node]] = {source: None}
+    queue: deque = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                if neighbor == target:
+                    return parents
+                queue.append(neighbor)
+    return parents
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> int:
+    """Return the hop distance from ``source`` to ``target``.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If ``target`` is unreachable from ``source``.
+    """
+    path = shortest_path(graph, source, target)
+    if path is None:
+        raise DisconnectedGraphError(
+            f"{target!r} is not reachable from {source!r}"
+        )
+    return len(path) - 1
+
+
+def connected_components(graph: Graph) -> List[Set[Node]]:
+    """Return the connected components as a list of node sets."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph:
+        if node in seen:
+            continue
+        component = set(bfs_order(graph, node))
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return ``True`` if the graph is connected.
+
+    Follows the paper's convention that connectivity is defined for
+    graphs with more than one node; the empty and single-node graphs are
+    reported as connected for convenience.
+    """
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return True
+    start = next(iter(graph))
+    return len(bfs_order(graph, start)) == n
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Return the eccentricity of ``node`` (max hop distance to any node).
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If some node is unreachable from ``node``.
+    """
+    dist = bfs_levels(graph, node)
+    if len(dist) != graph.number_of_nodes():
+        raise DisconnectedGraphError(
+            f"graph is disconnected; eccentricity of {node!r} is infinite"
+        )
+    return max(dist.values())
+
+
+def diameter(graph: Graph) -> int:
+    """Return the exact diameter (max eccentricity over all nodes).
+
+    Runs a full BFS from every node — O(n · (n + m)).  For large graphs
+    prefer :func:`approximate_diameter`.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is disconnected.
+    """
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(eccentricity(graph, node) for node in graph)
+
+
+def radius(graph: Graph) -> int:
+    """Return the radius (min eccentricity over all nodes)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return min(eccentricity(graph, node) for node in graph)
+
+
+def approximate_diameter(
+    graph: Graph, samples: int = 16, seed: int = 0
+) -> int:
+    """Return a lower bound on the diameter via double-sweep sampling.
+
+    From each of ``samples`` random start nodes, run a BFS, then a second
+    BFS from the farthest node found (the classic double sweep).  The
+    maximum distance observed is returned.  On trees the bound is exact;
+    on the graphs in this library it is empirically tight and never
+    exceeds the true diameter.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is disconnected.
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return 0
+    rng = random.Random(seed)
+    best = 0
+    n = graph.number_of_nodes()
+    for _ in range(max(1, samples)):
+        start = rng.choice(nodes)
+        dist = bfs_levels(graph, start)
+        if len(dist) != n:
+            raise DisconnectedGraphError("graph is disconnected")
+        far_node = max(dist, key=dist.get)
+        second = bfs_levels(graph, far_node)
+        best = max(best, max(second.values()))
+    return best
+
+
+def average_path_length(graph: Graph) -> float:
+    """Return the mean hop distance over all ordered node pairs.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the graph is disconnected.
+    ValueError
+        If the graph has fewer than two nodes.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        raise ValueError("average path length needs at least two nodes")
+    total = 0
+    for node in graph:
+        dist = bfs_levels(graph, node)
+        if len(dist) != n:
+            raise DisconnectedGraphError("graph is disconnected")
+        total += sum(dist.values())
+    return total / (n * (n - 1))
+
+
+def all_pairs_distances(graph: Graph) -> Dict[Node, Dict[Node, int]]:
+    """Return hop distances between all pairs (BFS from every node)."""
+    return {node: bfs_levels(graph, node) for node in graph}
+
+
+def paths_edge_disjoint(paths: Iterable[List[Node]]) -> bool:
+    """Return ``True`` if no two of the given paths share an edge."""
+    seen: Set[frozenset] = set()
+    for path in paths:
+        for u, v in zip(path, path[1:]):
+            key = frozenset((u, v))
+            if key in seen:
+                return False
+            seen.add(key)
+    return True
+
+
+def paths_internally_disjoint(paths: List[List[Node]]) -> bool:
+    """Return ``True`` if the paths share no node except their endpoints.
+
+    All paths must run between the same two endpoints; interior nodes
+    must be pairwise distinct across paths — the witness shape required
+    by Menger's theorem for node connectivity.
+    """
+    if not paths:
+        return True
+    endpoints = {paths[0][0], paths[0][-1]}
+    interior_seen: Set[Node] = set()
+    for path in paths:
+        if {path[0], path[-1]} != endpoints:
+            return False
+        for node in path[1:-1]:
+            if node in endpoints or node in interior_seen:
+                return False
+            interior_seen.add(node)
+    return True
+
+
+def is_simple_path(graph: Graph, path: List[Node]) -> bool:
+    """Return ``True`` if ``path`` is a duplicate-free walk along edges."""
+    if not path:
+        return False
+    if len(set(path)) != len(path):
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+def iter_bfs_edges(graph: Graph, source: Node) -> Iterator[Tuple[Node, Node]]:
+    """Yield the edges of a BFS tree rooted at ``source``."""
+    parents = bfs_parents(graph, source)
+    for child, parent in parents.items():
+        if parent is not None:
+            yield (parent, child)

@@ -1,0 +1,26 @@
+"""Dynamic-membership overlay maintenance for LHG topologies."""
+
+from repro.overlay.churn import ChurnEvent, churn_summary, generate_trace, replay
+from repro.overlay.membership import ChurnCost, LHGOverlay, MembershipError
+from repro.overlay.repair import (
+    RepairPlan,
+    RepairReport,
+    crash_repair_cycle,
+    execute_repair,
+    plan_repair,
+)
+
+__all__ = [
+    "ChurnCost",
+    "ChurnEvent",
+    "LHGOverlay",
+    "MembershipError",
+    "RepairPlan",
+    "RepairReport",
+    "churn_summary",
+    "crash_repair_cycle",
+    "execute_repair",
+    "generate_trace",
+    "plan_repair",
+    "replay",
+]

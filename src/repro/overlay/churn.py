@@ -1,0 +1,102 @@
+"""Churn traces: seeded join/leave workloads for the overlay experiments.
+
+A trace is a list of :class:`ChurnEvent`; :func:`generate_trace` draws
+one with a configurable join bias around a target population, and
+:func:`replay` feeds it through an :class:`~repro.overlay.membership.LHGOverlay`
+collecting the per-event churn costs (experiment F6's workload).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.overlay.membership import ChurnCost, LHGOverlay
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership event: ``kind`` is ``"join"`` or ``"leave"``."""
+
+    kind: str
+    member: str
+
+
+def generate_trace(
+    events: int,
+    target_population: int,
+    k: int,
+    seed: int = 0,
+    join_bias: float = 0.5,
+) -> List[ChurnEvent]:
+    """Draw a random join/leave trace.
+
+    The trace starts with enough joins to reach ``target_population``,
+    then mixes joins and leaves; the population is softly pulled back
+    toward the target (below target joins become more likely, above it
+    leaves do) and never drops below ``2k`` so the overlay stays in the
+    LHG regime throughout the measured phase.
+
+    Raises
+    ------
+    ReproError
+        If the target population is below 2k.
+    """
+    if target_population < 2 * k:
+        raise ReproError(
+            f"target population {target_population} below LHG minimum {2 * k}"
+        )
+    rng = random.Random(seed)
+    trace: List[ChurnEvent] = []
+    population: List[str] = []
+    counter = 0
+
+    def join() -> None:
+        nonlocal counter
+        member = f"peer-{counter}"
+        counter += 1
+        population.append(member)
+        trace.append(ChurnEvent(kind="join", member=member))
+
+    def leave() -> None:
+        member = population.pop(rng.randrange(len(population)))
+        trace.append(ChurnEvent(kind="leave", member=member))
+
+    while len(population) < target_population:
+        join()
+    for _ in range(events):
+        pull = (target_population - len(population)) / max(1, target_population)
+        p_join = min(0.95, max(0.05, join_bias + 0.5 * pull))
+        if len(population) <= 2 * k or rng.random() < p_join:
+            join()
+        else:
+            leave()
+    return trace
+
+
+def replay(trace: List[ChurnEvent], k: int, rule: str = "auto") -> List[ChurnCost]:
+    """Feed a trace through a fresh overlay; return per-event churn costs."""
+    overlay = LHGOverlay(k=k, rule=rule)
+    costs: List[ChurnCost] = []
+    for event in trace:
+        if event.kind == "join":
+            costs.append(overlay.join(event.member))
+        else:
+            costs.append(overlay.leave(event.member))
+    return costs
+
+
+def churn_summary(costs: List[ChurnCost]) -> Tuple[float, float, int]:
+    """Return (mean churn, p95 churn, max churn) over the events.
+
+    Churn of an event is edges added + removed.
+    """
+    if not costs:
+        return (0.0, 0.0, 0)
+    values = sorted(c.total_churn for c in costs)
+    mean = statistics.fmean(values)
+    p95 = values[min(len(values) - 1, int(0.95 * len(values)))]
+    return (mean, float(p95), values[-1])

@@ -1,0 +1,129 @@
+"""Tests for sweeps, tables, and shape statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    growth_exponent,
+    is_roughly_logarithmic,
+    linear_slope,
+    mean_and_ci,
+    ratio_series,
+)
+from repro.analysis.sweep import geometric_sizes, run_sweep
+from repro.analysis.tables import render_series, render_table
+
+
+class TestStats:
+    def test_mean_and_ci(self):
+        mean, ci = mean_and_ci([2.0, 4.0, 6.0])
+        assert mean == 4.0
+        assert ci > 0
+
+    def test_single_sample_ci_zero(self):
+        assert mean_and_ci([3.0]) == (3.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    def test_linear_slope(self):
+        assert linear_slope([0, 1, 2], [1, 3, 5]) == pytest.approx(2.0)
+
+    def test_slope_domain(self):
+        with pytest.raises(ValueError):
+            linear_slope([1], [2])
+        with pytest.raises(ValueError):
+            linear_slope([1, 1], [2, 3])
+        with pytest.raises(ValueError):
+            linear_slope([1, 2], [3])
+
+    def test_growth_exponent_linear(self):
+        ns = [10, 20, 40, 80]
+        assert growth_exponent(ns, ns) == pytest.approx(1.0)
+
+    def test_growth_exponent_logarithmic(self):
+        ns = [16, 64, 256, 1024]
+        values = [math.log(n) for n in ns]
+        assert growth_exponent(ns, values) < 0.4
+
+    def test_growth_domain(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1, 0], [1, 1])
+
+    def test_is_roughly_logarithmic(self):
+        ns = [8, 64, 512]
+        assert is_roughly_logarithmic(ns, [3.0, 6.0, 9.0])
+        assert not is_roughly_logarithmic(ns, [8.0, 64.0, 512.0])
+
+    def test_ratio_series(self):
+        assert ratio_series([4, 9], [2, 3]) == [2.0, 3.0]
+        assert ratio_series([1], [0]) == [math.inf]
+        with pytest.raises(ValueError):
+            ratio_series([1], [1, 2])
+
+
+class TestSweep:
+    def test_cartesian_grid(self):
+        result = run_sweep(
+            {"a": [1, 2], "b": [10, 20]}, lambda a, b: {"sum": a + b}
+        )
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_skip_predicate(self):
+        result = run_sweep(
+            {"n": [1, 2, 3, 4]},
+            lambda n: {"sq": n * n},
+            skip=lambda n: n % 2 == 1,
+        )
+        assert result.column("sq") == [4, 16]
+
+    def test_where_filter(self):
+        result = run_sweep(
+            {"k": [2, 3], "n": [5, 6]}, lambda k, n: {"v": k * n}
+        )
+        assert result.where(k=3).column("v") == [15, 18]
+
+    def test_rows_mixes_params_and_records(self):
+        result = run_sweep({"n": [2, 3]}, lambda n: {"sq": n * n})
+        assert result.rows(["n", "sq"]) == [[2, 4], [3, 9]]
+
+    def test_geometric_sizes(self):
+        assert geometric_sizes(8, 64) == [8, 16, 32, 64]
+        assert geometric_sizes(10, 100, factor=3) == [10, 30, 90]
+
+    def test_geometric_domain(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(4, 10, factor=1.0)
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 10)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["n", "value"], [[1, 2.5], [100, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("n")
+        assert "100" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_booleans_rendered_yes_no(self):
+        text = render_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_series(self):
+        text = render_series("n", ["lhg", "harary"], [[8, 2, 2], [16, 3, 4]])
+        assert "lhg" in text and "harary" in text
+
+    def test_empty_rows_table(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text

@@ -1,0 +1,109 @@
+"""Tests for the store-and-forward bandwidth model and stream flooding."""
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.errors import SimulationError
+from repro.flooding.experiments import run_broadcast_stream, run_flood
+from repro.flooding.network import BandwidthLatency
+from repro.graphs.generators.classic import path_graph, star_graph
+from repro.graphs.generators.harary import harary_graph
+
+
+class TestBandwidthLatency:
+    def test_parameters_validated(self):
+        with pytest.raises(SimulationError):
+            BandwidthLatency(service=0.0)
+        with pytest.raises(SimulationError):
+            BandwidthLatency(service=1.0, propagation=-1.0)
+
+    def test_idle_link_takes_service_plus_propagation(self):
+        model = BandwidthLatency(service=2.0, propagation=0.5)
+        assert model.sample_at(0, 1, now=10.0) == 2.5
+
+    def test_busy_link_queues_fifo(self):
+        model = BandwidthLatency(service=1.0, propagation=0.0)
+        first = model.sample_at(0, 1, now=0.0)
+        second = model.sample_at(0, 1, now=0.0)
+        third = model.sample_at(0, 1, now=0.0)
+        assert (first, second, third) == (1.0, 2.0, 3.0)
+
+    def test_directions_are_independent(self):
+        model = BandwidthLatency(service=1.0, propagation=0.0)
+        assert model.sample_at(0, 1, now=0.0) == 1.0
+        assert model.sample_at(1, 0, now=0.0) == 1.0  # no queueing
+
+    def test_link_drains_over_time(self):
+        model = BandwidthLatency(service=1.0, propagation=0.0)
+        model.sample_at(0, 1, now=0.0)
+        # after the link went idle, a later message pays only service
+        assert model.sample_at(0, 1, now=10.0) == 1.0
+
+    def test_stateless_sample_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthLatency().sample(0, 1)
+
+
+class TestSingleFloodUnderBandwidth:
+    def test_path_serialises(self):
+        g = path_graph(4)
+        result = run_flood(g, 0, latency=BandwidthLatency(1.0, 0.0))
+        # one message per link, no contention: 3 hops
+        assert result.completion_time == 3.0
+        assert result.fully_covered
+
+    def test_star_source_bottleneck(self):
+        # flooding FROM the hub: leaves are on distinct links -> parallel
+        g = star_graph(5)
+        result = run_flood(g, 0, latency=BandwidthLatency(1.0, 0.0))
+        assert result.completion_time == 1.0
+
+
+class TestBroadcastStream:
+    def test_single_message_matches_flood(self):
+        graph, _ = build_lhg(30, 3)
+        source = graph.nodes()[0]
+        makespan, covered, _ = run_broadcast_stream(
+            graph, source, 1, latency=BandwidthLatency(1.0, 0.1)
+        )
+        assert covered
+        flood = run_flood(graph, source, latency=BandwidthLatency(1.0, 0.1))
+        assert makespan == flood.completion_time
+
+    def test_pipeline_cost_is_linear_in_messages(self):
+        graph, _ = build_lhg(30, 3)
+        source = graph.nodes()[0]
+        model = lambda: BandwidthLatency(1.0, 0.1)
+        one, _, _ = run_broadcast_stream(graph, source, 1, latency=model())
+        many, covered, _ = run_broadcast_stream(graph, source, 9, latency=model())
+        assert covered
+        # pipelining: each extra message adds ~1 service time, not a
+        # whole broadcast latency
+        assert many == pytest.approx(one + 8 * 1.0)
+
+    def test_interval_staggering(self):
+        graph, _ = build_lhg(14, 3)
+        source = graph.nodes()[0]
+        makespan, covered, _ = run_broadcast_stream(
+            graph, source, 3, latency=BandwidthLatency(1.0, 0.0), interval=5.0
+        )
+        assert covered
+        one, _, _ = run_broadcast_stream(
+            graph, source, 1, latency=BandwidthLatency(1.0, 0.0)
+        )
+        # with a generous interval there is no contention: last message
+        # finishes at 2*interval + single-broadcast latency
+        assert makespan == pytest.approx(10.0 + one)
+
+    def test_latency_advantage_persists_under_bandwidth(self):
+        n, k, messages = 64, 4, 8
+        lhg, _ = build_lhg(n, k)
+        harary = harary_graph(k, n)
+        lhg_makespan, lhg_cov, _ = run_broadcast_stream(
+            lhg, lhg.nodes()[0], messages, latency=BandwidthLatency(1.0, 0.1)
+        )
+        harary_makespan, harary_cov, _ = run_broadcast_stream(
+            harary, 0, messages, latency=BandwidthLatency(1.0, 0.1)
+        )
+        assert lhg_cov and harary_cov
+        assert lhg_makespan < harary_makespan / 1.5

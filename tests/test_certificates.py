@@ -1,0 +1,121 @@
+"""Unit tests for construction certificates."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.core.certificates import ConstructionCertificate
+from repro.core.jenkins_demers import jenkins_demers_graph
+from repro.core.kdiamond import kdiamond_graph
+from repro.core.tree_schema import TreeSchema, grown_schema, paste_copies
+
+
+class TestSnapshot:
+    def test_from_schema_counts(self):
+        schema = grown_schema(3, 2)
+        cert = ConstructionCertificate.from_schema(schema, rule="test")
+        assert cert.k == 3
+        assert cert.rule == "test"
+        assert cert.interior_count == 3
+        assert cert.expected_node_count() == schema.node_count()
+
+    def test_with_rule(self):
+        cert = ConstructionCertificate.from_schema(TreeSchema(3))
+        assert cert.with_rule("x").rule == "x"
+
+    def test_root_id(self):
+        cert = ConstructionCertificate.from_schema(grown_schema(4, 3))
+        assert cert.root_id() == 0
+
+
+class TestTreeNavigation:
+    def test_path_to_root(self):
+        cert = ConstructionCertificate.from_schema(grown_schema(3, 4))
+        for interior_id in cert.interiors:
+            path = cert.path_to_root(interior_id)
+            assert path[0] == interior_id
+            assert path[-1] == cert.root_id()
+
+    def test_path_to_root_unknown(self):
+        cert = ConstructionCertificate.from_schema(TreeSchema(3))
+        with pytest.raises(CertificateError):
+            cert.path_to_root(99)
+
+    def test_interior_path_symmetric_ends(self):
+        cert = ConstructionCertificate.from_schema(grown_schema(3, 5))
+        ids = sorted(cert.interiors)
+        path = cert.interior_path(ids[1], ids[-1])
+        assert path[0] == ids[1] and path[-1] == ids[-1]
+        # consecutive entries are parent/child pairs
+        for a, b in zip(path, path[1:]):
+            assert cert.interiors[a].parent == b or cert.interiors[b].parent == a
+
+    def test_interior_path_self(self):
+        cert = ConstructionCertificate.from_schema(TreeSchema(3))
+        assert cert.interior_path(0, 0) == [0]
+
+    def test_descendant_leaves_cover_all(self):
+        cert = ConstructionCertificate.from_schema(grown_schema(3, 3))
+        leaves = cert.descendant_leaves(cert.root_id())
+        assert set(leaves) == set(cert.leaves)
+
+    def test_descendant_leaves_subtree(self):
+        schema = grown_schema(3, 1)
+        cert = ConstructionCertificate.from_schema(schema)
+        child = cert.interiors[cert.root_id()].interior_children[0]
+        subtree_leaves = cert.descendant_leaves(child)
+        assert len(subtree_leaves) == 2  # k-1 leaves of the converted node
+
+
+class TestVerification:
+    def test_verify_accepts_own_graph(self):
+        for n, k in [(6, 3), (14, 3), (13, 3), (20, 4)]:
+            graph, cert = kdiamond_graph(n, k)
+            cert.verify_graph(graph)  # must not raise
+
+    def test_verify_detects_missing_edge(self):
+        graph, cert = jenkins_demers_graph(10, 3)
+        u, v = graph.edges()[0]
+        graph.remove_edge(u, v)
+        with pytest.raises(CertificateError):
+            cert.verify_graph(graph)
+
+    def test_verify_detects_extra_node(self):
+        graph, cert = jenkins_demers_graph(10, 3)
+        graph.add_node("intruder")
+        with pytest.raises(CertificateError):
+            cert.verify_graph(graph)
+
+    def test_verify_detects_rewired_leaf(self):
+        graph, cert = jenkins_demers_graph(10, 3)
+        # add an edge: counts change
+        nodes = graph.nodes()
+        for u in nodes:
+            for v in nodes:
+                if u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    with pytest.raises(CertificateError):
+                        cert.verify_graph(graph)
+                    return
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        _, cert = kdiamond_graph(13, 3)
+        restored = ConstructionCertificate.from_json(cert.to_json())
+        assert restored.k == cert.k
+        assert restored.rule == cert.rule
+        assert restored.interiors == cert.interiors
+        assert restored.leaves == cert.leaves
+
+    def test_round_trip_still_verifies(self):
+        graph, cert = kdiamond_graph(14, 4)
+        restored = ConstructionCertificate.from_json(cert.to_json())
+        restored.verify_graph(graph)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(CertificateError):
+            ConstructionCertificate.from_json("}{")
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(CertificateError):
+            ConstructionCertificate.from_json('{"k": 3}')

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuild:
+    def test_build_summary(self, capsys):
+        assert main(["build", "10", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes=10" in out
+        assert "jenkins-demers" in out
+
+    def test_build_json(self, capsys):
+        assert main(["build", "8", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["nodes"]) == 8
+
+    def test_build_named_rule(self, capsys):
+        assert main(["build", "9", "3", "--rule", "k-tree"]) == 0
+        assert "k-tree" in capsys.readouterr().out
+
+    def test_infeasible_pair_errors(self, capsys):
+        assert main(["build", "5", "3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_passes(self, capsys):
+        assert main(["check", "14", "3"]) == 0
+        assert "P1-kappa=ok" in capsys.readouterr().out
+
+
+class TestFlood:
+    def test_flood_reports_coverage(self, capsys):
+        assert main(["flood", "12", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "covered 12/12" in out
+
+    def test_flood_with_crashes(self, capsys):
+        assert main(["flood", "14", "3", "--crashes", "2", "--seed", "4"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_coverage_table(self, capsys):
+        assert main(["coverage", "3", "--max-n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "jenkins-demers" in out
+        assert out.count("\n") >= 6
+
+    def test_diameter_table(self, capsys):
+        assert main(["diameter", "3", "--max-n", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "harary-diameter" in out
+
+
+class TestPaths:
+    def test_paths_shows_k_disjoint_routes(self, capsys):
+        assert main(["paths", "14", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 node-disjoint paths" in out
+        assert "certificate route" in out
+
+
+class TestSpectral:
+    def test_spectral_reports_ratio(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["spectral", "30", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "algebraic connectivity" in out
+        assert "ratio" in out
+
+
+class TestPlan:
+    def test_plan_summary(self, capsys):
+        assert main(["plan", "60", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4" in out
+        assert "messages/broadcast" in out
+
+    def test_plan_gap_mentions_extension(self, capsys):
+        assert main(["plan", "9", "2"]) == 0
+        assert "extension rule" in capsys.readouterr().out
+
+    def test_plan_infeasible(self, capsys):
+        assert main(["plan", "4", "5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Tests for clustering coefficients and triangle counting."""
+
+import pytest
+
+from repro.core.jenkins_demers import jenkins_demers_graph
+from repro.core.kdiamond import kdiamond_graph
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    average_clustering,
+    local_clustering,
+    triangle_count,
+)
+
+
+class TestLocalClustering:
+    def test_complete_graph_fully_clustered(self):
+        g = complete_graph(5)
+        assert all(local_clustering(g, v) == 1.0 for v in g)
+
+    def test_cycle_unclustered(self):
+        g = cycle_graph(6)
+        assert all(local_clustering(g, v) == 0.0 for v in g)
+
+    def test_low_degree_zero(self):
+        g = path_graph(3)
+        assert local_clustering(g, 0) == 0.0  # degree 1
+
+    def test_partial_clustering(self):
+        # node 0 adjacent to 1,2,3; only (1,2) adjacent -> 1/3
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+
+class TestAverageClustering:
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            average_clustering(Graph())
+
+    def test_star_is_zero(self):
+        assert average_clustering(star_graph(5)) == 0.0
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.generators.random import gnp_random_graph
+        from repro.graphs.nxcompat import to_networkx
+
+        for seed in range(5):
+            g = gnp_random_graph(12, 0.4, seed=seed)
+            ours = average_clustering(g)
+            theirs = networkx.average_clustering(to_networkx(g))
+            assert ours == pytest.approx(theirs)
+
+
+class TestTriangles:
+    def test_complete_graph_count(self):
+        assert triangle_count(complete_graph(6)) == 20
+
+    def test_triangle_free_families(self):
+        assert triangle_count(cycle_graph(8)) == 0
+        assert triangle_count(star_graph(6)) == 0
+
+    def test_single_triangle(self):
+        assert triangle_count(Graph(edges=[(0, 1), (1, 2), (0, 2)])) == 1
+
+
+class TestConstructionSignatures:
+    def test_jd_constructions_are_triangle_free(self):
+        # shared-leaf pasting creates no triangles: copies are trees and
+        # leaves join distinct copies
+        for n, k in [(10, 3), (14, 3), (20, 4)]:
+            graph, _ = jenkins_demers_graph(n, k)
+            assert triangle_count(graph) == 0
+            assert average_clustering(graph) == 0.0
+
+    def test_unshared_cliques_are_the_only_triangles(self):
+        # K-DIAMOND with u unshared slots has exactly u * C(k,3) triangles
+        import math
+
+        for n, k in [(8, 3), (11, 4), (14, 5)]:
+            graph, cert = kdiamond_graph(n, k)
+            unshared = len(cert.unshared_leaves)
+            assert unshared == 1
+            assert triangle_count(graph) == math.comb(k, 3)

@@ -1,0 +1,122 @@
+"""Tests for articulation points, bridges and biconnected components."""
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.graphs.decomposition import (
+    articulation_points,
+    biconnected_components,
+    bridges,
+    is_biconnected,
+)
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.generators.classic import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestArticulationPoints:
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(7)) == set()
+
+    def test_path_interior_nodes(self):
+        assert articulation_points(path_graph(5)) == {1, 2, 3}
+
+    def test_star_hub(self):
+        assert articulation_points(star_graph(4)) == {0}
+
+    def test_tree_interiors(self):
+        tree = balanced_tree(2, 2)  # 7 nodes: root + 2 interiors are cuts
+        assert articulation_points(tree) == {0, 1, 2}
+
+    def test_two_blocks_sharing_a_node(self):
+        # two triangles glued at node 2
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        assert articulation_points(g) == {2}
+
+    def test_bridge_endpoints(self, two_triangles_bridge):
+        assert articulation_points(two_triangles_bridge) == {2, 3}
+
+    def test_disconnected_components_independent(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert articulation_points(g) == {1, 4}
+
+    def test_empty_and_singletons(self):
+        assert articulation_points(Graph()) == set()
+        assert articulation_points(Graph(nodes=[1, 2])) == set()
+
+
+class TestBridges:
+    def test_cycle_has_none(self):
+        assert bridges(cycle_graph(6)) == set()
+
+    def test_every_tree_edge_is_a_bridge(self):
+        tree = balanced_tree(2, 2)
+        assert len(bridges(tree)) == tree.number_of_edges()
+
+    def test_bridge_graph(self, two_triangles_bridge):
+        assert bridges(two_triangles_bridge) == {edge_key(2, 3)}
+
+    def test_complete_graph_none(self):
+        assert bridges(complete_graph(5)) == set()
+
+
+class TestBiconnectedComponents:
+    def test_single_block(self):
+        comps = biconnected_components(cycle_graph(5))
+        assert len(comps) == 1
+        assert comps[0] == set(range(5))
+
+    def test_glued_triangles(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        comps = biconnected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1, 2], [2, 3, 4]]
+
+    def test_path_gives_edge_blocks(self):
+        comps = biconnected_components(path_graph(4))
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_isolated_node_is_singleton(self):
+        g = Graph(nodes=["solo"], edges=[(0, 1)])
+        comps = biconnected_components(g)
+        assert {"solo"} in comps
+
+
+class TestIsBiconnected:
+    def test_positive(self):
+        assert is_biconnected(cycle_graph(4))
+        assert is_biconnected(petersen_graph())
+
+    def test_negative(self):
+        assert not is_biconnected(path_graph(4))
+        assert not is_biconnected(Graph(edges=[(0, 1)]))
+        assert not is_biconnected(Graph(nodes=[0, 1, 2]))
+
+
+class TestAgainstConstructionsAndNetworkx:
+    def test_lhgs_have_no_cut_structure(self):
+        for n, k in [(10, 3), (13, 3), (14, 4)]:
+            graph, _ = build_lhg(n, k)
+            assert articulation_points(graph) == set()
+            assert bridges(graph) == set()
+            assert is_biconnected(graph)
+
+    def test_matches_networkx_on_random_graphs(self):
+        networkx = pytest.importorskip("networkx")
+        from repro.graphs.generators.random import gnp_random_graph
+        from repro.graphs.nxcompat import to_networkx
+
+        for seed in range(8):
+            g = gnp_random_graph(14, 0.2, seed=seed)
+            nx_graph = to_networkx(g)
+            assert articulation_points(g) == set(
+                networkx.articulation_points(nx_graph)
+            )
+            assert bridges(g) == {
+                edge_key(u, v) for u, v in networkx.bridges(nx_graph)
+            }

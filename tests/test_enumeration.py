@@ -1,0 +1,77 @@
+"""Tests for exhaustive k-regular enumeration and the LHG census."""
+
+import pytest
+
+from repro.core.enumeration import (
+    construction_reaches,
+    enumerate_k_regular_graphs,
+    lhg_census,
+)
+from repro.errors import GraphError
+from repro.graphs.connectivity import node_connectivity
+from repro.graphs.traversal import is_connected
+
+
+class TestEnumeration:
+    def test_known_count_cubic_6(self):
+        # textbook: exactly 2 cubic graphs on 6 vertices (K_3,3, prism)
+        graphs = enumerate_k_regular_graphs(6, 3)
+        assert len(graphs) == 2
+
+    def test_known_count_cubic_8(self):
+        # textbook: exactly 5 connected cubic graphs on 8 vertices
+        assert len(enumerate_k_regular_graphs(8, 3)) == 5
+
+    def test_known_count_quartic_8(self):
+        # exactly 6 connected 4-regular graphs on 8 vertices
+        assert len(enumerate_k_regular_graphs(8, 4)) == 6
+
+    def test_cycle_is_unique_2_regular(self):
+        for n in (3, 4, 5, 6, 7):
+            graphs = enumerate_k_regular_graphs(n, 2)
+            assert len(graphs) == 1  # the cycle
+
+    def test_complete_graph_unique(self):
+        graphs = enumerate_k_regular_graphs(5, 4)
+        assert len(graphs) == 1
+        assert graphs[0].number_of_edges() == 10
+
+    def test_all_outputs_are_regular_and_connected(self):
+        for graph in enumerate_k_regular_graphs(8, 3):
+            assert graph.regular_degree() == 3
+            assert is_connected(graph)
+
+    def test_odd_product_empty(self):
+        assert enumerate_k_regular_graphs(7, 3) == []
+
+    def test_domain_checks(self):
+        with pytest.raises(GraphError):
+            enumerate_k_regular_graphs(12, 3)  # beyond the safety rail
+        with pytest.raises(GraphError):
+            enumerate_k_regular_graphs(5, 5)
+        with pytest.raises(GraphError):
+            enumerate_k_regular_graphs(5, 0)
+
+
+class TestCensus:
+    def test_6_3_census(self):
+        # both cubic graphs on 6 nodes (K_3,3 and the prism) are LHGs
+        lhgs, non_lhgs = lhg_census(6, 3)
+        assert len(lhgs) == 2
+        assert non_lhgs == []
+        for graph in lhgs:
+            assert node_connectivity(graph) == 3
+
+    def test_construction_reaches_exactly_one_6_3_lhg(self):
+        # the tree-pasting family builds K_3,3 but never the prism: the
+        # LHG space is strictly larger than the construction's image
+        lhgs, _ = lhg_census(6, 3)
+        reached = [construction_reaches(graph, 3) for graph in lhgs]
+        assert sorted(reached) == [False, True]
+
+    def test_4_2_census(self):
+        # C4 is the unique 2-regular LHG for (4, 2)
+        lhgs, non_lhgs = lhg_census(4, 2)
+        assert len(lhgs) == 1
+        assert non_lhgs == []
+        assert construction_reaches(lhgs[0], 2)

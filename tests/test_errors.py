@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    CertificateError,
+    ConstructionError,
+    DisconnectedGraphError,
+    EdgeNotFoundError,
+    GeneratorParameterError,
+    GraphError,
+    InfeasiblePairError,
+    NodeNotFoundError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc_type in (
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            DisconnectedGraphError,
+            GeneratorParameterError,
+            ConstructionError,
+            InfeasiblePairError,
+            CertificateError,
+            SimulationError,
+            SchedulingError,
+            ProtocolError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        # parameter errors double as ValueError for idiomatic catching
+        assert issubclass(GeneratorParameterError, ValueError)
+        assert issubclass(InfeasiblePairError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+
+class TestPayloads:
+    def test_node_not_found_carries_node(self):
+        exc = NodeNotFoundError(("T", 0, 1))
+        assert exc.node == ("T", 0, 1)
+        assert "T" in str(exc)
+
+    def test_edge_not_found_carries_endpoints(self):
+        exc = EdgeNotFoundError(1, 2)
+        assert (exc.u, exc.v) == (1, 2)
+
+    def test_infeasible_pair_payload(self):
+        exc = InfeasiblePairError(13, 3, "jenkins-demers", "odd offset")
+        assert exc.n == 13 and exc.k == 3
+        assert exc.rule == "jenkins-demers"
+        assert "odd offset" in str(exc)
+
+    def test_catching_by_family(self):
+        with pytest.raises(ReproError):
+            raise InfeasiblePairError(5, 3, "k-tree", "too small")
+        with pytest.raises(ValueError):
+            raise InfeasiblePairError(5, 3, "k-tree", "too small")

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each script must exit 0 within its timeout (they all carry
+internal assertions, so a passing run also validates their claims).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_every_example_has_a_docstring_header():
+    for script in SCRIPTS:
+        text = script.read_text()
+        assert text.lstrip().startswith(('#!/usr/bin/env python3', '"""')), script
+        assert '"""' in text, f"{script.name} lacks a module docstring"
+
+
+def test_expected_example_count():
+    assert len(SCRIPTS) >= 9

@@ -1,0 +1,99 @@
+"""Tests for the EX/REG characteristic functions and the build facade."""
+
+import pytest
+
+from repro.errors import ConstructionError, InfeasiblePairError
+from repro.core.existence import (
+    build_lhg,
+    coverage_table,
+    exists,
+    regular_exists,
+    regularity_table,
+)
+from repro.graphs.properties import is_k_regular
+
+
+class TestExists:
+    def test_rule_dispatch(self):
+        assert exists(8, 3, rule="k-tree")
+        assert exists(8, 3, rule="k-diamond")
+        assert not exists(8, 3, rule="jenkins-demers")
+
+    def test_unknown_rule(self):
+        with pytest.raises(ConstructionError):
+            exists(8, 3, rule="nope")
+
+    def test_regular_exists_dispatch(self):
+        assert regular_exists(8, 3, rule="k-diamond")
+        assert not regular_exists(8, 3, rule="k-tree")
+        assert regular_exists(10, 3, rule="jenkins-demers")
+        assert not regular_exists(12, 3, rule="jenkins-demers")
+
+    def test_regular_unknown_rule(self):
+        with pytest.raises(ConstructionError):
+            regular_exists(8, 3, rule="nope")
+
+
+class TestBuildFacade:
+    def test_auto_prefers_jd_at_clean_sizes(self):
+        _, cert = build_lhg(10, 3)
+        assert cert.rule == "jenkins-demers"
+
+    def test_auto_uses_kdiamond_for_extra_regularity(self):
+        # n=8, k=3: JD cannot build; K-DIAMOND gives a 3-regular graph
+        graph, cert = build_lhg(8, 3)
+        assert cert.rule == "k-diamond"
+        assert is_k_regular(graph, 3)
+
+    def test_auto_falls_back_to_ktree(self):
+        # n=9, k=3: JD no; K-DIAMOND regular no (9-6 odd); K-TREE yes
+        graph, cert = build_lhg(9, 3, prefer_regular=True)
+        assert graph.number_of_nodes() == 9
+        assert cert.rule in ("k-tree", "k-diamond")
+
+    def test_auto_without_regular_preference(self):
+        _, cert = build_lhg(8, 3, prefer_regular=False)
+        assert cert.rule == "k-tree"
+
+    def test_named_rules(self):
+        for rule in ("jenkins-demers", "k-tree", "k-diamond"):
+            graph, cert = build_lhg(10, 3, rule=rule)
+            assert graph.number_of_nodes() == 10
+            assert cert.rule == rule
+
+    def test_auto_infeasible(self):
+        with pytest.raises(InfeasiblePairError):
+            build_lhg(5, 3)
+        with pytest.raises(InfeasiblePairError):
+            build_lhg(4, 1)
+
+    def test_unknown_rule(self):
+        with pytest.raises(ConstructionError):
+            build_lhg(10, 3, rule="bogus")
+
+
+class TestTables:
+    def test_coverage_rows(self):
+        rows = coverage_table(3, 12)
+        assert rows[0] == (6, True, True, True)
+        assert rows[1] == (7, False, True, True)
+        assert rows[4] == (10, True, True, True)
+
+    def test_ktree_kdiamond_columns_identical(self):
+        # Corollary 1: EX equivalence
+        for _, jd, ktree, kdiamond in coverage_table(4, 40):
+            assert ktree == kdiamond
+            assert not jd or ktree  # JD subset of K-TREE
+
+    def test_regularity_rows(self):
+        rows = regularity_table(3, 12)
+        table = {n: (jd, kt, kd) for n, jd, kt, kd in rows}
+        assert table[6] == (True, True, True)
+        assert table[8] == (False, False, True)
+        assert table[10] == (True, True, True)
+        assert table[7] == (False, False, False)
+
+    def test_regularity_implication(self):
+        # REG_K-TREE => REG_K-DIAMOND (Corollary 2)
+        for _, jd, ktree, kdiamond in regularity_table(5, 60):
+            assert not ktree or kdiamond

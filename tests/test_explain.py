@@ -1,0 +1,46 @@
+"""Tests for the construction narration (explain_construction)."""
+
+import pytest
+
+from repro.core.existence import explain_construction
+from repro.errors import InfeasiblePairError
+
+
+class TestExplain:
+    def test_base_case_two_steps_plus_result(self):
+        steps = explain_construction(6, 3, rule="jenkins-demers")
+        assert len(steps) == 3
+        assert "K_{3,3}" in steps[1]
+        assert "6 nodes, 9 edges" in steps[-1]
+
+    def test_conversion_step_present(self):
+        steps = explain_construction(10, 3, rule="jenkins-demers")
+        assert any("convert 1 leaves" in step for step in steps)
+
+    def test_unshared_step_for_kdiamond(self):
+        steps = explain_construction(8, 3, rule="k-diamond")
+        assert any("unshared" in step and "clique" in step for step in steps)
+
+    def test_added_leaf_step_for_ktree(self):
+        steps = explain_construction(9, 3, rule="k-tree")
+        assert any("added shared leaf" in step for step in steps)
+
+    def test_counts_in_result_match_reality(self):
+        from repro.core.existence import build_lhg
+
+        for n, k in [(13, 3), (20, 4), (11, 4)]:
+            graph, _ = build_lhg(n, k)
+            steps = explain_construction(n, k)
+            assert f"{graph.number_of_nodes()} nodes" in steps[-1]
+            assert f"{graph.number_of_edges()} edges" in steps[-1]
+
+    def test_infeasible_propagates(self):
+        with pytest.raises(InfeasiblePairError):
+            explain_construction(5, 3)
+
+    def test_cli_explain_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["build", "13", "3", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "target: an LHG" in out

@@ -1,0 +1,126 @@
+"""Tests for failure schedules and adversaries."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flooding.failures import (
+    FailureSchedule,
+    apply_schedule,
+    crash_before_start,
+    minimum_cut_attack,
+    random_crashes,
+    random_link_failures,
+    survivors,
+    targeted_crashes,
+)
+from repro.flooding.network import Network
+from repro.flooding.simulator import Simulator
+from repro.graphs.generators.classic import cycle_graph, star_graph
+from repro.graphs.traversal import is_connected
+
+
+class TestScheduleBuilding:
+    def test_chaining(self):
+        schedule = FailureSchedule().crash(1).fail_link(2, 3, time=4.0)
+        assert schedule.crashed_nodes == {1}
+        assert len(schedule.link_failures) == 1
+
+    def test_merged(self):
+        a = FailureSchedule().crash(1)
+        b = FailureSchedule().crash(2)
+        assert a.merged(b).crashed_nodes == {1, 2}
+
+    def test_crash_before_start(self):
+        schedule = crash_before_start([3, 4])
+        assert all(c.time == 0.0 for c in schedule.crashes)
+
+
+class TestBuilders:
+    def test_random_crashes_protect(self):
+        g = cycle_graph(10)
+        schedule = random_crashes(g, 4, seed=1, protect={0, 1})
+        assert len(schedule.crashed_nodes) == 4
+        assert not schedule.crashed_nodes & {0, 1}
+
+    def test_random_crashes_deterministic(self):
+        g = cycle_graph(10)
+        assert (
+            random_crashes(g, 3, seed=5).crashed_nodes
+            == random_crashes(g, 3, seed=5).crashed_nodes
+        )
+
+    def test_random_crashes_too_many(self):
+        with pytest.raises(SimulationError):
+            random_crashes(cycle_graph(4), 5)
+
+    def test_targeted_hits_highest_degree(self):
+        g = star_graph(5)
+        schedule = targeted_crashes(g, 1)
+        assert schedule.crashed_nodes == {0}
+
+    def test_targeted_respects_protection(self):
+        g = star_graph(5)
+        schedule = targeted_crashes(g, 1, protect={0})
+        assert schedule.crashed_nodes != {0}
+
+    def test_link_failures(self):
+        g = cycle_graph(8)
+        schedule = random_link_failures(g, 3, seed=2)
+        assert len(schedule.link_failures) == 3
+
+    def test_link_failures_too_many(self):
+        with pytest.raises(SimulationError):
+            random_link_failures(cycle_graph(4), 10)
+
+    def test_minimum_cut_attack_disconnects(self):
+        g = cycle_graph(8)
+        schedule = minimum_cut_attack(g)
+        assert len(schedule.crashed_nodes) == 2
+        assert not is_connected(survivors(g, schedule))
+
+
+class TestApplication:
+    def test_time_zero_applied_immediately(self):
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        apply_schedule(crash_before_start([2]), net, sim)
+        assert not net.is_alive(2)
+
+    def test_timed_crash_fires_later(self):
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        apply_schedule(FailureSchedule().crash(2, time=3.0), net, sim)
+        assert net.is_alive(2)
+        sim.run()
+        assert not net.is_alive(2)
+        assert sim.now == 3.0
+
+    def test_timed_link_failure(self):
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        apply_schedule(FailureSchedule().fail_link(0, 1, time=2.0), net, sim)
+        assert net.is_link_up(0, 1)
+        sim.run()
+        assert not net.is_link_up(0, 1)
+
+
+class TestSurvivors:
+    def test_removes_crashed_nodes(self):
+        g = cycle_graph(6)
+        remaining = survivors(g, crash_before_start([0, 3]))
+        assert remaining.number_of_nodes() == 4
+        assert not is_connected(remaining)
+
+    def test_removes_failed_links(self):
+        g = cycle_graph(6)
+        schedule = FailureSchedule().fail_link(0, 1).fail_link(3, 4)
+        remaining = survivors(g, schedule)
+        assert remaining.number_of_edges() == 4
+
+    def test_ignores_unknown_links(self):
+        g = cycle_graph(4)
+        schedule = FailureSchedule().fail_link(0, 2)  # not an edge
+        assert survivors(g, schedule).number_of_edges() == 4

@@ -1,0 +1,135 @@
+"""Unit tests for the classic deterministic generators."""
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.generators.classic import (
+    balanced_tree,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    edge_list_pairs,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.graphs.traversal import diameter, is_connected
+
+
+class TestBasicFamilies:
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 0
+
+    def test_empty_negative_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            empty_graph(-1)
+
+    def test_path_counts(self):
+        g = path_graph(6)
+        assert g.number_of_edges() == 5
+        assert diameter(g) == 5
+
+    def test_cycle_counts(self):
+        g = cycle_graph(6)
+        assert g.number_of_edges() == 6
+        assert g.regular_degree() == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GeneratorParameterError):
+            cycle_graph(2)
+
+    def test_complete_counts(self):
+        g = complete_graph(7)
+        assert g.number_of_edges() == 21
+        assert g.regular_degree() == 6
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.number_of_edges() == 12
+        assert is_connected(g)
+        # parts are independent sets
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(3, 4)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.number_of_nodes() == 6
+        assert g.degree(0) == 5
+
+    def test_wheel(self):
+        g = wheel_graph(5)
+        assert g.number_of_nodes() == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 3 for i in range(1, 6))
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 15
+        assert g.regular_degree() == 3
+        assert diameter(g) == 2
+
+
+class TestBalancedTree:
+    def test_counts(self):
+        g = balanced_tree(2, 3)
+        assert g.number_of_nodes() == 15
+        assert g.number_of_edges() == 14
+
+    def test_height_zero_is_single_node(self):
+        g = balanced_tree(3, 0)
+        assert g.number_of_nodes() == 1
+
+    def test_branching_one_is_path(self):
+        g = balanced_tree(1, 4)
+        assert g.number_of_nodes() == 5
+        assert diameter(g) == 4
+
+    def test_diameter_twice_height(self):
+        assert diameter(balanced_tree(3, 2)) == 4
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            balanced_tree(0, 2)
+        with pytest.raises(GeneratorParameterError):
+            balanced_tree(2, -1)
+
+
+class TestGridAndCirculant:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+        assert diameter(g) == 5
+
+    def test_grid_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            grid_graph(0, 3)
+
+    def test_circulant_ring(self):
+        g = circulant_graph(8, [1])
+        assert g == cycle_graph(8)
+
+    def test_circulant_degree(self):
+        g = circulant_graph(10, [1, 2])
+        assert g.regular_degree() == 4
+
+    def test_circulant_half_offset(self):
+        g = circulant_graph(6, [3])
+        assert all(g.degree(v) == 1 for v in g)  # perfect matching
+
+    def test_circulant_offset_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            circulant_graph(6, [4])
+        with pytest.raises(GeneratorParameterError):
+            circulant_graph(2, [1])
+
+    def test_edge_list_pairs_sorted(self):
+        pairs = edge_list_pairs(cycle_graph(4))
+        assert pairs == [(0, 1), (0, 3), (1, 2), (2, 3)]

@@ -1,0 +1,120 @@
+"""Unit tests for the classic Harary graph H(k, n) — the paper's baseline.
+
+Cross-validated against networkx's implementation where available.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.generators.harary import (
+    harary_diameter_estimate,
+    harary_graph,
+    harary_minimum_edges,
+)
+from repro.graphs.connectivity import edge_connectivity, node_connectivity
+from repro.graphs.minimality import is_link_minimal
+from repro.graphs.nxcompat import to_networkx
+from repro.graphs.traversal import diameter
+
+networkx = pytest.importorskip("networkx")
+
+CASES = [(2, 5), (2, 8), (3, 8), (3, 9), (4, 10), (4, 11), (5, 11), (5, 12), (6, 14), (7, 15)]
+
+
+class TestEdgeCount:
+    @pytest.mark.parametrize("k,n", CASES)
+    def test_exactly_harary_minimum(self, k, n):
+        g = harary_graph(k, n)
+        assert g.number_of_edges() == harary_minimum_edges(k, n)
+
+    def test_minimum_formula(self):
+        assert harary_minimum_edges(3, 8) == 12
+        assert harary_minimum_edges(3, 9) == math.ceil(27 / 2)
+
+    def test_minimum_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            harary_minimum_edges(3, 3)
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("k,n", CASES)
+    def test_exactly_k_connected(self, k, n):
+        g = harary_graph(k, n)
+        assert node_connectivity(g) == k
+        assert edge_connectivity(g) == k
+
+    @pytest.mark.parametrize("k,n", [(3, 8), (4, 9), (5, 11)])
+    def test_link_minimal(self, k, n):
+        assert is_link_minimal(harary_graph(k, n), k)
+
+
+class TestDegrees:
+    def test_even_k_regular(self):
+        g = harary_graph(4, 9)
+        assert g.regular_degree() == 4
+
+    def test_odd_k_even_n_regular(self):
+        g = harary_graph(3, 8)
+        assert g.regular_degree() == 3
+
+    def test_odd_k_odd_n_one_heavy_node(self):
+        g = harary_graph(3, 9)
+        degrees = sorted(g.degrees().values())
+        assert degrees == [3] * 8 + [4]
+
+
+class TestSpecialCases:
+    def test_k1_is_path(self):
+        g = harary_graph(1, 5)
+        assert g.number_of_edges() == 4
+        assert node_connectivity(g) == 1
+
+    def test_k_equals_n_minus_1_is_complete(self):
+        g = harary_graph(4, 5)
+        assert g.number_of_edges() == 10
+
+    def test_k2_is_cycle(self):
+        g = harary_graph(2, 7)
+        assert g.regular_degree() == 2
+        assert diameter(g) == 3
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            harary_graph(0, 5)
+        with pytest.raises(GeneratorParameterError):
+            harary_graph(5, 5)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("k,n", CASES)
+    def test_connectivity_matches_networkx(self, k, n):
+        ours = harary_graph(k, n)
+        nx_graph = to_networkx(ours)
+        assert networkx.node_connectivity(nx_graph) == k
+        assert networkx.edge_connectivity(nx_graph) == k
+
+    @pytest.mark.parametrize("k,n", [(4, 16), (4, 32), (6, 24)])
+    def test_same_shape_as_networkx_hkn(self, k, n):
+        if not hasattr(networkx, "hkn_harary_graph"):
+            pytest.skip("networkx too old for hkn_harary_graph")
+        theirs = networkx.hkn_harary_graph(k, n)
+        ours = harary_graph(k, n)
+        assert ours.number_of_edges() == theirs.number_of_edges()
+        assert diameter(ours) == networkx.diameter(theirs)
+
+
+class TestLinearDiameter:
+    def test_diameter_grows_linearly(self):
+        k = 4
+        diameters = [diameter(harary_graph(k, n)) for n in (16, 32, 64, 128)]
+        # doubling n roughly doubles the diameter
+        for small, large in zip(diameters, diameters[1:]):
+            assert large >= 1.6 * small
+
+    def test_estimate_tracks_reality(self):
+        for k, n in [(4, 32), (4, 64), (6, 60)]:
+            real = diameter(harary_graph(k, n))
+            estimate = harary_diameter_estimate(k, n)
+            assert abs(estimate - real) <= max(2, 0.5 * real)

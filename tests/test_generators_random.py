@@ -1,0 +1,125 @@
+"""Unit tests for random graph generators (seeded determinism throughout)."""
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.generators.random import (
+    connected_gnp_graph,
+    gnp_random_graph,
+    random_hamiltonian_expander,
+    random_k_out_graph,
+    random_regular_graph,
+    random_tree,
+    sample_failure_set,
+)
+from repro.graphs.traversal import connected_components, is_connected
+
+
+class TestGnp:
+    def test_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert gnp_random_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_deterministic(self):
+        assert gnp_random_graph(15, 0.3, seed=7) == gnp_random_graph(15, 0.3, seed=7)
+
+    def test_seed_matters(self):
+        assert gnp_random_graph(15, 0.3, seed=7) != gnp_random_graph(15, 0.3, seed=8)
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            gnp_random_graph(5, 1.5)
+        with pytest.raises(GeneratorParameterError):
+            gnp_random_graph(-1, 0.5)
+
+    def test_connected_variant(self):
+        g = connected_gnp_graph(20, 0.3, seed=0)
+        assert is_connected(g)
+
+    def test_connected_variant_gives_up(self):
+        with pytest.raises(GeneratorParameterError):
+            connected_gnp_graph(30, 0.0, seed=0, max_tries=3)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("d,n", [(2, 8), (3, 10), (4, 9), (5, 12)])
+    def test_degree_exact(self, d, n):
+        g = random_regular_graph(d, n, seed=3)
+        assert g.regular_degree() == d
+
+    def test_parity_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            random_regular_graph(3, 7)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            random_regular_graph(8, 8)
+
+    def test_zero_degree(self):
+        g = random_regular_graph(0, 5)
+        assert g.number_of_edges() == 0
+
+    def test_deterministic(self):
+        assert random_regular_graph(3, 12, seed=5) == random_regular_graph(3, 12, seed=5)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 40])
+    def test_is_tree(self, n):
+        g = random_tree(n, seed=2)
+        assert g.number_of_nodes() == n
+        assert g.number_of_edges() == max(0, n - 1)
+        assert is_connected(g)
+
+    def test_deterministic(self):
+        assert random_tree(20, seed=9) == random_tree(20, seed=9)
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            random_tree(0)
+
+
+class TestKOut:
+    def test_min_degree_k(self):
+        g = random_k_out_graph(20, 3, seed=1)
+        assert g.min_degree() >= 3
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            random_k_out_graph(5, 5)
+        with pytest.raises(GeneratorParameterError):
+            random_k_out_graph(1, 1)
+
+
+class TestHamiltonianExpander:
+    def test_regular_2d(self):
+        g = random_hamiltonian_expander(15, 3, seed=0)
+        assert g.regular_degree() == 6
+        assert is_connected(g)
+
+    def test_single_cycle_is_ring(self):
+        g = random_hamiltonian_expander(9, 1, seed=4)
+        assert g.regular_degree() == 2
+        assert len(connected_components(g)) == 1
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            random_hamiltonian_expander(5, 3)
+        with pytest.raises(GeneratorParameterError):
+            random_hamiltonian_expander(2, 1)
+
+
+class TestFailureSampling:
+    def test_respects_exclusions(self):
+        chosen = sample_failure_set(list(range(10)), 5, seed=1, exclude={0, 1})
+        assert 0 not in chosen and 1 not in chosen
+        assert len(set(chosen)) == 5
+
+    def test_too_many_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            sample_failure_set([1, 2], 3)
+
+    def test_deterministic(self):
+        a = sample_failure_set(list(range(20)), 6, seed=3)
+        b = sample_failure_set(list(range(20)), 6, seed=3)
+        assert a == b

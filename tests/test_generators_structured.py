@@ -1,0 +1,115 @@
+"""Unit tests for the structured log-diameter families."""
+
+import math
+
+import pytest
+
+from repro.errors import GeneratorParameterError
+from repro.graphs.generators.structured import (
+    butterfly_graph,
+    cube_connected_cycles,
+    debruijn_graph,
+    hypercube_graph,
+    special_family_coverage,
+    torus_graph,
+    valid_butterfly_sizes,
+    valid_debruijn_sizes,
+    valid_hypercube_sizes,
+)
+from repro.graphs.connectivity import node_connectivity
+from repro.graphs.traversal import diameter, is_connected
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_counts(self, d):
+        g = hypercube_graph(d)
+        assert g.number_of_nodes() == 2 ** d
+        assert g.number_of_edges() == d * 2 ** (d - 1)
+        assert g.regular_degree() == d
+
+    def test_diameter_is_dimension(self):
+        assert diameter(hypercube_graph(4)) == 4
+
+    def test_connectivity_is_dimension(self):
+        assert node_connectivity(hypercube_graph(3)) == 3
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            hypercube_graph(0)
+
+
+class TestDeBruijn:
+    def test_counts(self):
+        g = debruijn_graph(2, 3)
+        assert g.number_of_nodes() == 8
+        assert is_connected(g)
+
+    def test_diameter_is_word_length(self):
+        assert diameter(debruijn_graph(2, 4)) == 4
+
+    def test_degree_bounded(self):
+        g = debruijn_graph(3, 3)
+        assert g.max_degree() <= 6
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            debruijn_graph(1, 3)
+        with pytest.raises(GeneratorParameterError):
+            debruijn_graph(2, 0)
+
+
+class TestButterflyAndCCC:
+    def test_butterfly_counts(self):
+        d = 3
+        g = butterfly_graph(d)
+        assert g.number_of_nodes() == d * 2 ** d
+        assert g.regular_degree() == 4
+        assert is_connected(g)
+
+    def test_butterfly_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            butterfly_graph(1)
+
+    def test_ccc_counts(self):
+        d = 3
+        g = cube_connected_cycles(d)
+        assert g.number_of_nodes() == d * 2 ** d
+        assert g.regular_degree() == 3
+        assert node_connectivity(g) == 3
+
+    def test_ccc_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            cube_connected_cycles(2)
+
+
+class TestTorus:
+    def test_counts(self):
+        g = torus_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.regular_degree() == 4
+
+    def test_diameter(self):
+        assert diameter(torus_graph(4, 4)) == 4
+
+    def test_domain(self):
+        with pytest.raises(GeneratorParameterError):
+            torus_graph(2, 5)
+
+
+class TestSizeEnumerators:
+    def test_hypercube_sizes(self):
+        assert valid_hypercube_sizes(40) == [2, 4, 8, 16, 32]
+
+    def test_debruijn_sizes(self):
+        assert valid_debruijn_sizes(2, 40) == [2, 4, 8, 16, 32]
+        assert valid_debruijn_sizes(3, 100) == [3, 9, 27, 81]
+
+    def test_butterfly_sizes(self):
+        assert valid_butterfly_sizes(100) == [8, 24, 64]
+
+    def test_coverage_sparsity(self):
+        # the point of the experiment: special families cover a vanishing
+        # fraction of sizes
+        covered = {n for _, n in special_family_coverage(512)}
+        assert len(covered) < 25  # vs 505+ sizes the LHG covers for k=4

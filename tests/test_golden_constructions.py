@@ -1,0 +1,93 @@
+"""Golden structural tests: pin the exact output of each builder.
+
+The property tests prove the constructions *valid*; these pin them
+*stable*.  An intentional construction change must update the expected
+edge sets below — an unintentional one fails loudly.  Labels:
+``("T", copy, interior)`` tree copies, ``("L", leaf)`` shared leaves,
+``("U", leaf, copy)`` unshared-clique members.
+"""
+
+from repro.core.existence import build_lhg
+
+
+def edge_set(graph):
+    return sorted(tuple(sorted(e, key=repr)) for e in graph.iter_edges())
+
+
+class TestGoldenEdgeSets:
+    def test_jd_base_6_3_is_k33(self):
+        graph, _ = build_lhg(6, 3, rule="jenkins-demers")
+        assert edge_set(graph) == [
+            (("L", 0), ("T", 0, 0)),
+            (("L", 0), ("T", 1, 0)),
+            (("L", 0), ("T", 2, 0)),
+            (("L", 1), ("T", 0, 0)),
+            (("L", 1), ("T", 1, 0)),
+            (("L", 1), ("T", 2, 0)),
+            (("L", 2), ("T", 0, 0)),
+            (("L", 2), ("T", 1, 0)),
+            (("L", 2), ("T", 2, 0)),
+        ]
+
+    def test_kdiamond_8_3_one_unshared_clique(self):
+        graph, _ = build_lhg(8, 3, rule="k-diamond")
+        assert edge_set(graph) == [
+            (("L", 0), ("T", 0, 0)),
+            (("L", 0), ("T", 1, 0)),
+            (("L", 0), ("T", 2, 0)),
+            (("L", 1), ("T", 0, 0)),
+            (("L", 1), ("T", 1, 0)),
+            (("L", 1), ("T", 2, 0)),
+            (("T", 0, 0), ("U", 2, 0)),
+            (("T", 1, 0), ("U", 2, 1)),
+            (("T", 2, 0), ("U", 2, 2)),
+            (("U", 2, 0), ("U", 2, 1)),
+            (("U", 2, 0), ("U", 2, 2)),
+            (("U", 2, 1), ("U", 2, 2)),
+        ]
+
+    def test_ktree_7_3_one_added_leaf(self):
+        graph, _ = build_lhg(7, 3, rule="k-tree")
+        assert edge_set(graph) == [
+            (("L", 0), ("T", 0, 0)),
+            (("L", 0), ("T", 1, 0)),
+            (("L", 0), ("T", 2, 0)),
+            (("L", 1), ("T", 0, 0)),
+            (("L", 1), ("T", 1, 0)),
+            (("L", 1), ("T", 2, 0)),
+            (("L", 2), ("T", 0, 0)),
+            (("L", 2), ("T", 1, 0)),
+            (("L", 2), ("T", 2, 0)),
+            (("L", 3), ("T", 0, 0)),
+            (("L", 3), ("T", 1, 0)),
+            (("L", 3), ("T", 2, 0)),
+        ]
+
+    def test_jd_10_3_first_conversion(self):
+        graph, _ = build_lhg(10, 3, rule="jenkins-demers")
+        assert edge_set(graph) == [
+            (("L", 1), ("T", 0, 0)),
+            (("L", 1), ("T", 1, 0)),
+            (("L", 1), ("T", 2, 0)),
+            (("L", 2), ("T", 0, 0)),
+            (("L", 2), ("T", 1, 0)),
+            (("L", 2), ("T", 2, 0)),
+            (("L", 3), ("T", 0, 1)),
+            (("L", 3), ("T", 1, 1)),
+            (("L", 3), ("T", 2, 1)),
+            (("L", 4), ("T", 0, 1)),
+            (("L", 4), ("T", 1, 1)),
+            (("L", 4), ("T", 2, 1)),
+            (("T", 0, 0), ("T", 0, 1)),
+            (("T", 1, 0), ("T", 1, 1)),
+            (("T", 2, 0), ("T", 2, 1)),
+        ]
+
+    def test_k2_base_is_c4(self):
+        graph, _ = build_lhg(4, 2, rule="k-tree")
+        assert edge_set(graph) == [
+            (("L", 0), ("T", 0, 0)),
+            (("L", 0), ("T", 1, 0)),
+            (("L", 1), ("T", 0, 0)),
+            (("L", 1), ("T", 1, 0)),
+        ]

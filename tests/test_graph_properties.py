@@ -1,0 +1,126 @@
+"""Unit tests for degree statistics, regularity, girth, expansion."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    degree_excess_nodes,
+    degree_stats,
+    distance_histogram,
+    edge_expansion_estimate,
+    girth,
+    irregularity,
+    is_k_regular,
+    logarithmic_diameter_bound,
+)
+
+
+class TestDegreeStats:
+    def test_cycle_stats(self):
+        stats = degree_stats(cycle_graph(6))
+        assert stats.minimum == stats.maximum == 2
+        assert stats.mean == 2.0
+        assert stats.histogram == {2: 6}
+        assert stats.is_regular
+
+    def test_star_stats(self):
+        stats = degree_stats(star_graph(4))
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert not stats.is_regular
+        assert stats.histogram == {1: 4, 4: 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_stats(Graph())
+
+
+class TestRegularity:
+    def test_is_k_regular(self):
+        assert is_k_regular(cycle_graph(5), 2)
+        assert not is_k_regular(cycle_graph(5), 3)
+        assert not is_k_regular(path_graph(4), 1)
+        assert not is_k_regular(Graph(), 0)
+
+    def test_irregularity_zero_for_regular(self):
+        assert irregularity(petersen_graph(), 3) == 0
+
+    def test_irregularity_counts_excess(self):
+        g = star_graph(4)  # center degree 4, leaves 1
+        assert irregularity(g, 1) == 3
+        assert degree_excess_nodes(g, 1) == [(0, 3)]
+
+
+class TestGirth:
+    def test_acyclic_none(self):
+        assert girth(balanced_tree(2, 3)) is None
+
+    def test_triangle(self):
+        assert girth(complete_graph(4)) == 3
+
+    def test_cycle(self):
+        assert girth(cycle_graph(7)) == 7
+
+    def test_petersen_girth_five(self):
+        assert girth(petersen_graph()) == 5
+
+    def test_cap_early_exit(self):
+        assert girth(complete_graph(6), cap=3) == 3
+
+
+class TestExpansionEstimate:
+    def test_complete_graph_expands_well(self):
+        estimate = edge_expansion_estimate(complete_graph(10), samples=50, seed=0)
+        assert estimate >= 5.0  # |boundary|/|S| >= n/2 for K_n
+
+    def test_path_expands_poorly(self):
+        estimate = edge_expansion_estimate(path_graph(20), samples=100, seed=0)
+        assert estimate <= 1.0
+
+    def test_deterministic_in_seed(self):
+        g = petersen_graph()
+        a = edge_expansion_estimate(g, samples=30, seed=5)
+        b = edge_expansion_estimate(g, samples=30, seed=5)
+        assert a == b
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            edge_expansion_estimate(Graph(nodes=[0]))
+
+
+class TestDiameterBudget:
+    def test_k2_budget_vacuous(self):
+        assert logarithmic_diameter_bound(100, 2) == 100
+
+    def test_k3_budget_logarithmic(self):
+        assert logarithmic_diameter_bound(1024, 3) == int(4 * 10 + 4)
+
+    def test_budget_grows_slowly(self):
+        small = logarithmic_diameter_bound(100, 4)
+        large = logarithmic_diameter_bound(10000, 4)
+        assert large < 2 * small + 10
+
+    def test_domain(self):
+        with pytest.raises(GraphError):
+            logarithmic_diameter_bound(1, 3)
+
+
+class TestDistanceHistogram:
+    def test_path_histogram(self):
+        assert distance_histogram(path_graph(4), 0) == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_star_histogram(self):
+        assert distance_histogram(star_graph(5), 0) == {0: 1, 1: 5}
+
+    def test_total_counts_nodes(self):
+        g = petersen_graph()
+        assert sum(distance_histogram(g, 0).values()) == 10

@@ -1,0 +1,91 @@
+"""Unit tests for graph serialisation (edge list, JSON, DOT)."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import cycle_graph, petersen_graph
+from repro.graphs.io import (
+    from_json,
+    read_integer_edge_list,
+    to_dot,
+    to_json,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_write_produces_one_line_per_edge(self):
+        stream = io.StringIO()
+        write_edge_list(cycle_graph(4), stream)
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 4
+
+    def test_read_round_trip(self):
+        text = "0 1\n1 2\n# comment\n\n2 0\n"
+        g = read_integer_edge_list(io.StringIO(text))
+        assert g.number_of_edges() == 3
+        assert g.has_edge(2, 0)
+
+    def test_read_rejects_bad_width(self):
+        with pytest.raises(GraphError):
+            read_integer_edge_list(io.StringIO("0 1 2\n"))
+
+    def test_read_rejects_non_integer(self):
+        with pytest.raises(GraphError):
+            read_integer_edge_list(io.StringIO("a b\n"))
+
+
+class TestJson:
+    def test_round_trip_simple(self):
+        g = petersen_graph()
+        restored = from_json(to_json(g))
+        assert restored == g
+        assert restored.name == "petersen"
+
+    def test_round_trip_tuple_labels(self):
+        g = Graph(edges=[(("T", 0, 1), ("L", 5)), (("L", 5), ("U", 2, 0))])
+        restored = from_json(to_json(g))
+        assert restored == g
+        assert restored.has_node(("T", 0, 1))
+
+    def test_round_trip_isolated_nodes(self):
+        g = Graph(nodes=["lonely"], edges=[(1, 2)])
+        restored = from_json(to_json(g))
+        assert restored.has_node("lonely")
+
+    def test_nested_tuples(self):
+        g = Graph(nodes=[(1, (2, 3))])
+        restored = from_json(to_json(g))
+        assert restored.has_node((1, (2, 3)))
+
+    def test_unserialisable_label_rejected(self):
+        g = Graph(nodes=[object()])
+        with pytest.raises(GraphError):
+            to_json(g)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError):
+            from_json("{not json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": []}')
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(GraphError):
+            from_json('{"nodes": [1, 2], "edges": [[1, 2, 3]]}')
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self):
+        g = cycle_graph(3)
+        dot = to_dot(g)
+        assert dot.startswith("graph G {")
+        assert dot.count("--") == 3
+
+    def test_highlight(self):
+        dot = to_dot(cycle_graph(3), highlight=[0])
+        assert "filled" in dot

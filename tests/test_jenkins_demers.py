@@ -1,0 +1,146 @@
+"""Tests for the Jenkins–Demers construction — the paper's core result."""
+
+import pytest
+
+from repro.errors import InfeasiblePairError
+from repro.core.jenkins_demers import (
+    JDPlan,
+    expected_dimensions,
+    is_jd_constructible,
+    jd_constructible_sizes,
+    jd_feasibility,
+    jd_gap_sizes,
+    jd_regular_sizes,
+    jenkins_demers_graph,
+)
+from repro.core.properties import check_lhg
+from repro.graphs.properties import is_k_regular
+from repro.graphs.traversal import diameter
+
+from tests.conftest import JD_PAIRS
+
+
+class TestFeasibility:
+    def test_base_size_always_works(self):
+        for k in (2, 3, 4, 5, 6):
+            assert is_jd_constructible(2 * k, k)
+
+    def test_below_base_never_works(self):
+        assert not is_jd_constructible(5, 3)
+        assert not is_jd_constructible(7, 4)
+
+    def test_invalid_domain_raises(self):
+        with pytest.raises(InfeasiblePairError):
+            jd_feasibility(10, 1)
+        with pytest.raises(InfeasiblePairError):
+            jd_feasibility(3, 3)
+
+    def test_odd_offsets_infeasible(self):
+        # n = 2k + 2a(k-1) + odd is never constructible
+        for k in (3, 4, 5):
+            for alpha in range(4):
+                n = 2 * k + 2 * alpha * (k - 1) + 3
+                assert not is_jd_constructible(n, k), (n, k)
+
+    def test_near_base_evens_infeasible(self):
+        # just above 2k there is no non-root interior to host extras
+        assert not is_jd_constructible(8, 3)  # 2k + 2
+        assert not is_jd_constructible(10, 4)  # 2k + 2
+
+    def test_known_coverage_k3(self):
+        assert jd_constructible_sizes(3, 30) == [
+            6, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30,
+        ]
+        assert jd_gap_sizes(3, 20) == [7, 8, 9, 11, 13, 15, 17, 19]
+
+    def test_gaps_are_infinite_in_spirit(self):
+        # gap count grows with the horizon (odd offsets never close)
+        assert len(jd_gap_sizes(4, 60)) > len(jd_gap_sizes(4, 30))
+
+    def test_plan_accounting(self):
+        plan = jd_feasibility(16, 3)
+        assert plan is not None
+        assert plan.base_nodes + 2 * plan.extra_pairs == 16
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n,k", JD_PAIRS)
+    def test_builds_requested_size(self, n, k):
+        graph, cert = jenkins_demers_graph(n, k)
+        assert graph.number_of_nodes() == n
+        assert cert.k == k
+        assert cert.rule == "jenkins-demers"
+        cert.verify_graph(graph)
+
+    @pytest.mark.parametrize("n,k", JD_PAIRS)
+    def test_satisfies_lhg_properties(self, n, k):
+        graph, _ = jenkins_demers_graph(n, k)
+        report = check_lhg(graph, k)
+        assert report.node_connected, report.summary()
+        assert report.link_connected, report.summary()
+        assert report.link_minimal, report.summary()
+        if k >= 3:
+            assert report.log_diameter, report.summary()
+
+    def test_infeasible_pair_raises_with_reason(self):
+        with pytest.raises(InfeasiblePairError) as excinfo:
+            jenkins_demers_graph(13, 3)
+        assert "odd offset" in str(excinfo.value)
+
+    def test_near_base_failure_reason(self):
+        with pytest.raises(InfeasiblePairError) as excinfo:
+            jenkins_demers_graph(8, 3)
+        assert "non-root" in str(excinfo.value)
+
+    def test_below_minimum_reason(self):
+        with pytest.raises(InfeasiblePairError) as excinfo:
+            jenkins_demers_graph(5, 3)
+        assert "minimum size" in str(excinfo.value)
+
+    def test_expected_dimensions_match(self):
+        for n, k in JD_PAIRS:
+            plan = jd_feasibility(n, k)
+            graph, _ = jenkins_demers_graph(n, k)
+            nodes, edges = expected_dimensions(plan)
+            assert graph.number_of_nodes() == nodes
+            assert graph.number_of_edges() == edges
+
+
+class TestRegularity:
+    def test_regular_sizes_formula(self):
+        assert jd_regular_sizes(3, 30) == [6, 10, 14, 18, 22, 26, 30]
+        assert jd_regular_sizes(4, 30) == [8, 14, 20, 26]
+
+    def test_clean_sizes_are_k_regular(self):
+        for k in (2, 3, 4):
+            for n in jd_regular_sizes(k, 6 * k):
+                graph, _ = jenkins_demers_graph(n, k)
+                assert is_k_regular(graph, k), (n, k)
+
+    def test_extra_leaf_sizes_are_irregular(self):
+        graph, _ = jenkins_demers_graph(12, 3)  # 2k + 2(k-1) + 2 extras
+        assert not is_k_regular(graph, 3)
+        degrees = sorted(set(graph.degrees().values()))
+        assert degrees[0] == 3
+
+
+class TestDiameterShape:
+    def test_base_is_diameter_two(self):
+        graph, _ = jenkins_demers_graph(8, 4)
+        assert diameter(graph) == 2
+
+    def test_diameter_grows_logarithmically(self):
+        k = 3
+        sizes_and_diams = []
+        for n in (6, 22, 86, 342):  # 2k + 2a(k-1) ladder, full levels
+            if is_jd_constructible(n, k):
+                graph, _ = jenkins_demers_graph(n, k)
+                sizes_and_diams.append((n, diameter(graph)))
+        # 57x more nodes but the diameter stays within the log budget
+        import math
+
+        first, last = sizes_and_diams[0], sizes_and_diams[-1]
+        assert last[0] / first[0] > 50
+        assert last[1] / first[1] <= 8
+        for n, diam in sizes_and_diams:
+            assert diam <= 4 * math.log2(n) + 4

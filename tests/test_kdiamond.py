@@ -1,0 +1,135 @@
+"""Tests for the K-DIAMOND constraint builder (extension module)."""
+
+import pytest
+
+from repro.errors import InfeasiblePairError
+from repro.core.kdiamond import (
+    kdiamond_exists,
+    kdiamond_graph,
+    kdiamond_only_regular_sizes,
+    kdiamond_plan,
+    kdiamond_regular_exists,
+    kdiamond_regular_sizes,
+    satisfies_kdiamond,
+)
+from repro.core.ktree import ktree_regular_exists
+from repro.core.properties import check_lhg
+from repro.graphs.properties import is_k_regular
+
+from tests.conftest import SMALL_PAIRS
+
+
+class TestExistence:
+    def test_exists_iff_n_at_least_2k(self):
+        for k in (2, 3, 4, 5):
+            assert not kdiamond_exists(2 * k - 1, k)
+            for n in range(2 * k, 2 * k + 20):
+                assert kdiamond_exists(n, k)
+
+    def test_equivalent_to_ktree_existence(self):
+        from repro.core.ktree import ktree_exists
+
+        for k in (2, 3, 4, 5, 6):
+            for n in range(2, 60):
+                assert kdiamond_exists(n, k) == ktree_exists(n, k)
+
+    def test_plan_shape(self):
+        for k in (3, 4, 5):
+            for n in range(2 * k, 2 * k + 25):
+                plan = kdiamond_plan(n, k)
+                assert plan.unshared in (0, 1)
+                assert 0 <= plan.added_leaves <= k - 2
+                total = (
+                    2 * k
+                    + 2 * plan.conversions * (k - 1)
+                    + plan.unshared * (k - 1)
+                    + plan.added_leaves
+                )
+                assert total == n
+
+    def test_plan_rejects_out_of_domain(self):
+        with pytest.raises(InfeasiblePairError):
+            kdiamond_plan(5, 3)
+        with pytest.raises(InfeasiblePairError):
+            kdiamond_plan(4, 1)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n,k", SMALL_PAIRS)
+    def test_builds_every_pair(self, n, k):
+        graph, cert = kdiamond_graph(n, k)
+        assert graph.number_of_nodes() == n
+        assert cert.rule == "k-diamond"
+        cert.verify_graph(graph)
+        assert satisfies_kdiamond(cert)
+
+    @pytest.mark.parametrize("n,k", SMALL_PAIRS)
+    def test_satisfies_lhg_properties(self, n, k):
+        graph, _ = kdiamond_graph(n, k)
+        report = check_lhg(graph, k)
+        assert report.node_connected, report.summary()
+        assert report.link_connected, report.summary()
+        assert report.link_minimal, report.summary()
+        if k >= 3:
+            assert report.log_diameter, report.summary()
+
+    def test_unshared_members_have_degree_k(self):
+        graph, cert = kdiamond_graph(8, 3)  # one unshared slot
+        unshared_nodes = [v for v in graph.nodes() if v[0] == "U"]
+        assert len(unshared_nodes) == 3
+        assert all(graph.degree(v) == 3 for v in unshared_nodes)
+
+
+class TestRegularity:
+    def test_reg_formula_doubles_density(self):
+        # K-DIAMOND regular sizes have step k-1 instead of 2(k-1)
+        assert kdiamond_regular_sizes(3, 20) == [6, 8, 10, 12, 14, 16, 18, 20]
+        assert kdiamond_regular_sizes(4, 23) == [8, 11, 14, 17, 20, 23]
+
+    def test_regular_points_build_regular(self):
+        for k in (2, 3, 4, 5):
+            for n in kdiamond_regular_sizes(k, 4 * k):
+                graph, _ = kdiamond_graph(n, k)
+                assert is_k_regular(graph, k), (n, k)
+
+    def test_non_regular_points_irregular(self):
+        for n, k in [(9, 4), (13, 5)]:
+            assert not kdiamond_regular_exists(n, k)
+            graph, _ = kdiamond_graph(n, k)
+            assert not is_k_regular(graph, k)
+
+    def test_ktree_regular_implies_kdiamond_regular(self):
+        # Corollary 2 of the follow-on analysis
+        for k in (2, 3, 4, 5, 6):
+            for n in range(2 * k, 2 * k + 40):
+                if ktree_regular_exists(n, k):
+                    assert kdiamond_regular_exists(n, k)
+
+    def test_strictly_more_regular_sizes(self):
+        # Theorem 7: infinitely many sizes only K-DIAMOND makes regular
+        only = kdiamond_only_regular_sizes(3, 30)
+        assert only == [8, 12, 16, 20, 24, 28]
+        for n in only:
+            graph, _ = kdiamond_graph(n, 3)
+            assert is_k_regular(graph, 3)
+
+    def test_k2_every_size_regular(self):
+        # for k=2 K-DIAMOND regular points are ALL n >= 4 (cycles)
+        assert kdiamond_regular_sizes(2, 10) == [4, 5, 6, 7, 8, 9, 10]
+        for n in range(4, 11):
+            graph, _ = kdiamond_graph(n, 2)
+            assert is_k_regular(graph, 2)
+
+
+class TestConstraintChecker:
+    def test_accepts_own_certificates(self):
+        for n, k in SMALL_PAIRS:
+            _, cert = kdiamond_graph(n, k)
+            assert satisfies_kdiamond(cert)
+
+    def test_rejects_oversized_added_quota(self):
+        from repro.core.ktree import ktree_graph
+
+        # k-tree with many added leaves violates k-diamond's k-2 quota
+        _, cert = ktree_graph(9, 3)  # 3 added leaves > k-2 = 1
+        assert not satisfies_kdiamond(cert)

@@ -1,0 +1,115 @@
+"""Tests for the K-TREE constraint builder (extension module)."""
+
+import pytest
+
+from repro.errors import InfeasiblePairError
+from repro.core.jenkins_demers import is_jd_constructible, jenkins_demers_graph
+from repro.core.ktree import (
+    ktree_exists,
+    ktree_graph,
+    ktree_plan,
+    ktree_regular_exists,
+    ktree_regular_sizes,
+    satisfies_ktree,
+)
+from repro.core.properties import check_lhg
+from repro.graphs.properties import is_k_regular
+
+from tests.conftest import SMALL_PAIRS
+
+
+class TestExistence:
+    def test_exists_iff_n_at_least_2k(self):
+        for k in (2, 3, 4, 5):
+            assert not ktree_exists(2 * k - 1, k)
+            for n in range(2 * k, 2 * k + 20):
+                assert ktree_exists(n, k)
+
+    def test_k1_excluded(self):
+        assert not ktree_exists(10, 1)
+
+    def test_plan_rejects_out_of_domain(self):
+        with pytest.raises(InfeasiblePairError):
+            ktree_plan(5, 3)
+        with pytest.raises(InfeasiblePairError):
+            ktree_plan(4, 1)
+
+    def test_plan_residue_in_quota(self):
+        for k in (2, 3, 4, 5):
+            for n in range(2 * k, 2 * k + 25):
+                plan = ktree_plan(n, k)
+                assert 0 <= plan.added_leaves <= 2 * k - 3 or (
+                    k == 2 and plan.added_leaves <= 1
+                )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n,k", SMALL_PAIRS)
+    def test_builds_every_pair(self, n, k):
+        graph, cert = ktree_graph(n, k)
+        assert graph.number_of_nodes() == n
+        assert cert.rule == "k-tree"
+        cert.verify_graph(graph)
+        assert satisfies_ktree(cert)
+
+    @pytest.mark.parametrize("n,k", SMALL_PAIRS)
+    def test_satisfies_lhg_properties(self, n, k):
+        graph, _ = ktree_graph(n, k)
+        report = check_lhg(graph, k)
+        assert report.node_connected, report.summary()
+        assert report.link_connected, report.summary()
+        assert report.link_minimal, report.summary()
+        if k >= 3:
+            assert report.log_diameter, report.summary()
+
+    def test_fills_every_jd_gap(self):
+        for k in (3, 4, 5):
+            for n in range(2 * k, 2 * k + 30):
+                if not is_jd_constructible(n, k):
+                    graph, _ = ktree_graph(n, k)
+                    assert graph.number_of_nodes() == n
+
+    def test_superset_of_jd(self):
+        # every JD-buildable pair also satisfies K-TREE (the JD graph's
+        # structure obeys the K-TREE rules)
+        for k in (3, 4):
+            for n in range(2 * k, 2 * k + 20):
+                if is_jd_constructible(n, k):
+                    _, cert = jenkins_demers_graph(n, k)
+                    assert satisfies_ktree(cert), (n, k)
+
+
+class TestRegularity:
+    def test_reg_formula(self):
+        assert ktree_regular_exists(6, 3)
+        assert ktree_regular_exists(10, 3)
+        assert not ktree_regular_exists(8, 3)
+        assert not ktree_regular_exists(7, 3)
+
+    def test_regular_sizes_match_formula(self):
+        assert ktree_regular_sizes(3, 30) == [6, 10, 14, 18, 22, 26, 30]
+
+    def test_regular_points_build_regular(self):
+        for k in (2, 3, 4):
+            for n in ktree_regular_sizes(k, 5 * k):
+                graph, _ = ktree_graph(n, k)
+                assert is_k_regular(graph, k)
+
+    def test_non_regular_points_build_irregular(self):
+        for n, k in [(7, 3), (9, 3), (11, 4)]:
+            graph, _ = ktree_graph(n, k)
+            assert not is_k_regular(graph, k)
+
+
+class TestConstraintChecker:
+    def test_rejects_kdiamond_certificates_with_unshared(self):
+        from repro.core.kdiamond import kdiamond_graph
+
+        _, cert = kdiamond_graph(8, 3)  # has an unshared slot
+        assert not satisfies_ktree(cert)
+
+    def test_accepts_kdiamond_all_shared(self):
+        from repro.core.kdiamond import kdiamond_graph
+
+        _, cert = kdiamond_graph(6, 3)  # base case: all shared
+        assert satisfies_ktree(cert)

@@ -1,0 +1,78 @@
+"""Tests for flood metrics and aggregates."""
+
+import pytest
+
+from repro.flooding.metrics import FloodResult, ResultAggregate, reachable_from
+from repro.graphs.generators.classic import cycle_graph
+from repro.graphs.graph import Graph
+
+
+def make_result(covered, reachable, alive=None, messages=10, times=None):
+    return FloodResult(
+        protocol="flood",
+        n=10,
+        alive=alive if alive is not None else reachable,
+        reachable=reachable,
+        covered=covered,
+        messages=messages,
+        completion_time=max(times.values()) if times else None,
+        delivery_times=times or {},
+    )
+
+
+class TestFloodResult:
+    def test_delivery_ratio(self):
+        assert make_result(8, 10).delivery_ratio == 0.8
+        assert make_result(10, 10).fully_covered
+
+    def test_zero_reachable_convention(self):
+        assert make_result(0, 0).delivery_ratio == 1.0
+
+    def test_absolute_ratio_differs_under_partition(self):
+        result = make_result(6, 6, alive=9)
+        assert result.delivery_ratio == 1.0
+        assert result.absolute_delivery_ratio == pytest.approx(6 / 9)
+
+    def test_latency_percentiles(self):
+        times = {i: float(i) for i in range(1, 11)}
+        result = make_result(10, 10, times=times)
+        assert result.latency_percentile(1.0) == 10.0
+        assert result.latency_percentile(0.5) == 5.0
+        assert result.mean_latency() == pytest.approx(5.5)
+
+    def test_percentile_empty(self):
+        assert make_result(0, 5).latency_percentile(0.9) is None
+        assert make_result(0, 5).mean_latency() is None
+
+
+class TestReachableFrom:
+    def test_connected(self):
+        g = cycle_graph(5)
+        assert reachable_from(g, 0) == set(range(5))
+
+    def test_partitioned(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert reachable_from(g, 0) == {0, 1}
+
+    def test_missing_source(self):
+        assert reachable_from(cycle_graph(4), 99) == set()
+
+
+class TestAggregate:
+    def test_empty_conventions(self):
+        agg = ResultAggregate()
+        assert agg.runs == 0
+        assert agg.mean_delivery_ratio() == 0.0
+        assert agg.mean_completion_time() is None
+
+    def test_statistics(self):
+        agg = ResultAggregate()
+        agg.add(make_result(10, 10, messages=10, times={1: 2.0}))
+        agg.add(make_result(5, 10, messages=20, times={1: 4.0}))
+        assert agg.runs == 2
+        assert agg.mean_delivery_ratio() == pytest.approx(0.75)
+        assert agg.min_delivery_ratio() == pytest.approx(0.5)
+        assert agg.full_coverage_fraction() == 0.5
+        assert agg.mean_messages() == 15.0
+        assert agg.mean_completion_time() == 3.0
+        assert agg.max_completion_time() == 4.0

@@ -1,0 +1,95 @@
+"""Unit tests for link-minimality (LHG Property 3) checks."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import complete_graph, cycle_graph
+from repro.graphs.generators.harary import harary_graph
+from repro.graphs.minimality import (
+    excess_edges_over_harary_bound,
+    has_degree_witness_minimality,
+    is_link_minimal,
+    minimality_report,
+    redundant_edges,
+)
+
+
+class TestExactMinimality:
+    def test_cycle_is_minimal(self):
+        assert is_link_minimal(cycle_graph(7), 2)
+
+    def test_cycle_with_chord_not_minimal(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert not is_link_minimal(g, 2)
+        assert redundant_edges(g, 2) != []
+
+    def test_harary_graphs_minimal(self):
+        for k, n in [(3, 8), (4, 9), (5, 12)]:
+            assert is_link_minimal(harary_graph(k, n), k)
+
+    def test_complete_graph_minimal_at_full_k(self):
+        # K_5 is 4-connected and removing any edge drops kappa to 3.
+        assert is_link_minimal(complete_graph(5), 4)
+        assert not is_link_minimal(complete_graph(5), 3)
+
+    def test_infers_k_when_omitted(self):
+        assert is_link_minimal(cycle_graph(5))
+
+    def test_disconnected_not_minimal(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert not is_link_minimal(g)
+
+    def test_empty_graph_trivially_minimal(self):
+        assert is_link_minimal(Graph(nodes=[0, 1]))
+
+    def test_redundant_edges_identifies_the_chord(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        extras = redundant_edges(g, 2)
+        assert {tuple(sorted(e)) for e in extras} == {(0, 3)}
+
+
+class TestDegreeWitness:
+    def test_witness_on_regular_graph(self):
+        assert has_degree_witness_minimality(cycle_graph(9), 2)
+
+    def test_witness_fails_on_chord(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert not has_degree_witness_minimality(g, 2)
+
+    def test_witness_accepts_one_endpoint_at_k(self):
+        # Star: center has high degree but every edge touches a leaf (deg 1).
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        assert has_degree_witness_minimality(g, 1)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(GraphError):
+            has_degree_witness_minimality(cycle_graph(4), 0)
+
+    def test_report_prefers_fast_path(self):
+        minimal, how = minimality_report(cycle_graph(8), 2)
+        assert minimal and how == "degree-witness"
+
+    def test_report_falls_back(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        minimal, how = minimality_report(g, 2)
+        assert not minimal and how == "exhaustive"
+
+
+class TestHararyBound:
+    def test_harary_graph_has_zero_excess(self):
+        for k, n in [(3, 8), (4, 10), (5, 11)]:
+            assert excess_edges_over_harary_bound(harary_graph(k, n), k) == 0
+
+    def test_positive_excess(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert excess_edges_over_harary_bound(g, 2) == 1
+
+    def test_domain_check(self):
+        with pytest.raises(GraphError):
+            excess_edges_over_harary_bound(complete_graph(3), 3)

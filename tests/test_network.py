@@ -1,0 +1,200 @@
+"""Tests for the simulated network layer."""
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.flooding.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    NodeApi,
+    Protocol,
+    UniformLatency,
+)
+from repro.flooding.simulator import Simulator
+from repro.graphs.generators.classic import cycle_graph, path_graph
+
+
+class Recorder(Protocol):
+    """Records every callback for assertions."""
+
+    def __init__(self):
+        self.starts = []
+        self.messages = []
+        self.timers = []
+
+    def on_start(self, node, api):
+        self.starts.append((node, api.now))
+
+    def on_message(self, node, payload, sender, api):
+        self.messages.append((node, payload, sender, api.now))
+
+    def on_timer(self, node, tag, api):
+        self.timers.append((node, tag, api.now))
+
+
+class Forwarder(Protocol):
+    """Sends one message from node 0 to node 1 at start."""
+
+    def on_start(self, node, api):
+        if node == 0:
+            api.send(1, "ping")
+
+    def on_message(self, node, payload, sender, api):
+        pass
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(2.5).sample(0, 1) == 2.5
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            ConstantLatency(0)
+
+    def test_uniform_in_range_and_deterministic(self):
+        a = UniformLatency(1.0, 2.0, seed=3)
+        b = UniformLatency(1.0, 2.0, seed=3)
+        samples = [a.sample(0, 1) for _ in range(50)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+        assert samples == [b.sample(0, 1) for _ in range(50)]
+
+    def test_uniform_domain(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(2.0, 1.0)
+
+    def test_exponential_positive(self):
+        model = ExponentialLatency(base=0.1, mean=1.0, seed=1)
+        assert all(model.sample(0, 1) > 0.1 for _ in range(20))
+
+    def test_exponential_domain(self):
+        with pytest.raises(SimulationError):
+            ExponentialLatency(base=0)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim, latency=ConstantLatency(3.0))
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[0])
+
+        def kick():
+            NodeApi(net, 0).send(1, "hello")
+
+        sim.schedule(1.0, kick)
+        sim.run()
+        assert recorder.messages == [(1, "hello", 0, 4.0)]
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_delivered == 1
+
+    def test_non_neighbor_send_rejected(self):
+        sim = Simulator()
+        net = Network(path_graph(3), sim)
+        net.attach(Recorder(), start_nodes=[])
+        with pytest.raises(ProtocolError):
+            NodeApi(net, 0).send(2, "skip")
+
+    def test_neighbors_sorted_and_read_only(self):
+        sim = Simulator()
+        net = Network(cycle_graph(5), sim)
+        api = NodeApi(net, 0)
+        assert api.neighbors() == [1, 4]
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        net.attach(Recorder())
+        with pytest.raises(SimulationError):
+            net.attach(Recorder())
+
+    def test_start_only_on_selected_nodes(self):
+        sim = Simulator()
+        net = Network(path_graph(3), sim)
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[1])
+        sim.run()
+        assert recorder.starts == [(1, 0.0)]
+
+
+class TestFailureSemantics:
+    def test_crashed_sender_drops(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        net.attach(Forwarder(), start_nodes=[])
+        net.crash_node(0)
+        NodeApi(net, 0).send(1, "x")
+        sim.run()
+        assert net.stats.messages_sent == 0
+        assert net.stats.messages_dropped == 1
+
+    def test_receiver_crash_at_delivery_time_drops(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim, latency=ConstantLatency(2.0))
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        NodeApi(net, 0).send(1, "x")
+        sim.schedule(1.0, lambda: net.crash_node(1))
+        sim.run()
+        assert recorder.messages == []
+        assert net.stats.messages_dropped == 1
+
+    def test_dead_link_drops_both_directions(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        net.fail_link(1, 0)
+        NodeApi(net, 0).send(1, "x")
+        NodeApi(net, 1).send(0, "y")
+        sim.run()
+        assert recorder.messages == []
+        assert net.stats.messages_dropped == 2
+
+    def test_crashed_node_does_not_start(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        recorder = Recorder()
+        net.attach(recorder)
+        net.crash_node(0)
+        sim.run()
+        assert recorder.starts == [(1, 0.0)]
+
+    def test_is_alive_and_link_up(self):
+        sim = Simulator()
+        net = Network(path_graph(3), sim)
+        assert net.is_alive(0) and net.is_link_up(0, 1)
+        net.crash_node(0)
+        net.fail_link(1, 2)
+        assert not net.is_alive(0)
+        assert not net.is_link_up(2, 1)
+        assert net.crashed_nodes == {0}
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        net.set_timer(0, 5.0, "tick")
+        sim.run()
+        assert recorder.timers == [(0, "tick", 5.0)]
+
+    def test_timer_suppressed_after_crash(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        net.set_timer(0, 5.0, "tick")
+        sim.schedule(1.0, lambda: net.crash_node(0))
+        sim.run()
+        assert recorder.timers == []
+
+    def test_mark_delivered_records_first_time_only(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        sim.schedule(1.0, lambda: net.mark_delivered(0))
+        sim.schedule(2.0, lambda: net.mark_delivered(0))
+        sim.run()
+        assert net.delivery_times == {0: 1.0}

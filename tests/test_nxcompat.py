@@ -1,0 +1,36 @@
+"""Unit tests for the optional networkx bridge."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators.classic import petersen_graph
+from repro.graphs.nxcompat import from_networkx, to_networkx
+
+networkx = pytest.importorskip("networkx")
+
+
+class TestRoundTrip:
+    def test_to_networkx_preserves_structure(self):
+        ours = petersen_graph()
+        theirs = to_networkx(ours)
+        assert theirs.number_of_nodes() == 10
+        assert theirs.number_of_edges() == 15
+
+    def test_round_trip_identity(self):
+        ours = petersen_graph()
+        assert from_networkx(to_networkx(ours)) == ours
+
+    def test_from_networkx_keeps_isolated_nodes(self):
+        g = networkx.Graph()
+        g.add_node("solo")
+        assert from_networkx(g).has_node("solo")
+
+
+class TestRejections:
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(networkx.DiGraph())
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(networkx.MultiGraph())

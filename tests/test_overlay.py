@@ -1,0 +1,137 @@
+"""Tests for the dynamic-membership overlay and churn traces."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs.connectivity import node_connectivity
+from repro.graphs.properties import is_k_regular
+from repro.overlay.churn import churn_summary, generate_trace, replay
+from repro.overlay.membership import LHGOverlay, MembershipError
+
+
+class TestMembershipBasics:
+    def test_k_too_small(self):
+        with pytest.raises(MembershipError):
+            LHGOverlay(k=1)
+
+    def test_join_accumulates(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(5):
+            overlay.join(i)
+        assert overlay.size == 5
+        assert overlay.members == [0, 1, 2, 3, 4]
+
+    def test_duplicate_join_rejected(self):
+        overlay = LHGOverlay(k=3)
+        overlay.join("a")
+        with pytest.raises(MembershipError):
+            overlay.join("a")
+
+    def test_unknown_leave_rejected(self):
+        with pytest.raises(MembershipError):
+            LHGOverlay(k=3).leave("ghost")
+
+    def test_leave_shrinks(self):
+        overlay = LHGOverlay(k=2)
+        for i in range(6):
+            overlay.join(i)
+        overlay.leave(3)
+        assert overlay.size == 5
+        assert 3 not in overlay.members
+
+
+class TestTopologyInvariant:
+    def test_bootstrap_phase_complete_graph(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(4):
+            overlay.join(i)
+        topo = overlay.topology()
+        assert not overlay.in_lhg_regime()
+        assert topo.number_of_edges() == 6  # K4
+
+    def test_lhg_regime_connectivity(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(12):
+            overlay.join(i)
+        assert overlay.in_lhg_regime()
+        assert node_connectivity(overlay.topology()) >= 3
+
+    def test_invariant_across_leaves(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(15):
+            overlay.join(i)
+        for victim in (2, 7, 11):
+            overlay.leave(victim)
+            if overlay.in_lhg_regime():
+                assert node_connectivity(overlay.topology()) >= 3
+
+    def test_regular_sizes_stay_regular(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(8):  # 8 = 2k + (k-1): a K-DIAMOND regular point
+            overlay.join(i)
+        assert is_k_regular(overlay.topology(), 3)
+
+    def test_topology_is_a_copy(self):
+        overlay = LHGOverlay(k=2)
+        for i in range(5):
+            overlay.join(i)
+        topo = overlay.topology()
+        topo.remove_node(0)
+        assert overlay.topology().has_node(0)
+
+
+class TestChurnAccounting:
+    def test_history_grows(self):
+        overlay = LHGOverlay(k=2)
+        overlay.join("a")
+        overlay.join("b")
+        overlay.leave("a")
+        assert [c.event for c in overlay.history] == ["join", "join", "leave"]
+
+    def test_cost_fields(self):
+        overlay = LHGOverlay(k=2)
+        overlay.join("a")
+        cost = overlay.join("b")
+        assert cost.n_after == 2
+        assert cost.edges_added == 1
+        assert cost.edges_removed == 0
+        assert cost.total_churn == 1
+
+    def test_slots_stable_across_joins(self):
+        overlay = LHGOverlay(k=3)
+        for i in range(12):
+            overlay.join(i)
+        before = overlay.slot_assignment()
+        overlay.join(12)
+        after = overlay.slot_assignment()
+        kept = sum(1 for m, s in before.items() if after.get(m) == s)
+        # most members keep their slot: churn is incremental, not total
+        assert kept >= len(before) // 2
+
+
+class TestTraces:
+    def test_trace_reaches_target(self):
+        trace = generate_trace(20, 10, 3, seed=1)
+        joins = sum(1 for e in trace if e.kind == "join")
+        leaves = sum(1 for e in trace if e.kind == "leave")
+        assert joins - leaves >= 2 * 3  # never below 2k
+        assert joins + leaves == len(trace)
+
+    def test_trace_deterministic(self):
+        a = generate_trace(15, 10, 3, seed=4)
+        b = generate_trace(15, 10, 3, seed=4)
+        assert a == b
+
+    def test_trace_domain(self):
+        with pytest.raises(ReproError):
+            generate_trace(10, 4, 3)
+
+    def test_replay_and_summary(self):
+        trace = generate_trace(20, 12, 3, seed=2)
+        costs = replay(trace, 3)
+        assert len(costs) == len(trace)
+        mean, p95, worst = churn_summary(costs)
+        assert 0 < mean <= p95 <= worst
+
+    def test_summary_empty(self):
+        assert churn_summary([]) == (0.0, 0.0, 0)

@@ -1,0 +1,78 @@
+"""Tests for the topology planner."""
+
+import pytest
+
+from repro.core.planning import (
+    TopologyPlan,
+    nearest_regular_sizes,
+    plan_topology,
+    required_k,
+)
+from repro.errors import ConstructionError
+
+
+class TestRequiredK:
+    def test_k_is_failures_plus_one(self):
+        assert required_k(1) == 2
+        assert required_k(3) == 4
+
+    def test_zero_failures_rejected(self):
+        with pytest.raises(ConstructionError):
+            required_k(0)
+
+
+class TestNearestRegularSizes:
+    def test_exact_hit_included(self):
+        # 10 is a regular point for k=3
+        assert 10 in nearest_regular_sizes(10, 3)
+
+    def test_neighbours_of_a_gap(self):
+        # 9 is not regular for k=3 (9-6 odd); neighbours 8 and 10 are
+        assert nearest_regular_sizes(9, 3) == [8, 10]
+
+    def test_count_respected(self):
+        assert len(nearest_regular_sizes(20, 4, count=3)) == 3
+
+
+class TestPlanTopology:
+    def test_basic_plan(self):
+        plan = plan_topology(n=60, failures_tolerated=3)
+        assert plan.k == 4
+        assert plan.n == 60
+        assert plan.edges >= 120
+        assert plan.expected_diameter <= plan.latency_bound
+        assert plan.message_cost_per_broadcast == 2 * plan.edges - 59
+        assert "k=4" in plan.summary()
+
+    def test_regular_point_flagged(self):
+        plan = plan_topology(n=10, failures_tolerated=2)  # k=3, regular
+        assert plan.k_regular
+        assert "minimum edges" in plan.summary()
+
+    def test_irregular_point_suggests_neighbours(self):
+        plan = plan_topology(n=9, failures_tolerated=2)
+        assert not plan.k_regular
+        assert plan.nearest_regular_sizes == (8, 10)
+        assert "nearest regular sizes" in plan.summary()
+
+    def test_paper_rule_flag(self):
+        assert plan_topology(10, 2).paper_rule_applies
+        assert not plan_topology(9, 2).paper_rule_applies
+
+    def test_too_few_members(self):
+        with pytest.raises(ConstructionError):
+            plan_topology(n=4, failures_tolerated=4)
+
+    def test_below_construction_minimum_mentions_complete_graph(self):
+        with pytest.raises(ConstructionError) as excinfo:
+            plan_topology(n=5, failures_tolerated=2)
+        assert "complete graph" in str(excinfo.value)
+
+    def test_latency_budget_honoured(self):
+        plan = plan_topology(n=30, failures_tolerated=2, latency_budget_hops=30)
+        assert plan.latency_bound <= 30
+
+    def test_latency_budget_violation_raises(self):
+        with pytest.raises(ConstructionError) as excinfo:
+            plan_topology(n=500, failures_tolerated=2, latency_budget_hops=4)
+        assert "bound" in str(excinfo.value)

@@ -1,0 +1,322 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.existence import build_lhg, exists, regular_exists
+from repro.core.jenkins_demers import is_jd_constructible, jenkins_demers_graph
+from repro.core.kdiamond import kdiamond_graph, kdiamond_plan
+from repro.core.ktree import ktree_graph, ktree_plan
+from repro.core.properties import theoretical_diameter_bound
+from repro.graphs.connectivity import (
+    is_k_edge_connected,
+    is_k_node_connected,
+    local_edge_connectivity,
+    local_node_connectivity,
+)
+from repro.graphs.generators.harary import harary_graph, harary_minimum_edges
+from repro.graphs.generators.random import gnp_random_graph
+from repro.graphs.graph import Graph
+from repro.graphs.io import from_json, to_json
+from repro.graphs.minimality import has_degree_witness_minimality
+from repro.graphs.properties import is_k_regular
+from repro.graphs.traversal import bfs_levels, diameter, is_connected
+
+# Compact strategies: pairs stay small because connectivity checks are
+# max-flow-heavy; the point is breadth of (n, k) shapes, not graph size.
+ks = st.integers(min_value=2, max_value=5)
+pair = ks.flatmap(
+    lambda k: st.tuples(st.integers(min_value=2 * k, max_value=2 * k + 26), st.just(k))
+)
+
+slow = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGraphStructure:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_edge_insertion_invariants(self, raw_edges):
+        g = Graph()
+        for u, v in raw_edges:
+            if u != v:
+                g.add_edge(u, v)
+        assert 2 * g.number_of_edges() == sum(g.degrees().values())
+        for u, v in g.iter_edges():
+            assert g.has_edge(v, u)
+
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40))
+    def test_json_round_trip(self, raw_edges):
+        g = Graph()
+        for u, v in raw_edges:
+            if u != v:
+                g.add_edge(u, v)
+        assert from_json(to_json(g)) == g
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30),
+        st.integers(0, 10),
+    )
+    def test_remove_node_removes_all_incidences(self, raw_edges, victim):
+        g = Graph(nodes=[victim])
+        for u, v in raw_edges:
+            if u != v:
+                g.add_edge(u, v)
+        g.remove_node(victim)
+        assert victim not in g
+        assert all(victim not in g.neighbors(u) for u in g)
+
+
+class TestConnectivityAlgorithms:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 200), st.floats(0.15, 0.6))
+    def test_local_connectivity_sandwich(self, seed, p):
+        g = gnp_random_graph(10, p, seed=seed)
+        nodes = g.nodes()
+        s, t = nodes[0], nodes[-1]
+        if g.has_edge(s, t):
+            return
+        kappa = local_node_connectivity(g, s, t)
+        lam = local_edge_connectivity(g, s, t)
+        assert kappa <= lam <= min(g.degree(s), g.degree(t))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100))
+    def test_predicates_agree_with_removal_reality(self, seed):
+        g = gnp_random_graph(9, 0.45, seed=seed)
+        if not is_connected(g):
+            return
+        if is_k_node_connected(g, 2):
+            # removing any single node leaves the graph connected
+            for v in g.nodes():
+                assert is_connected(g.without_nodes([v]))
+        if is_k_edge_connected(g, 2):
+            for e in g.edges():
+                assert is_connected(g.without_edges([e]))
+
+
+class TestConstructionInvariants:
+    @slow
+    @given(pair)
+    def test_every_pair_builds_and_counts(self, nk):
+        n, k = nk
+        for builder in (ktree_graph, kdiamond_graph):
+            graph, cert = builder(n, k)
+            assert graph.number_of_nodes() == n
+            assert graph.min_degree() >= k
+            cert.verify_graph(graph)
+
+    @slow
+    @given(pair)
+    def test_constructions_are_k_connected(self, nk):
+        n, k = nk
+        graph, _ = build_lhg(n, k)
+        assert is_k_node_connected(graph, k)
+        assert is_k_edge_connected(graph, k)
+
+    @slow
+    @given(pair)
+    def test_degree_witness_minimality_always_holds(self, nk):
+        n, k = nk
+        for builder in (ktree_graph, kdiamond_graph):
+            graph, _ = builder(n, k)
+            assert has_degree_witness_minimality(graph, k)
+
+    @slow
+    @given(pair)
+    def test_diameter_within_certificate_bound(self, nk):
+        n, k = nk
+        graph, cert = build_lhg(n, k)
+        assert diameter(graph) <= theoretical_diameter_bound(cert)
+
+    @slow
+    @given(pair)
+    def test_regularity_formula_matches_reality(self, nk):
+        n, k = nk
+        graph, _ = kdiamond_graph(n, k)
+        assert is_k_regular(graph, k) == ((n - 2 * k) % (k - 1) == 0)
+
+    @slow
+    @given(pair)
+    def test_jd_when_feasible_matches_ktree_shape(self, nk):
+        n, k = nk
+        if not is_jd_constructible(n, k):
+            return
+        jd_graph, _ = jenkins_demers_graph(n, k)
+        kt_graph, _ = ktree_graph(n, k)
+        assert jd_graph.number_of_nodes() == kt_graph.number_of_nodes()
+        # both are LHGs with min degree k; JD edge count within the
+        # K-TREE envelope
+        assert abs(jd_graph.number_of_edges() - kt_graph.number_of_edges()) <= k * k
+
+    @slow
+    @given(pair)
+    def test_edge_budget_close_to_harary_minimum(self, nk):
+        # Link-minimal LHGs carry at most (k-2)/2 extra edges per node
+        # over Harary's bound; in practice far less.
+        n, k = nk
+        graph, _ = build_lhg(n, k)
+        minimum = harary_minimum_edges(k, n)
+        assert minimum <= graph.number_of_edges() <= minimum + n
+
+    @slow
+    @given(pair)
+    def test_plans_account_exactly(self, nk):
+        n, k = nk
+        kt = ktree_plan(n, k)
+        assert 2 * k + 2 * kt.conversions * (k - 1) + kt.added_leaves == n
+        kd = kdiamond_plan(n, k)
+        assert (
+            2 * k
+            + 2 * kd.conversions * (k - 1)
+            + kd.unshared * (k - 1)
+            + kd.added_leaves
+            == n
+        )
+
+
+class TestExistenceFunctions:
+    @given(st.integers(2, 8), st.integers(2, 80))
+    def test_ex_equivalence_theorem(self, k, n):
+        # Corollary 1: EX_K-TREE(n,k) <=> EX_K-DIAMOND(n,k)
+        assert exists(n, k, "k-tree") == exists(n, k, "k-diamond")
+
+    @given(st.integers(2, 8), st.integers(2, 80))
+    def test_reg_implication_theorem(self, k, n):
+        # Corollary 2: REG_K-TREE => REG_K-DIAMOND
+        if regular_exists(n, k, "k-tree"):
+            assert regular_exists(n, k, "k-diamond")
+
+    @given(st.integers(2, 8), st.integers(2, 80))
+    def test_jd_subset_of_ktree(self, k, n):
+        if is_jd_constructible(n, k):
+            assert exists(n, k, "k-tree")
+
+
+class TestHarary:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6).flatmap(
+        lambda k: st.tuples(st.just(k), st.integers(k + 1, k + 16))
+    ))
+    def test_harary_edge_count_and_connectivity(self, kn):
+        k, n = kn
+        g = harary_graph(k, n)
+        assert g.number_of_edges() == math.ceil(k * n / 2)
+        assert is_k_node_connected(g, k)
+        assert is_k_edge_connected(g, k)
+
+
+class TestDecompositionAgainstGroundTruth:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 150), st.floats(0.1, 0.5))
+    def test_articulation_points_match_removal_reality(self, seed, p):
+        from repro.graphs.decomposition import articulation_points
+        from repro.graphs.traversal import connected_components
+
+        g = gnp_random_graph(10, p, seed=seed)
+        baseline = len(connected_components(g))
+        expected = {
+            v
+            for v in g.nodes()
+            if len(connected_components(g.without_nodes([v]))) > baseline
+        }
+        assert articulation_points(g) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 150), st.floats(0.1, 0.5))
+    def test_bridges_match_removal_reality(self, seed, p):
+        from repro.graphs.decomposition import bridges
+        from repro.graphs.graph import edge_key
+        from repro.graphs.traversal import connected_components
+
+        g = gnp_random_graph(10, p, seed=seed)
+        baseline = len(connected_components(g))
+        expected = {
+            edge_key(u, v)
+            for u, v in g.edges()
+            if len(connected_components(g.without_edges([(u, v)]))) > baseline
+        }
+        assert bridges(g) == expected
+
+
+class TestWLHashInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100), st.randoms(use_true_random=False))
+    def test_hash_invariant_under_relabeling(self, seed, rng):
+        from repro.graphs.wl_hash import weisfeiler_lehman_hash
+
+        g = gnp_random_graph(9, 0.35, seed=seed)
+        names = [f"peer-{i}" for i in range(9)]
+        rng.shuffle(names)
+        relabeled = g.relabeled(dict(zip(range(9), names)))
+        assert weisfeiler_lehman_hash(g) == weisfeiler_lehman_hash(relabeled)
+
+
+class TestEchoInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(pair)
+    def test_echo_counts_exactly_n_and_tree_spans(self, nk):
+        from repro.flooding.experiments import run_echo
+
+        n, k = nk
+        graph, _ = build_lhg(n, k)
+        source = graph.nodes()[0]
+        protocol = run_echo(graph, source)
+        assert protocol.completed
+        assert protocol.aggregate == n
+        # the implicit parent tree spans the graph with valid edges
+        assert protocol.covered() == set(graph.nodes())
+        for child, parent in protocol.parent.items():
+            if parent is not None:
+                assert graph.has_edge(child, parent)
+
+    @settings(max_examples=10, deadline=None)
+    @given(pair, st.integers(0, 50))
+    def test_echo_sum_matches_direct_computation(self, nk, seed):
+        import random as random_module
+
+        from repro.flooding.experiments import run_echo
+
+        n, k = nk
+        graph, _ = build_lhg(n, k)
+        rng = random_module.Random(seed)
+        weights = {node: rng.randint(0, 100) for node in graph.nodes()}
+        protocol = run_echo(
+            graph, graph.nodes()[0], value_of=lambda node: weights[node]
+        )
+        assert protocol.aggregate == sum(weights.values())
+
+
+class TestPlannerInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5).flatmap(
+        lambda f: st.tuples(st.integers(2 * (f + 1), 80), st.just(f))
+    ))
+    def test_plan_is_internally_consistent(self, nf):
+        from repro.core.planning import plan_topology
+
+        n, failures = nf
+        plan = plan_topology(n, failures)
+        assert plan.k == failures + 1
+        assert plan.expected_diameter <= plan.latency_bound
+        assert plan.message_cost_per_broadcast == 2 * plan.edges - (n - 1)
+        # edge bill between Harary's bound and the added-leaf envelope
+        assert plan.edges >= math.ceil(plan.k * n / 2)
+        assert plan.edges <= math.ceil(plan.k * n / 2) + plan.k * plan.k
+
+
+class TestFloodingInvariant:
+    @settings(max_examples=12, deadline=None)
+    @given(pair, st.integers(0, 10))
+    def test_flood_covers_exactly_bfs_reachability(self, nk, seed):
+        from repro.flooding.experiments import run_flood
+        from repro.flooding.failures import random_crashes, survivors
+
+        n, k = nk
+        graph, _ = build_lhg(n, k)
+        source = graph.nodes()[0]
+        schedule = random_crashes(graph, min(k, n - 2 * k + 1) % k, seed=seed, protect={source})
+        result = run_flood(graph, source, failures=schedule)
+        remaining = survivors(graph, schedule)
+        expected = set(bfs_levels(remaining, source))
+        assert result.covered == len(expected)

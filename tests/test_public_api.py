@@ -1,0 +1,66 @@
+"""Public-API contract: exports resolve and the README quickstart works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.graphs",
+    "repro.graphs.generators",
+    "repro.core",
+    "repro.flooding",
+    "repro.flooding.protocols",
+    "repro.overlay",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted_unique(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = list(package.__all__)
+        assert exported == sorted(set(exported), key=str.lower) or exported == sorted(
+            set(exported)
+        ), f"{package_name}.__all__ is not sorted/unique"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_verbatim(self):
+        from repro import build_lhg, check_lhg, run_flood
+
+        graph, certificate = build_lhg(n=100, k=4)
+        report = check_lhg(graph, k=4)
+        assert report.is_lhg
+
+        from repro.flooding import random_crashes
+
+        source = graph.nodes()[0]
+        crashes = random_crashes(graph, 3, seed=1, protect={source})
+        result = run_flood(graph, source, failures=crashes)
+        assert result.fully_covered
+        assert result.completion_time is not None
+        assert result.messages > 0
+
+    def test_tutorial_headline_numbers(self):
+        # the numbers quoted in docs/tutorial.md §1
+        from repro import build_lhg, harary_graph
+        from repro.graphs.traversal import diameter
+
+        lhg, _ = build_lhg(n=100, k=4)
+        assert lhg.number_of_edges() == 204  # Harary minimum 200 + 4 added-leaf edges
+        assert diameter(lhg) == 6
+        assert diameter(harary_graph(4, 100)) == 25

@@ -1,0 +1,56 @@
+"""Scale validation: the guarantees hold well beyond the exhaustive sizes.
+
+Full connectivity verification is O(n)·max-flow, so the small-n tests
+carry the exactness burden; these tests push n into the thousands with
+the checks that stay cheap — structural certificates, degree witnesses,
+sampled Menger connectivity, double-sweep diameters, and a large flood.
+"""
+
+import random
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.core.properties import theoretical_diameter_bound
+from repro.flooding.experiments import run_flood
+from repro.graphs.connectivity import local_node_connectivity
+from repro.graphs.minimality import has_degree_witness_minimality
+from repro.graphs.traversal import approximate_diameter
+
+PAIRS = [(2000, 3), (3000, 4), (2500, 6)]
+
+
+class TestScale:
+    @pytest.mark.parametrize("n,k", PAIRS)
+    def test_certificate_verifies_at_scale(self, n, k):
+        graph, certificate = build_lhg(n, k)
+        assert graph.number_of_nodes() == n
+        certificate.verify_graph(graph)
+
+    @pytest.mark.parametrize("n,k", PAIRS)
+    def test_degree_witness_minimality_at_scale(self, n, k):
+        graph, _ = build_lhg(n, k)
+        assert graph.min_degree() >= k
+        assert has_degree_witness_minimality(graph, k)
+
+    @pytest.mark.parametrize("n,k", PAIRS)
+    def test_sampled_menger_connectivity(self, n, k):
+        graph, _ = build_lhg(n, k)
+        rng = random.Random(n)
+        nodes = graph.nodes()
+        for _ in range(5):
+            s, t = rng.sample(nodes, 2)
+            assert local_node_connectivity(graph, s, t, cutoff=k) >= k
+
+    @pytest.mark.parametrize("n,k", PAIRS)
+    def test_diameter_bound_at_scale(self, n, k):
+        graph, certificate = build_lhg(n, k)
+        estimate = approximate_diameter(graph, samples=6, seed=1)
+        assert estimate <= theoretical_diameter_bound(certificate)
+
+    def test_flood_at_scale(self):
+        graph, _ = build_lhg(4000, 4)
+        source = graph.nodes()[0]
+        result = run_flood(graph, source)
+        assert result.fully_covered
+        assert result.completion_time <= 14  # ~log_3(4000) * 2

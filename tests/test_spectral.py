@@ -1,0 +1,102 @@
+"""Tests for spectral measures (Laplacian, algebraic connectivity)."""
+
+import math
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.analysis.spectral import (
+    algebraic_connectivity,
+    laplacian_matrix,
+    laplacian_spectrum,
+    spectral_gap,
+    spectral_profile,
+)
+
+pytest.importorskip("numpy")
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self):
+        import numpy as np
+
+        matrix, _ = laplacian_matrix(cycle_graph(6))
+        assert np.allclose(matrix.sum(axis=1), 0.0)
+
+    def test_spectrum_starts_at_zero(self):
+        spectrum = laplacian_spectrum(cycle_graph(5))
+        assert abs(spectrum[0]) < 1e-9
+
+    def test_complete_graph_spectrum(self):
+        # K_n: eigenvalues 0 and n (n-1 times)
+        spectrum = laplacian_spectrum(complete_graph(5))
+        assert abs(spectrum[0]) < 1e-9
+        assert all(abs(v - 5.0) < 1e-9 for v in spectrum[1:])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            laplacian_spectrum(Graph())
+
+
+class TestAlgebraicConnectivity:
+    def test_disconnected_is_zero(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert algebraic_connectivity(g) < 1e-9
+
+    def test_cycle_closed_form(self):
+        # lambda_2(C_n) = 2 - 2 cos(2 pi / n)
+        n = 8
+        expected = 2 - 2 * math.cos(2 * math.pi / n)
+        assert algebraic_connectivity(cycle_graph(n)) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_path_smaller_than_cycle(self):
+        assert algebraic_connectivity(path_graph(8)) < algebraic_connectivity(
+            cycle_graph(8)
+        )
+
+    def test_fiedler_bounds_connectivity(self):
+        # Fiedler: lambda_2 <= kappa(G) for non-complete graphs
+        from repro.graphs.connectivity import node_connectivity
+
+        for n, k in [(10, 3), (14, 4)]:
+            graph, _ = build_lhg(n, k)
+            assert algebraic_connectivity(graph) <= node_connectivity(graph) + 1e-9
+
+    def test_single_node_rejected(self):
+        with pytest.raises(GraphError):
+            algebraic_connectivity(Graph(nodes=[0]))
+
+
+class TestGapAndProfile:
+    def test_lhg_gap_beats_harary_and_gap_ratio_widens(self):
+        # both gaps decay with n, but the ring-like Harary decays as
+        # 1/n^2 while the LHG decays far slower; the ratio widens
+        from repro.graphs.generators.harary import harary_graph
+
+        k = 4
+        ratios = []
+        for n in (62, 128):
+            lhg, _ = build_lhg(n, k)
+            ratios.append(spectral_gap(lhg) / spectral_gap(harary_graph(k, n)))
+        assert ratios[0] > 2
+        assert ratios[1] > ratios[0]
+
+    def test_profile_consistent(self):
+        g = cycle_graph(6)
+        lam2, lam_max, gap = spectral_profile(g)
+        assert lam2 == pytest.approx(algebraic_connectivity(g), abs=1e-9)
+        assert lam_max == pytest.approx(4.0, abs=1e-9)  # C6: max eig = 4
+        assert gap == pytest.approx(lam2 / 2, abs=1e-9)
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(GraphError):
+            spectral_gap(Graph(nodes=[0, 1]))

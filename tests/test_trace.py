@@ -1,0 +1,112 @@
+"""Tests for network event tracing."""
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.flooding.failures import FailureSchedule, apply_schedule
+from repro.flooding.network import Network
+from repro.flooding.protocols.flood import FloodProtocol
+from repro.flooding.simulator import Simulator
+from repro.flooding.trace import TraceCollector
+from repro.graphs.generators.classic import cycle_graph, path_graph
+
+
+def traced_flood(graph, source, schedule=None, trace=None, loss_rate=0.0):
+    simulator = Simulator()
+    network = Network(graph, simulator, loss_rate=loss_rate, loss_seed=1)
+    if trace is not None:
+        network.add_observer(trace)
+    if schedule is not None:
+        apply_schedule(schedule, network, simulator)
+    protocol = FloodProtocol(network, source)
+    network.attach(protocol, start_nodes=[source])
+    simulator.run()
+    return network
+
+
+class TestCollection:
+    def test_send_deliver_counts_match_stats(self):
+        trace = TraceCollector()
+        network = traced_flood(cycle_graph(8), 0, trace=trace)
+        counts = trace.counts()
+        assert counts["send"] == network.stats.messages_sent
+        assert counts["deliver"] == network.stats.messages_delivered
+
+    def test_crash_events_recorded(self):
+        trace = TraceCollector()
+        schedule = FailureSchedule().crash(3, time=1.0)
+        traced_flood(cycle_graph(8), 0, schedule=schedule, trace=trace)
+        crash = trace.first("crash")
+        assert crash is not None
+        assert crash.node == 3
+        assert crash.time == 1.0
+
+    def test_drop_reasons(self):
+        trace = TraceCollector()
+        traced_flood(cycle_graph(8), 0, trace=trace, loss_rate=0.5)
+        reasons = {e.detail for e in trace.of_kind("drop")}
+        assert "loss" in reasons
+
+    def test_link_down_event(self):
+        trace = TraceCollector()
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        net.add_observer(trace)
+        net.fail_link(0, 1)
+        assert trace.first("link-down") is not None
+
+    def test_messages_between(self):
+        trace = TraceCollector()
+        traced_flood(path_graph(4), 0, trace=trace)
+        assert len(trace.messages_between(0, 1)) == 1
+        assert len(trace.messages_between(1, 2)) == 1
+        assert trace.messages_between(3, 0) == []
+
+    def test_payload_capture_optional(self):
+        bare = TraceCollector()
+        rich = TraceCollector(keep_payloads=True)
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        net.add_observer(bare)
+        net.add_observer(rich)
+        protocol = FloodProtocol(net, 0)
+        net.attach(protocol, start_nodes=[0])
+        sim.run()
+        assert bare.of_kind("send")[0].detail == ""
+        assert "FloodMessage" in rich.of_kind("send")[0].detail
+
+    def test_limit_truncates(self):
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        assert len(trace.events) == 3
+        assert trace.truncated > 0
+
+
+class TestNonPerturbation:
+    def test_traced_run_is_bit_identical(self):
+        graph, _ = build_lhg(20, 3)
+        source = graph.nodes()[0]
+        plain = traced_flood(graph, source)
+        traced = traced_flood(graph, source, trace=TraceCollector())
+        assert plain.delivery_times == traced.delivery_times
+        assert plain.stats.messages_sent == traced.stats.messages_sent
+
+
+class TestAnalysis:
+    def test_activity_histogram(self):
+        trace = TraceCollector()
+        traced_flood(path_graph(5), 0, trace=trace)
+        histogram = trace.activity_histogram(bucket=1.0)
+        # on a path one message is in flight per unit interval
+        assert sum(histogram.values()) == trace.counts()["send"]
+
+    def test_histogram_domain(self):
+        with pytest.raises(ValueError):
+            TraceCollector().activity_histogram(bucket=0)
+
+    def test_render_timeline(self):
+        trace = TraceCollector()
+        traced_flood(path_graph(3), 0, trace=trace)
+        text = trace.render_timeline(limit=2)
+        assert "send" in text
+        assert "more events" in text

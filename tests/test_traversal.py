@@ -1,0 +1,188 @@
+"""Unit tests for traversal and distance algorithms."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, NodeNotFoundError
+from repro.graphs.graph import Graph
+from repro.graphs.generators.classic import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.graphs.traversal import (
+    all_pairs_distances,
+    approximate_diameter,
+    average_path_length,
+    bfs_levels,
+    bfs_order,
+    bfs_parents,
+    connected_components,
+    dfs_order,
+    diameter,
+    eccentricity,
+    is_connected,
+    is_simple_path,
+    iter_bfs_edges,
+    paths_edge_disjoint,
+    paths_internally_disjoint,
+    radius,
+    shortest_path,
+    shortest_path_length,
+)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self):
+        g = path_graph(5)
+        assert bfs_order(g, 2)[0] == 2
+
+    def test_order_visits_all_reachable(self):
+        g = path_graph(5)
+        assert set(bfs_order(g, 0)) == set(range(5))
+
+    def test_levels_on_path(self):
+        g = path_graph(4)
+        assert bfs_levels(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_levels_omit_unreachable(self):
+        g = Graph(nodes=[0, 1], edges=[])
+        assert bfs_levels(g, 0) == {0: 0}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(Graph(), 0)
+
+    def test_parents_form_tree(self):
+        g = cycle_graph(6)
+        parents = bfs_parents(g, 0)
+        assert parents[0] is None
+        assert len(parents) == 6
+        tree_edges = list(iter_bfs_edges(g, 0))
+        assert len(tree_edges) == 5
+
+
+class TestDFS:
+    def test_preorder_visits_all(self):
+        g = balanced_tree(2, 3)
+        assert set(dfs_order(g, 0)) == set(g.nodes())
+
+    def test_deterministic_on_sortable_labels(self):
+        g = Graph(edges=[(0, 2), (0, 1)])
+        assert dfs_order(g, 0) == dfs_order(g, 0)
+
+
+class TestShortestPaths:
+    def test_trivial_path(self):
+        g = path_graph(3)
+        assert shortest_path(g, 1, 1) == [1]
+
+    def test_path_endpoints_and_length(self):
+        g = cycle_graph(8)
+        path = shortest_path(g, 0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) - 1 == 3
+
+    def test_unreachable_returns_none(self):
+        g = Graph(nodes=[0, 1])
+        assert shortest_path(g, 0, 1) is None
+
+    def test_length_raises_when_disconnected(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            shortest_path_length(g, 0, 1)
+
+    def test_length_on_cycle(self):
+        g = cycle_graph(10)
+        assert shortest_path_length(g, 0, 5) == 5
+        assert shortest_path_length(g, 0, 7) == 3
+
+
+class TestComponentsAndConnectivity:
+    def test_single_component(self):
+        assert len(connected_components(cycle_graph(5))) == 1
+
+    def test_two_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(map(len, comps)) == [2, 2]
+
+    def test_is_connected_conventions(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph(nodes=[7]))
+        assert not is_connected(Graph(nodes=[0, 1]))
+
+
+class TestEccentricityDiameterRadius:
+    def test_path_metrics(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+        assert diameter(g) == 4
+        assert radius(g) == 2
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(9)) == 4
+        assert diameter(cycle_graph(10)) == 5
+
+    def test_complete_graph_diameter(self):
+        assert diameter(complete_graph(6)) == 1
+
+    def test_disconnected_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(g, 0)
+        with pytest.raises(DisconnectedGraphError):
+            diameter(g)
+
+    def test_empty_diameter_zero(self):
+        assert diameter(Graph()) == 0
+
+    def test_approximate_never_exceeds_exact(self):
+        for n in (8, 13, 20):
+            g = cycle_graph(n)
+            approx = approximate_diameter(g, samples=4, seed=1)
+            assert approx <= diameter(g)
+            # double sweep is exact on cycles
+            assert approx == diameter(g)
+
+    def test_approximate_disconnected_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            approximate_diameter(Graph(nodes=[0, 1]))
+
+
+class TestAggregateDistances:
+    def test_average_path_length_path3(self):
+        # P3 distances: (1,2,1,1,2,1)/6 = 4/3
+        assert average_path_length(path_graph(3)) == pytest.approx(4 / 3)
+
+    def test_average_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            average_path_length(Graph(nodes=[0]))
+
+    def test_all_pairs_matches_bfs(self):
+        g = cycle_graph(6)
+        table = all_pairs_distances(g)
+        assert table[0][3] == 3
+        assert all(table[u][u] == 0 for u in g)
+
+
+class TestPathPredicates:
+    def test_simple_path_detection(self):
+        g = path_graph(4)
+        assert is_simple_path(g, [0, 1, 2, 3])
+        assert not is_simple_path(g, [0, 2])  # no edge
+        assert not is_simple_path(g, [0, 1, 0])  # repeat
+        assert not is_simple_path(g, [])
+
+    def test_edge_disjointness(self):
+        assert paths_edge_disjoint([[0, 1, 2], [0, 3, 2]])
+        assert not paths_edge_disjoint([[0, 1, 2], [2, 1, 3]])
+
+    def test_internal_disjointness(self):
+        assert paths_internally_disjoint([[0, 1, 5], [0, 2, 5], [0, 5]])
+        assert not paths_internally_disjoint([[0, 1, 5], [0, 1, 5]])
+        assert not paths_internally_disjoint([[0, 1, 5], [5, 2, 0], [0, 3, 9]])
+
+    def test_internal_disjoint_empty(self):
+        assert paths_internally_disjoint([])

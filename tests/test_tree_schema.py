@@ -1,0 +1,151 @@
+"""Unit tests for the TreeSchema construction engine."""
+
+import pytest
+
+from repro.errors import ConstructionError
+from repro.core.tree_schema import (
+    SHARED,
+    UNSHARED,
+    TreeSchema,
+    grown_schema,
+    paste_copies,
+)
+
+
+class TestBaseSchema:
+    def test_base_counts(self):
+        schema = TreeSchema(3)
+        assert schema.interior_count == 1
+        assert schema.shared_leaf_count == 3
+        assert schema.unshared_leaf_count == 0
+        assert schema.node_count() == 6  # 2k
+
+    def test_root_has_k_children(self):
+        schema = TreeSchema(4)
+        root = schema.interiors[0]
+        assert root.parent is None
+        assert root.child_count == 4
+
+    def test_k_too_small(self):
+        with pytest.raises(ConstructionError):
+            TreeSchema(1)
+
+    def test_base_height(self):
+        assert TreeSchema(3).height() == 1
+        assert TreeSchema(3).is_height_balanced()
+
+
+class TestConversions:
+    def test_conversion_arithmetic(self):
+        k = 4
+        schema = TreeSchema(k)
+        before = schema.node_count()
+        schema.convert_next_leaf()
+        assert schema.node_count() == before + 2 * (k - 1)
+        assert schema.interior_count == 2
+
+    def test_new_interior_gets_k_minus_1_leaves(self):
+        schema = TreeSchema(5)
+        new_id = schema.convert_next_leaf()
+        assert len(schema.interiors[new_id].leaf_children) == 4
+
+    def test_fifo_keeps_balance(self):
+        schema = grown_schema(3, 12)
+        assert schema.is_height_balanced()
+
+    def test_height_grows_logarithmically(self):
+        # k=4: each level multiplies leaves by k-1=3
+        schema = grown_schema(4, 40)
+        assert schema.is_height_balanced()
+        assert schema.height() <= 5
+
+    def test_k2_conversion_chain(self):
+        schema = grown_schema(2, 10)
+        # k=2 trees are paths: 2 leaf slots forever
+        assert schema.shared_leaf_count == 2
+        assert schema.interior_count == 11
+
+    def test_grown_schema_node_count_formula(self):
+        for k in (2, 3, 4, 5):
+            for c in (0, 1, 2, 5):
+                schema = grown_schema(k, c)
+                assert schema.node_count() == 2 * k + 2 * c * (k - 1)
+
+
+class TestExtraLeaves:
+    def test_added_leaf_increments_count(self):
+        schema = TreeSchema(3)
+        schema.add_extra_leaf()
+        assert schema.added_leaf_count == 1
+        assert schema.node_count() == 7
+
+    def test_added_leaf_targets_node_above_leaves(self):
+        schema = grown_schema(3, 3)
+        host = schema.interiors_above_leaves()[0]
+        leaf_id = schema.add_extra_leaf(host)
+        assert schema.leaves[leaf_id].parent == host
+
+    def test_added_leaf_rejected_off_leaf_level(self):
+        schema = grown_schema(3, 3)
+        # root converted all its leaves away after 3 conversions
+        root = schema.interiors[0]
+        assert not root.leaf_children
+        with pytest.raises(ConstructionError):
+            schema.add_extra_leaf(0)
+
+
+class TestUnsharedLeaves:
+    def test_mark_unshared_changes_accounting(self):
+        k = 4
+        schema = TreeSchema(k)
+        before = schema.node_count()
+        schema.mark_unshared()
+        assert schema.unshared_leaf_count == 1
+        assert schema.node_count() == before + (k - 1)
+
+    def test_mark_unshared_specific(self):
+        schema = TreeSchema(3)
+        leaf_id = next(iter(schema.leaves))
+        assert schema.mark_unshared(leaf_id) == leaf_id
+        assert schema.leaves[leaf_id].kind == UNSHARED
+
+    def test_double_mark_rejected(self):
+        schema = TreeSchema(3)
+        leaf_id = schema.mark_unshared()
+        with pytest.raises(ConstructionError):
+            schema.mark_unshared(leaf_id)
+
+    def test_unknown_leaf_rejected(self):
+        with pytest.raises(ConstructionError):
+            TreeSchema(3).mark_unshared(999)
+
+
+class TestPasting:
+    def test_base_pastes_to_complete_bipartite(self):
+        k = 3
+        graph, cert = paste_copies(TreeSchema(k))
+        assert graph.number_of_nodes() == 2 * k
+        assert graph.number_of_edges() == k * k
+        assert graph.regular_degree() == k
+
+    def test_pasted_counts_match_certificate(self):
+        schema = grown_schema(4, 5)
+        schema.mark_unshared()
+        graph, cert = paste_copies(schema)
+        assert graph.number_of_nodes() == cert.expected_node_count()
+        assert graph.number_of_edges() == cert.expected_edge_count()
+        cert.verify_graph(graph)
+
+    def test_unshared_slot_forms_clique(self):
+        k = 3
+        schema = TreeSchema(k)
+        leaf_id = schema.mark_unshared()
+        graph, _ = paste_copies(schema)
+        members = [("U", leaf_id, c) for c in range(k)]
+        for i in range(k):
+            for j in range(i + 1, k):
+                assert graph.has_edge(members[i], members[j])
+
+    def test_describe_mentions_counts(self):
+        text = TreeSchema(3).describe()
+        assert "k=3" in text and "n=6" in text

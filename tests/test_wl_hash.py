@@ -1,0 +1,75 @@
+"""Tests for the Weisfeiler-Lehman structural hash."""
+
+from repro.core.existence import build_lhg
+from repro.graphs.generators.classic import (
+    complete_bipartite_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.wl_hash import weisfeiler_lehman_hash, wl_equivalent
+
+
+class TestInvariance:
+    def test_relabeling_preserves_hash(self):
+        g = petersen_graph()
+        shuffled = g.relabeled({i: f"node-{(i * 7) % 10}" for i in range(10)})
+        assert weisfeiler_lehman_hash(g) == weisfeiler_lehman_hash(shuffled)
+
+    def test_construction_rebuild_is_isomorphic(self):
+        a, _ = build_lhg(14, 3)
+        b, _ = build_lhg(14, 3)
+        assert wl_equivalent(a, b)
+
+    def test_deterministic(self):
+        g = cycle_graph(8)
+        assert weisfeiler_lehman_hash(g) == weisfeiler_lehman_hash(g)
+
+
+class TestSeparation:
+    def test_different_sizes_differ(self):
+        assert not wl_equivalent(cycle_graph(6), cycle_graph(7))
+
+    def test_same_counts_different_structure(self):
+        # K_{3,3} and C6 + extra edges differ; simpler: path vs star, both trees
+        assert not wl_equivalent(path_graph(5), star_graph(4))
+
+    def test_same_degree_sequence_different_components(self):
+        # C6 vs two triangles: both 2-regular on 6 nodes; the component
+        # invariant folded into the hash separates them
+        from repro.graphs.graph import Graph
+
+        two_triangles = Graph(
+            edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        assert not wl_equivalent(cycle_graph(6), two_triangles)
+
+    def test_documented_blind_spot_connected_regular_pairs(self):
+        # 1-WL cannot separate two connected k-regular graphs of equal
+        # size: every node keeps one colour.  This test pins the
+        # documented limitation so a silent behaviour change is noticed.
+        from repro.core.jenkins_demers import jenkins_demers_graph
+        from repro.graphs.generators.random import random_regular_graph
+        from repro.graphs.traversal import is_connected
+
+        lhg, _ = jenkins_demers_graph(10, 3)
+        rand = random_regular_graph(3, 10, seed=1)
+        assert is_connected(rand)
+        assert wl_equivalent(lhg, rand)  # collision despite non-isomorphism
+
+    def test_base_lhg_is_complete_bipartite(self):
+        lhg, _ = build_lhg(8, 4, rule="jenkins-demers")
+        assert wl_equivalent(lhg, complete_bipartite_graph(4, 4))
+
+
+class TestOverlayUse:
+    def test_overlay_rebuilds_are_isomorphic_across_label_churn(self):
+        from repro.overlay import LHGOverlay
+
+        a = LHGOverlay(k=3)
+        b = LHGOverlay(k=3)
+        for i in range(12):
+            a.join(f"alpha-{i}")
+            b.join(f"beta-{i}")
+        assert wl_equivalent(a.topology(), b.topology())
