@@ -6,6 +6,8 @@ Subcommands:
   JSON edge list with ``--json``);
 * ``check``    — verify LHG Properties 1–5 for a built pair;
 * ``flood``    — simulate a flood with optional random crashes;
+* ``chaos``    — run a chaos campaign (scenario × protocol resilience
+  matrix with invariant checks);
 * ``coverage`` — print the per-rule existence table for a k;
 * ``diameter`` — compare Harary vs LHG diameters over an n sweep;
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
@@ -74,6 +76,44 @@ def _cmd_flood(args: argparse.Namespace) -> int:
         f"completed at t={result.completion_time}"
     )
     return 0 if result.fully_covered else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.robustness import ChaosCampaign, standard_scenarios
+
+    graph, certificate = build_lhg(args.n, args.k, rule=args.rule)
+    scenarios = standard_scenarios(loss_rates=tuple(args.loss))
+    if args.scenarios:
+        wanted = set(args.scenarios)
+        unknown = wanted - {s.name for s in scenarios}
+        if unknown:
+            known = ", ".join(s.name for s in scenarios)
+            print(
+                f"error: unknown scenario(s) {sorted(unknown)}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [s for s in scenarios if s.name in wanted]
+    campaign = ChaosCampaign(
+        [(graph.name, graph)],
+        scenarios=scenarios,
+        seeds=range(args.seed, args.seed + args.repeats),
+    )
+    matrix = campaign.run()
+    print(
+        matrix.render(
+            title=(
+                f"Chaos campaign on {graph.name} ({certificate.rule}), "
+                f"{args.repeats} seed(s)"
+            )
+        )
+    )
+    green = matrix.all_green
+    print(
+        f"{len(matrix.cells)} cells, invariants "
+        + ("all green" if green else f"VIOLATED in {len(matrix.violations)} case(s)")
+    )
+    return 0 if green else 1
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
@@ -183,6 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_flood.add_argument("--crashes", type=int, default=0, help="random crashes")
     p_flood.add_argument("--seed", type=int, default=0, help="failure seed")
     p_flood.set_defaults(func=_cmd_flood)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="chaos campaign: resilience matrix + invariant checks"
+    )
+    add_pair(p_chaos)
+    p_chaos.add_argument(
+        "--scenarios",
+        nargs="*",
+        metavar="NAME",
+        help="restrict to these scenario names (default: all)",
+    )
+    p_chaos.add_argument(
+        "--loss",
+        type=float,
+        nargs="*",
+        default=[0.1, 0.3],
+        help="loss rates for the loss-p scenarios (default: 0.1 0.3)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="base seed")
+    p_chaos.add_argument(
+        "--repeats", type=int, default=1, help="grid passes (seeds seed..seed+r-1)"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cov = sub.add_parser("coverage", help="per-rule existence table")
     p_cov.add_argument("k", type=int)

@@ -16,6 +16,7 @@ topology.  This package simulates it end-to-end:
 
 from repro.flooding.experiments import (
     repeat_runs,
+    run_arq_flood,
     run_broadcast_stream,
     run_echo,
     run_failure_detection,
@@ -26,15 +27,28 @@ from repro.flooding.experiments import (
     run_treecast,
     run_unicast,
     run_view_change,
+    summarize_run,
 )
 from repro.flooding.failures import (
     FailureSchedule,
+    bisect_groups,
+    crash_and_recover,
     crash_before_start,
+    flapping_links,
     minimum_cut_attack,
+    partition,
     random_crashes,
+    random_flapping_links,
     random_link_failures,
     survivors,
     targeted_crashes,
+)
+from repro.flooding.faults import (
+    FaultModel,
+    LinkFaultProfile,
+    RandomFaultModel,
+    lossy_links,
+    noisy_links,
 )
 from repro.flooding.metrics import FloodResult, ResultAggregate, reachable_from
 from repro.flooding.network import (
@@ -56,23 +70,34 @@ __all__ = [
     "ConstantLatency",
     "ExponentialLatency",
     "FailureSchedule",
+    "FaultModel",
     "FixedLinkLatency",
     "FloodResult",
     "LatencyModel",
+    "LinkFaultProfile",
     "Network",
     "NodeApi",
     "Protocol",
+    "RandomFaultModel",
     "ResultAggregate",
     "Simulator",
     "TraceCollector",
     "TraceEvent",
     "UniformLatency",
+    "bisect_groups",
+    "crash_and_recover",
     "crash_before_start",
+    "flapping_links",
+    "lossy_links",
     "minimum_cut_attack",
+    "noisy_links",
+    "partition",
     "random_crashes",
+    "random_flapping_links",
     "random_link_failures",
     "reachable_from",
     "repeat_runs",
+    "run_arq_flood",
     "run_broadcast_stream",
     "run_echo",
     "run_failure_detection",
@@ -83,6 +108,7 @@ __all__ = [
     "run_treecast",
     "run_unicast",
     "run_view_change",
+    "summarize_run",
     "survivors",
     "targeted_crashes",
 ]

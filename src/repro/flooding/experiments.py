@@ -12,6 +12,7 @@ from typing import Hashable, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
+from repro.flooding.faults import FaultModel
 from repro.flooding.metrics import FloodResult, ResultAggregate, reachable_from
 from repro.flooding.network import LatencyModel, Network
 from repro.flooding.protocols.flood import FloodProtocol
@@ -32,13 +33,21 @@ def _event_budget(graph: Graph) -> int:
     )
 
 
-def _finish(
+def summarize_run(
     protocol_name: str,
     graph: Graph,
     source: NodeId,
     schedule: FailureSchedule,
     network: Network,
 ) -> FloodResult:
+    """Condense one finished simulation into a :class:`FloodResult`.
+
+    The coverage denominator is the survivor component: nodes reachable
+    from ``source`` in the topology left by the schedule's *final*
+    state (crashed-and-recovered nodes count as survivors).  Shared by
+    the runners below and the chaos campaign engine
+    (:mod:`repro.robustness`).
+    """
     alive_graph = survivors(graph, schedule)
     reachable = reachable_from(alive_graph, source)
     covered = {
@@ -67,6 +76,7 @@ def run_flood(
     latency: Optional[LatencyModel] = None,
     loss_rate: float = 0.0,
     loss_seed: int = 0,
+    fault_model: Optional[FaultModel] = None,
 ) -> FloodResult:
     """Flood ``graph`` from ``source`` under a failure schedule.
 
@@ -81,13 +91,18 @@ def run_flood(
         raise SimulationError("the flood source is crashed at start")
     simulator = Simulator()
     network = Network(
-        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+        graph,
+        simulator,
+        latency=latency,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        fault_model=fault_model,
     )
     apply_schedule(schedule, network, simulator)
     protocol = FloodProtocol(network, source)
     network.attach(protocol, start_nodes=[source])
     simulator.run(max_events=_event_budget(graph))
-    return _finish("flood", graph, source, schedule, network)
+    return summarize_run("flood", graph, source, schedule, network)
 
 
 def run_gossip(
@@ -115,7 +130,7 @@ def run_gossip(
     )
     network.attach(protocol, start_nodes=graph.nodes())
     simulator.run(max_events=_event_budget(graph) * max(1, rounds))
-    return _finish("gossip", graph, source, schedule, network)
+    return summarize_run("gossip", graph, source, schedule, network)
 
 
 def run_treecast(
@@ -138,7 +153,7 @@ def run_treecast(
     protocol = TreeCastProtocol(network, graph, source)
     network.attach(protocol, start_nodes=[source])
     simulator.run(max_events=_event_budget(graph))
-    return _finish("treecast", graph, source, schedule, network)
+    return summarize_run("treecast", graph, source, schedule, network)
 
 
 def run_unicast(
@@ -289,6 +304,7 @@ def run_reliable_flood(
     loss_seed: int = 0,
     retry_timeout: float = 3.0,
     max_retries: int = 8,
+    fault_model: Optional[FaultModel] = None,
 ) -> FloodResult:
     """Flood with per-link ACK/retransmission over lossy links.
 
@@ -304,7 +320,11 @@ def run_reliable_flood(
         raise SimulationError("the flood source is crashed at start")
     simulator = Simulator()
     network = Network(
-        graph, simulator, loss_rate=loss_rate, loss_seed=loss_seed
+        graph,
+        simulator,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        fault_model=fault_model,
     )
     apply_schedule(schedule, network, simulator)
     protocol = ReliableFloodProtocol(
@@ -312,7 +332,71 @@ def run_reliable_flood(
     )
     network.attach(protocol, start_nodes=[source])
     simulator.run(max_events=_event_budget(graph) * (max_retries + 2))
-    return _finish("reliable-flood", graph, source, schedule, network)
+    return summarize_run("reliable-flood", graph, source, schedule, network)
+
+
+def run_arq_flood(
+    graph: Graph,
+    source: NodeId,
+    failures: Optional[FailureSchedule] = None,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+    fault_model: Optional[FaultModel] = None,
+    base_timeout: float = 2.5,
+    backoff: float = 2.0,
+    max_timeout: float = 16.0,
+    max_retries: int = 10,
+    retry_timeout: float = 3.0,
+    inner_retries: int = 8,
+) -> FloodResult:
+    """Reliable flooding *wrapped in the generic ARQ layer*.
+
+    The inner protocol is
+    :class:`~repro.flooding.protocols.reliable.ReliableFloodProtocol`
+    (parameters ``retry_timeout`` / ``inner_retries``); every inner send
+    rides an :class:`~repro.flooding.protocols.arq.ArqProtocol` frame
+    with exponential backoff, so coverage converges through flapping
+    links, transient partitions and crash-recovery outages that exhaust
+    the inner protocol's fixed retry window.
+
+    Raises
+    ------
+    SimulationError
+        If the source is crashed at start.
+    """
+    from repro.flooding.protocols.arq import ArqProtocol
+    from repro.flooding.protocols.reliable import ReliableFloodProtocol
+
+    schedule = failures or FailureSchedule()
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the flood source is crashed at start")
+    simulator = Simulator()
+    network = Network(
+        graph,
+        simulator,
+        latency=latency,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        fault_model=fault_model,
+    )
+    apply_schedule(schedule, network, simulator)
+    inner = ReliableFloodProtocol(
+        network, source, retry_timeout=retry_timeout, max_retries=inner_retries
+    )
+    protocol = ArqProtocol(
+        network,
+        inner,
+        base_timeout=base_timeout,
+        backoff=backoff,
+        max_timeout=max_timeout,
+        max_retries=max_retries,
+    )
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(
+        max_events=_event_budget(graph) * (max_retries + inner_retries + 4)
+    )
+    return summarize_run("arq-reliable-flood", graph, source, schedule, network)
 
 
 def run_view_change(

@@ -1,10 +1,13 @@
-"""Failure schedules: crash and link-failure injection.
+"""Failure schedules: crash, link-failure and recovery injection.
 
-A :class:`FailureSchedule` is a declarative list of failure events that
+A :class:`FailureSchedule` is a declarative list of fault events that
 :func:`apply_schedule` installs into a simulator/network pair.  Crashes
 use a negative event priority so a crash at time t wins against every
 message delivery at time t — the conservative adversary (the protocol
 never benefits from a doomed node's last-instant forwarding).
+Recoveries use a slightly less negative priority, so at one instant the
+order is *crash, recover, deliveries*: a same-time crash+recover pair
+leaves the node up, but doomed in-flight traffic still dies.
 
 Builders cover the adversaries the experiments need:
 
@@ -16,20 +19,30 @@ Builders cover the adversaries the experiments need:
   adversary for irregular graphs;
 * :func:`minimum_cut_attack` — crash a *minimum node cut* (size k), the
   certified cheapest disconnection, used to show k failures can break
-  what k−1 cannot.
+  what k−1 cannot;
+* :func:`crash_and_recover` — transient crashes (crash-recovery model);
+* :func:`partition` — fail every link crossing a group boundary, with
+  an optional heal time;
+* :func:`flapping_links` / :func:`random_flapping_links` — periodic
+  down/up link cycles.
+
+Adding the same event twice (same node crashed at the same time, same
+link failed at the same time) is a no-op — both the chaining methods
+and :meth:`FailureSchedule.merged` dedupe, so no redundant simulator
+events are ever scheduled.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.flooding.network import FAILURE_PRIORITY, Network
+from repro.flooding.network import FAILURE_PRIORITY, RECOVERY_PRIORITY, Network
 from repro.flooding.simulator import Simulator
 from repro.graphs.connectivity import minimum_node_cut
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, edge_key
 
 NodeId = Hashable
 
@@ -37,6 +50,14 @@ NodeId = Hashable
 @dataclass(frozen=True)
 class NodeCrash:
     """Crash-stop ``node`` at ``time``."""
+
+    time: float
+    node: NodeId
+
+
+@dataclass(frozen=True)
+class NodeRecover:
+    """Bring a crashed ``node`` back up at ``time``."""
 
     time: float
     node: NodeId
@@ -51,21 +72,65 @@ class LinkFailure:
     v: NodeId
 
 
+@dataclass(frozen=True)
+class LinkRecover:
+    """Restore link (u, v) at ``time``."""
+
+    time: float
+    u: NodeId
+    v: NodeId
+
+
 @dataclass
 class FailureSchedule:
-    """An ordered bag of failure events."""
+    """An ordered, duplicate-free bag of failure and recovery events.
+
+    Attributes
+    ----------
+    incomplete_cut:
+        Set by :func:`minimum_cut_attack` when protected nodes were
+        dropped from the cut — the remaining crashes are *not*
+        guaranteed to disconnect the graph.
+    """
 
     crashes: List[NodeCrash] = field(default_factory=list)
     link_failures: List[LinkFailure] = field(default_factory=list)
+    recoveries: List[NodeRecover] = field(default_factory=list)
+    link_recoveries: List[LinkRecover] = field(default_factory=list)
+    incomplete_cut: bool = False
 
     def crash(self, node: NodeId, time: float = 0.0) -> "FailureSchedule":
-        """Add one crash; returns self for chaining."""
-        self.crashes.append(NodeCrash(time=time, node=node))
+        """Add one crash (deduped); returns self for chaining."""
+        event = NodeCrash(time=time, node=node)
+        if event not in self.crashes:
+            self.crashes.append(event)
         return self
 
+    def recover(self, node: NodeId, time: float = 0.0) -> "FailureSchedule":
+        """Add one node recovery (deduped); returns self for chaining."""
+        event = NodeRecover(time=time, node=node)
+        if event not in self.recoveries:
+            self.recoveries.append(event)
+        return self
+
+    def _has_link_event(self, events, time: float, u: NodeId, v: NodeId) -> bool:
+        key = edge_key(u, v)
+        return any(
+            e.time == time and edge_key(e.u, e.v) == key for e in events
+        )
+
     def fail_link(self, u: NodeId, v: NodeId, time: float = 0.0) -> "FailureSchedule":
-        """Add one link failure; returns self for chaining."""
-        self.link_failures.append(LinkFailure(time=time, u=u, v=v))
+        """Add one link failure (deduped, undirected); returns self."""
+        if not self._has_link_event(self.link_failures, time, u, v):
+            self.link_failures.append(LinkFailure(time=time, u=u, v=v))
+        return self
+
+    def restore_link(
+        self, u: NodeId, v: NodeId, time: float = 0.0
+    ) -> "FailureSchedule":
+        """Add one link recovery (deduped, undirected); returns self."""
+        if not self._has_link_event(self.link_recoveries, time, u, v):
+            self.link_recoveries.append(LinkRecover(time=time, u=u, v=v))
         return self
 
     @property
@@ -74,20 +139,29 @@ class FailureSchedule:
         return {c.node for c in self.crashes}
 
     def merged(self, other: "FailureSchedule") -> "FailureSchedule":
-        """Union of two schedules."""
-        return FailureSchedule(
-            crashes=self.crashes + other.crashes,
-            link_failures=self.link_failures + other.link_failures,
+        """Union of two schedules; duplicate events collapse to one."""
+        union = FailureSchedule(
+            incomplete_cut=self.incomplete_cut or other.incomplete_cut
         )
+        for crash in self.crashes + other.crashes:
+            union.crash(crash.node, time=crash.time)
+        for failure in self.link_failures + other.link_failures:
+            union.fail_link(failure.u, failure.v, time=failure.time)
+        for recovery in self.recoveries + other.recoveries:
+            union.recover(recovery.node, time=recovery.time)
+        for restore in self.link_recoveries + other.link_recoveries:
+            union.restore_link(restore.u, restore.v, time=restore.time)
+        return union
 
 
 def apply_schedule(
     schedule: FailureSchedule, network: Network, simulator: Simulator
 ) -> None:
-    """Install every failure event of ``schedule`` into the simulation.
+    """Install every fault event of ``schedule`` into the simulation.
 
     Failures at time 0 are applied immediately (before any start event),
-    matching the "initially dead" interpretation.
+    matching the "initially dead" interpretation; time-0 recoveries are
+    applied right after, so a time-0 crash+recover pair cancels out.
     """
     for crash in schedule.crashes:
         if crash.time <= 0:
@@ -108,6 +182,26 @@ def apply_schedule(
                 lambda u=failure.u, v=failure.v: network.fail_link(u, v),
                 priority=FAILURE_PRIORITY,
                 label=f"linkfail:{failure.u!r}-{failure.v!r}",
+            )
+    for recovery in schedule.recoveries:
+        if recovery.time <= 0:
+            network.recover_node(recovery.node)
+        else:
+            simulator.schedule(
+                recovery.time,
+                lambda node=recovery.node: network.recover_node(node),
+                priority=RECOVERY_PRIORITY,
+                label=f"recover:{recovery.node!r}",
+            )
+    for restore in schedule.link_recoveries:
+        if restore.time <= 0:
+            network.restore_link(restore.u, restore.v)
+        else:
+            simulator.schedule(
+                restore.time,
+                lambda u=restore.u, v=restore.v: network.restore_link(u, v),
+                priority=RECOVERY_PRIORITY,
+                label=f"linkup:{restore.u!r}-{restore.v!r}",
             )
 
 
@@ -209,8 +303,10 @@ def minimum_cut_attack(
 
     On a k-connected graph this is the cheapest possible disconnection —
     exactly k crashes.  Used by the resilience experiments to show the
-    cliff at f = k.  If the cut contains protected nodes the schedule is
-    built anyway (the caller decides how to interpret it).
+    cliff at f = k.  If the cut intersects ``protect``, the protected
+    nodes are withheld and the schedule's ``incomplete_cut`` flag is set
+    ``True``: the remaining crashes form a *sub-cut* that may no longer
+    disconnect the graph, and callers must not assume partition.
 
     Raises
     ------
@@ -219,17 +315,194 @@ def minimum_cut_attack(
     """
     cut = minimum_node_cut(graph)
     protected = protect or set()
-    return crash_before_start(sorted((v for v in cut if v not in protected), key=repr))
+    allowed = [v for v in cut if v not in protected]
+    schedule = crash_before_start(sorted(allowed, key=repr))
+    schedule.incomplete_cut = len(allowed) < len(cut)
+    return schedule
+
+
+def crash_and_recover(
+    nodes: Sequence[NodeId], crash_at: float, recover_at: float
+) -> FailureSchedule:
+    """Crash ``nodes`` at ``crash_at`` and bring them back at ``recover_at``.
+
+    The crash-recovery fault model: nodes keep their protocol state
+    across the outage but miss every message sent while down.
+
+    Raises
+    ------
+    SimulationError
+        If ``recover_at`` is not after ``crash_at``.
+    """
+    if recover_at <= crash_at:
+        raise SimulationError(
+            f"recovery at {recover_at} must come after the crash at {crash_at}"
+        )
+    schedule = FailureSchedule()
+    for node in nodes:
+        schedule.crash(node, time=crash_at)
+        schedule.recover(node, time=recover_at)
+    return schedule
+
+
+def partition(
+    graph: Graph,
+    groups: Sequence[Iterable[NodeId]],
+    at: float = 0.0,
+    heal_at: Optional[float] = None,
+) -> FailureSchedule:
+    """Partition the network into ``groups`` at time ``at``.
+
+    Every topology link whose endpoints fall in *different* groups
+    fails at ``at``; with ``heal_at`` set, all of them are restored at
+    that time (the transient-partition adversary).  Nodes not listed in
+    any group keep all their links.
+
+    Raises
+    ------
+    SimulationError
+        If a node appears in more than one group, or ``heal_at`` is not
+        after ``at``.
+    """
+    if heal_at is not None and heal_at <= at:
+        raise SimulationError(
+            f"heal time {heal_at} must come after the partition at {at}"
+        )
+    group_of = {}
+    for index, group in enumerate(groups):
+        for node in group:
+            if node in group_of:
+                raise SimulationError(f"node {node!r} appears in two groups")
+            group_of[node] = index
+    schedule = FailureSchedule()
+    for u, v in graph.edges():
+        side_u, side_v = group_of.get(u), group_of.get(v)
+        if side_u is None or side_v is None or side_u == side_v:
+            continue
+        schedule.fail_link(u, v, time=at)
+        if heal_at is not None:
+            schedule.restore_link(u, v, time=heal_at)
+    return schedule
+
+
+def bisect_groups(
+    graph: Graph, source: NodeId
+) -> Tuple[List[NodeId], List[NodeId]]:
+    """Deterministically split the nodes into two halves for :func:`partition`.
+
+    Nodes are ordered by BFS distance from ``source`` (ties broken by
+    ``repr``), so the source-side half is connected and the cut runs
+    through the BFS frontier — the geometrically natural partition.
+    """
+    from repro.graphs.traversal import bfs_levels
+
+    levels = bfs_levels(graph, source)
+    ordered = sorted(graph.nodes(), key=lambda v: (levels.get(v, len(levels)), repr(v)))
+    half = max(1, len(ordered) // 2)
+    return ordered[:half], ordered[half:]
+
+
+def flapping_links(
+    links: Sequence[Tuple[NodeId, NodeId]],
+    period: float,
+    down_for: float,
+    start: float = 0.0,
+    cycles: int = 1,
+) -> FailureSchedule:
+    """Flap each link: down at ``start + i*period``, up ``down_for`` later.
+
+    Raises
+    ------
+    SimulationError
+        If the timing parameters do not describe disjoint down windows.
+    """
+    if cycles < 1:
+        raise SimulationError(f"cycles must be >= 1, got {cycles}")
+    if down_for <= 0 or period <= down_for:
+        raise SimulationError(
+            f"need 0 < down_for < period, got down_for={down_for} period={period}"
+        )
+    schedule = FailureSchedule()
+    for cycle in range(cycles):
+        down_at = start + cycle * period
+        for u, v in links:
+            schedule.fail_link(u, v, time=down_at)
+            schedule.restore_link(u, v, time=down_at + down_for)
+    return schedule
+
+
+def random_flapping_links(
+    graph: Graph,
+    count: int,
+    period: float,
+    down_for: float,
+    start: float = 0.0,
+    cycles: int = 1,
+    seed: int = 0,
+) -> FailureSchedule:
+    """Flap ``count`` seeded-random links of ``graph``.
+
+    Raises
+    ------
+    SimulationError
+        If the graph has fewer than ``count`` links, or the timing is
+        invalid (see :func:`flapping_links`).
+    """
+    edges = sorted(graph.edges(), key=lambda e: (repr(e[0]), repr(e[1])))
+    if count > len(edges):
+        raise SimulationError(f"cannot flap {count} of {len(edges)} links")
+    chosen = random.Random(seed).sample(edges, count)
+    return flapping_links(
+        chosen, period=period, down_for=down_for, start=start, cycles=cycles
+    )
+
+
+def _final_down_nodes(schedule: FailureSchedule) -> Set[NodeId]:
+    """Nodes still down once every event of ``schedule`` has fired."""
+    down = set()
+    for node in schedule.crashed_nodes:
+        last_crash = max(c.time for c in schedule.crashes if c.node == node)
+        last_recover = max(
+            (r.time for r in schedule.recoveries if r.node == node), default=None
+        )
+        # ties go to recovery, matching RECOVERY_PRIORITY > FAILURE_PRIORITY
+        if last_recover is None or last_recover < last_crash:
+            down.add(node)
+    return down
+
+
+def _final_down_links(schedule: FailureSchedule) -> Set[frozenset]:
+    """Links still down once every event of ``schedule`` has fired."""
+    down = set()
+    for key in {edge_key(f.u, f.v) for f in schedule.link_failures}:
+        last_fail = max(
+            f.time for f in schedule.link_failures if edge_key(f.u, f.v) == key
+        )
+        last_restore = max(
+            (
+                r.time
+                for r in schedule.link_recoveries
+                if edge_key(r.u, r.v) == key
+            ),
+            default=None,
+        )
+        if last_restore is None or last_restore < last_fail:
+            down.add(key)
+    return down
 
 
 def survivors(graph: Graph, schedule: FailureSchedule) -> Graph:
     """The topology as seen after all of ``schedule`` has struck.
 
-    Removes crashed nodes and failed links; the ground truth the metrics
-    layer uses to compute *reachable* coverage.
+    Removes nodes and links that are down *in the schedule's final
+    state* — a crash (or link failure) followed by a later recovery
+    leaves the node (link) in the survivor graph.  This is the ground
+    truth the metrics layer uses to compute *reachable* coverage.
     """
-    remaining = graph.without_nodes(schedule.crashed_nodes & set(graph.nodes()))
-    for failure in schedule.link_failures:
-        if remaining.has_edge(failure.u, failure.v):
-            remaining.remove_edge(failure.u, failure.v)
+    down_nodes = _final_down_nodes(schedule)
+    remaining = graph.without_nodes(down_nodes & set(graph.nodes()))
+    for key in _final_down_links(schedule):
+        endpoints = sorted(key, key=repr)
+        if len(endpoints) == 2 and remaining.has_edge(*endpoints):
+            remaining.remove_edge(*endpoints)
     return remaining

@@ -13,6 +13,14 @@ paper's setting:
   :class:`LatencyModel`; the default unit latency makes simulated time
   equal hop count, which is what the paper's diameter claims are about.
 
+Beyond the paper's adversary the network also supports *recoverable*
+faults (:meth:`Network.recover_node` / :meth:`Network.restore_link`
+undo a crash / link failure — a recovered node keeps its protocol state
+but any traffic sent while it was down is gone) and message-level
+faults via a pluggable :class:`~repro.flooding.faults.FaultModel` on
+the transmit path that can drop, duplicate, or extra-delay (reorder)
+individual messages per link.
+
 Protocols implement the :class:`Protocol` interface; the network calls
 ``on_start`` / ``on_message`` and exposes a narrow :class:`NodeApi` so a
 protocol can only do what a real process could (read its own neighbour
@@ -26,12 +34,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.errors import ProtocolError, SimulationError
+from repro.flooding.faults import FaultModel
 from repro.flooding.simulator import Simulator
 from repro.graphs.graph import Graph, edge_key
 
 NodeId = Hashable
 
 FAILURE_PRIORITY = -10  # crashes at time t beat deliveries at time t
+RECOVERY_PRIORITY = -5  # recoveries at time t beat deliveries, lose to crashes
 
 
 class LatencyModel:
@@ -222,6 +232,11 @@ class Network:
         The event engine driving the run.
     latency:
         Per-message latency model; defaults to one unit per hop.
+    fault_model:
+        Optional :class:`~repro.flooding.faults.FaultModel` consulted on
+        every transmission; can drop, duplicate, or extra-delay copies.
+        Composes with ``loss_rate`` (the legacy i.i.d. loss is applied
+        first).
     """
 
     def __init__(
@@ -231,6 +246,7 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         loss_seed: int = 0,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(
@@ -241,6 +257,7 @@ class Network:
         self.latency = latency or ConstantLatency(1.0)
         self.loss_rate = loss_rate
         self._loss_rng = random.Random(loss_seed)
+        self.fault_model = fault_model
         self.stats = NetworkStats()
         self._protocol: Optional[Protocol] = None
         self._crashed: Set[NodeId] = set()
@@ -258,8 +275,9 @@ class Network:
         :class:`~repro.flooding.trace.TraceCollector`).
 
         Observers receive ``observer(kind, time, **details)`` calls for
-        kinds ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"`` and
-        ``"link-down"``.  Observation never alters the simulation.
+        kinds ``"send"``, ``"deliver"``, ``"drop"``, ``"crash"``,
+        ``"recover"``, ``"link-down"`` and ``"link-up"``.  Observation
+        never alters the simulation.
         """
         self._observers.append(observer)
 
@@ -274,14 +292,50 @@ class Network:
     # ------------------------------------------------------------------
 
     def crash_node(self, node: NodeId) -> None:
-        """Crash-stop ``node`` effective immediately."""
+        """Crash-stop ``node`` effective immediately.
+
+        Idempotent: crashing an already-crashed node is a no-op (no
+        duplicate ``crash`` event reaches observers).
+        """
+        if node in self._crashed:
+            return
         self._crashed.add(node)
         self._notify("crash", node=node)
 
+    def recover_node(self, node: NodeId) -> None:
+        """Bring a crashed ``node`` back up (no-op if it is alive).
+
+        The node resumes with whatever protocol state it had — the
+        crash-recovery model, not a fresh join.  Messages and timers
+        that targeted it while down stay lost.
+        """
+        if node not in self._crashed:
+            return
+        self._crashed.discard(node)
+        self._notify("recover", node=node)
+
     def fail_link(self, u: NodeId, v: NodeId) -> None:
-        """Silently kill the link (u, v) in both directions."""
-        self._dead_links.add(edge_key(u, v))
+        """Silently kill the link (u, v) in both directions.
+
+        Idempotent: re-failing a dead link is a no-op.
+        """
+        key = edge_key(u, v)
+        if key in self._dead_links:
+            return
+        self._dead_links.add(key)
         self._notify("link-down", u=u, v=v)
+
+    def restore_link(self, u: NodeId, v: NodeId) -> None:
+        """Bring a failed link back up (no-op if it is already up).
+
+        Messages dropped while the link was down stay lost; traffic
+        sent after restoration flows normally.
+        """
+        key = edge_key(u, v)
+        if key not in self._dead_links:
+            return
+        self._dead_links.discard(key)
+        self._notify("link-up", u=u, v=v)
 
     def is_alive(self, node: NodeId) -> bool:
         """Whether ``node`` is currently up."""
@@ -372,6 +426,15 @@ class Network:
             self.stats.per_node_sent.get(sender, 0) + 1
         )
         self._notify("send", sender=sender, receiver=receiver, payload=payload)
+        if self.fault_model is not None:
+            # one extra-delay entry per copy to deliver; [] = dropped
+            copies = self.fault_model.copies(sender, receiver)
+        else:
+            copies = (0.0,)
+        if not copies:
+            self.stats.messages_dropped += 1
+            self._notify("drop", sender=sender, receiver=receiver, reason="fault")
+            return
         delay = self.latency.sample_at(sender, receiver, self.simulator.now)
 
         def deliver() -> None:
@@ -386,9 +449,12 @@ class Network:
             assert self._protocol is not None
             self._protocol.on_message(receiver, payload, sender, self._api(receiver))
 
-        self.simulator.schedule_after(
-            delay, deliver, label=f"msg:{sender!r}->{receiver!r}"
-        )
+        for extra in copies:
+            if extra < 0:
+                raise SimulationError(f"fault-model delay must be >= 0, got {extra}")
+            self.simulator.schedule_after(
+                delay + extra, deliver, label=f"msg:{sender!r}->{receiver!r}"
+            )
 
     def set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
         """Schedule a protocol timer at ``node``."""

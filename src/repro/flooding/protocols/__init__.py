@@ -1,5 +1,6 @@
 """Dissemination protocols: flooding plus the related-work baselines."""
 
+from repro.flooding.protocols.arq import ArqAck, ArqData, ArqProtocol
 from repro.flooding.protocols.flood import (
     FloodMessage,
     FloodProtocol,
@@ -11,6 +12,7 @@ from repro.flooding.protocols.heartbeat import (
     HeartbeatProtocol,
     Suspicion,
 )
+from repro.flooding.protocols.reliable import ReliableFloodProtocol
 from repro.flooding.protocols.treecast import TreeCastProtocol
 from repro.flooding.protocols.unicast import (
     RedundantUnicast,
@@ -19,6 +21,9 @@ from repro.flooding.protocols.unicast import (
 )
 
 __all__ = [
+    "ArqAck",
+    "ArqData",
+    "ArqProtocol",
     "DetectionReport",
     "FloodMessage",
     "FloodProtocol",
@@ -26,6 +31,7 @@ __all__ = [
     "MultiSourceFloodProtocol",
     "PushGossipProtocol",
     "RedundantUnicast",
+    "ReliableFloodProtocol",
     "RoutedMessage",
     "SourceRoutedUnicast",
     "Suspicion",

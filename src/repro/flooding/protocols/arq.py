@@ -1,0 +1,198 @@
+"""A generic ARQ (automatic repeat request) layer below any protocol.
+
+:class:`~repro.flooding.protocols.reliable.ReliableFloodProtocol` bakes
+stop-and-wait retransmission *into* flooding with a fixed timeout and a
+fixed retry budget — enough for i.i.d. loss, but a fixed window gives
+up during long outages (a flapping link, a partition awaiting heal, a
+crashed node that later recovers).  :class:`ArqProtocol` factors the
+recipe out into a reusable link layer that wraps an arbitrary inner
+:class:`~repro.flooding.network.Protocol`:
+
+* every ``api.send`` the inner protocol makes is framed with a globally
+  unique message id ``(sender, counter)``;
+* the receiver ACKs every frame copy and delivers the inner payload
+  **exactly once** per id (duplicates — retransmits or fault-model
+  copies — are suppressed);
+* unACKed frames are retransmitted with **exponential backoff**
+  (``base_timeout`` doubling by ``backoff`` up to ``max_timeout``) and
+  a per-frame retry budget, so the total retry window grows roughly
+  like ``max_timeout × max_retries`` — long enough to ride out
+  transient partitions that exhaust a fixed-timeout scheme.
+
+The wrapper is transparent: the inner protocol sees ordinary
+``on_start`` / ``on_message`` / ``on_timer`` callbacks and an api whose
+``send`` happens to be reliable.  Wrapping ``ReliableFloodProtocol``
+(the chaos campaign's "ARQ-wrapped" variant) is deliberately redundant
+— the inner acks ride the ARQ layer like any payload — and is what
+restores guaranteed survivor coverage under recoverable faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.flooding.network import Network, NodeApi, Protocol
+
+NodeId = Hashable
+
+MessageId = Tuple[NodeId, int]
+
+_ARQ_TAG = "__arq__"
+
+
+@dataclass(frozen=True)
+class ArqData:
+    """An ARQ frame: inner ``payload`` identified by ``msg_id``."""
+
+    msg_id: MessageId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class ArqAck:
+    """Acknowledgement of the frame ``msg_id``."""
+
+    msg_id: MessageId
+
+
+class _ArqNodeApi(NodeApi):
+    """The api handed to the inner protocol: ``send`` goes through ARQ."""
+
+    def __init__(self, arq: "ArqProtocol", network: Network, node: NodeId) -> None:
+        super().__init__(network, node)
+        self._arq = arq
+
+    def send(self, to: NodeId, payload: Any) -> None:
+        self._arq._send_frame(self._node, to, payload)
+
+
+class ArqProtocol(Protocol):
+    """Reliable-delivery wrapper around an inner protocol (see module doc).
+
+    Parameters
+    ----------
+    network:
+        The (lossy / flapping / recovering) network.
+    inner:
+        The protocol whose sends should be made reliable.
+    base_timeout:
+        First retransmission timeout; keep above the round-trip time.
+    backoff:
+        Multiplier applied to the timeout after each retransmission.
+    max_timeout:
+        Cap on the backed-off timeout.
+    max_retries:
+        Retransmissions per frame after the initial send; a frame that
+        stays unACKed through the whole budget is abandoned
+        (``gave_up`` counts them).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        inner: Protocol,
+        base_timeout: float = 2.5,
+        backoff: float = 2.0,
+        max_timeout: float = 16.0,
+        max_retries: int = 10,
+    ) -> None:
+        if base_timeout <= 0 or max_timeout < base_timeout:
+            raise ProtocolError(
+                "need 0 < base_timeout <= max_timeout, got "
+                f"{base_timeout} and {max_timeout}"
+            )
+        if backoff < 1.0 or max_retries < 0:
+            raise ProtocolError("backoff must be >= 1 and max_retries >= 0")
+        self.network = network
+        self.inner = inner
+        self.base_timeout = base_timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.max_retries = max_retries
+        # frame id -> (destination, frame, retries left, current timeout)
+        self._outbox: Dict[MessageId, Tuple[NodeId, ArqData, int, float]] = {}
+        self._next_id: Dict[NodeId, int] = {}
+        self._seen: Set[Tuple[NodeId, MessageId]] = set()
+        self._apis: Dict[NodeId, _ArqNodeApi] = {}
+        self.frames_sent = 0
+        self.acks_sent = 0
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.gave_up = 0
+
+    # ------------------------------------------------------------------
+
+    def _inner_api(self, node: NodeId) -> _ArqNodeApi:
+        api = self._apis.get(node)
+        if api is None:
+            api = _ArqNodeApi(self, self.network, node)
+            self._apis[node] = api
+        return api
+
+    def _send_frame(self, node: NodeId, to: NodeId, payload: Any) -> None:
+        counter = self._next_id.get(node, 0)
+        self._next_id[node] = counter + 1
+        frame = ArqData(msg_id=(node, counter), payload=payload)
+        self._outbox[frame.msg_id] = (to, frame, self.max_retries, self.base_timeout)
+        self.network.transmit(node, to, frame)
+        self.frames_sent += 1
+        self.network.set_timer(node, self.base_timeout, (_ARQ_TAG, frame.msg_id))
+
+    # ------------------------------------------------------------------
+
+    def on_start(self, node: NodeId, api: NodeApi) -> None:
+        self.inner.on_start(node, self._inner_api(node))
+
+    def on_message(self, node: NodeId, payload: Any, sender: NodeId, api: NodeApi) -> None:
+        if isinstance(payload, ArqData):
+            # ack every copy — the sender may be retrying a lost ack
+            self.network.transmit(node, sender, ArqAck(msg_id=payload.msg_id))
+            self.acks_sent += 1
+            key = (node, payload.msg_id)
+            if key in self._seen:
+                self.duplicates_suppressed += 1
+                return
+            self._seen.add(key)
+            self.inner.on_message(node, payload.payload, sender, self._inner_api(node))
+        elif isinstance(payload, ArqAck):
+            self._outbox.pop(payload.msg_id, None)
+        else:
+            raise ProtocolError(f"non-ARQ payload {payload!r} reached the ARQ layer")
+
+    def on_timer(self, node: NodeId, tag: Any, api: NodeApi) -> None:
+        if not (isinstance(tag, tuple) and len(tag) == 2 and tag[0] == _ARQ_TAG):
+            self.inner.on_timer(node, tag, self._inner_api(node))
+            return
+        msg_id = tag[1]
+        entry = self._outbox.get(msg_id)
+        if entry is None:
+            return  # ACKed in the meantime
+        to, frame, retries_left, timeout = entry
+        if retries_left <= 0:
+            del self._outbox[msg_id]
+            self.gave_up += 1
+            return
+        timeout = min(timeout * self.backoff, self.max_timeout)
+        self._outbox[msg_id] = (to, frame, retries_left - 1, timeout)
+        self.network.transmit(node, to, frame)
+        self.retransmissions += 1
+        self.network.set_timer(node, timeout, tag)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def frames_created(self) -> int:
+        """Distinct frames the layer has originated (excluding retries)."""
+        return sum(self._next_id.values())
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames still awaiting an ACK."""
+        return len(self._outbox)
+
+    @property
+    def retry_budget(self) -> int:
+        """Upper bound the retransmission invariant checks against."""
+        return self.max_retries * self.frames_created

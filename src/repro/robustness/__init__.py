@@ -1,0 +1,62 @@
+"""Chaos engineering for the flooding stack: campaigns, scenarios, invariants.
+
+The paper's claim is *resilience* — an LHG floods correctly under any
+k − 1 crashes or link failures.  This package stresses that claim far
+beyond the crash-stop model: a :class:`ChaosCampaign` sweeps scenario ×
+protocol × topology grids (message loss, duplication, reordering,
+flapping links, transient partitions, crash-recovery), checks harness
+invariants after every run, and aggregates a resilience matrix.
+Exposed on the command line as ``python -m repro chaos``.
+"""
+
+from repro.robustness.campaign import (
+    CellResult,
+    ChaosCampaign,
+    ProtocolSpec,
+    ResilienceMatrix,
+    standard_protocols,
+)
+from repro.robustness.invariants import (
+    InvariantViolation,
+    RunRecord,
+    check_invariants,
+    check_no_dead_delivery,
+    check_quiescence,
+    check_retransmission_budget,
+    check_survivor_coverage,
+)
+from repro.robustness.scenarios import (
+    Scenario,
+    ScenarioSetup,
+    baseline,
+    crash_recover,
+    duplicate_reorder,
+    flapping,
+    message_loss,
+    partition_heal,
+    standard_scenarios,
+)
+
+__all__ = [
+    "CellResult",
+    "ChaosCampaign",
+    "InvariantViolation",
+    "ProtocolSpec",
+    "ResilienceMatrix",
+    "RunRecord",
+    "Scenario",
+    "ScenarioSetup",
+    "baseline",
+    "check_invariants",
+    "check_no_dead_delivery",
+    "check_quiescence",
+    "check_retransmission_budget",
+    "check_survivor_coverage",
+    "crash_recover",
+    "duplicate_reorder",
+    "flapping",
+    "message_loss",
+    "partition_heal",
+    "standard_protocols",
+    "standard_scenarios",
+]

@@ -1,0 +1,318 @@
+"""The chaos campaign engine: scenario × protocol × topology sweeps.
+
+A :class:`ChaosCampaign` runs every cell of a grid — each cell is one
+simulated dissemination under one adversary — collects a
+:class:`CellResult` per run, checks the invariants of
+:mod:`repro.robustness.invariants` after every run, and aggregates
+everything into a :class:`ResilienceMatrix` that renders as the usual
+ASCII table.  Campaigns are deterministic: a cell is a pure function of
+(topology, protocol, scenario, seed), so any row of the matrix can be
+reproduced in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.errors import SimulationError
+from repro.flooding.experiments import summarize_run
+from repro.flooding.failures import apply_schedule
+from repro.flooding.network import Network, Protocol
+from repro.flooding.protocols.arq import ArqProtocol
+from repro.flooding.protocols.reliable import ReliableFloodProtocol
+from repro.flooding.simulator import Simulator
+from repro.flooding.trace import TraceCollector
+from repro.graphs.graph import Graph
+from repro.robustness.invariants import RunRecord, check_invariants
+from repro.robustness.scenarios import Scenario, standard_scenarios
+
+NodeId = Hashable
+
+_EVENT_BUDGET_FACTOR = 60
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol column of the campaign grid.
+
+    Attributes
+    ----------
+    name:
+        Column label.
+    factory:
+        ``(network, source) -> Protocol`` building a fresh instance.
+    guarantees_delivery:
+        Whether the coverage invariant is *enforced* for this protocol
+        (True for the ARQ-wrapped variant, which claims convergence).
+    budget_multiplier:
+        Scales the per-run event budget (retransmitting protocols need
+        more room than one-shot flooding).
+    """
+
+    name: str
+    factory: Callable[[Network, NodeId], Protocol]
+    guarantees_delivery: bool = False
+    budget_multiplier: int = 1
+
+
+def standard_protocols(
+    retry_timeout: float = 3.0,
+    inner_retries: int = 8,
+    base_timeout: float = 2.5,
+    backoff: float = 2.0,
+    max_timeout: float = 16.0,
+    arq_retries: int = 10,
+) -> List[ProtocolSpec]:
+    """The acceptance pair: plain ReliableFlood vs its ARQ-wrapped form."""
+
+    def plain(network: Network, source: NodeId) -> Protocol:
+        return ReliableFloodProtocol(
+            network, source, retry_timeout=retry_timeout, max_retries=inner_retries
+        )
+
+    def arq_wrapped(network: Network, source: NodeId) -> Protocol:
+        return ArqProtocol(
+            network,
+            ReliableFloodProtocol(
+                network,
+                source,
+                retry_timeout=retry_timeout,
+                max_retries=inner_retries,
+            ),
+            base_timeout=base_timeout,
+            backoff=backoff,
+            max_timeout=max_timeout,
+            max_retries=arq_retries,
+        )
+
+    return [
+        ProtocolSpec(
+            name="reliable-flood",
+            factory=plain,
+            guarantees_delivery=False,
+            budget_multiplier=inner_retries + 2,
+        ),
+        ProtocolSpec(
+            name="arq-reliable-flood",
+            factory=arq_wrapped,
+            guarantees_delivery=True,
+            budget_multiplier=inner_retries + arq_retries + 4,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one campaign cell (one run)."""
+
+    topology: str
+    scenario: str
+    protocol: str
+    seed: int
+    covered: int
+    reachable: int
+    delivery_ratio: float
+    messages: int
+    retransmissions: int
+    completion_time: Optional[float]
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violated in this cell."""
+        return not self.violations
+
+    @property
+    def fully_covered(self) -> bool:
+        """The run covered the whole survivor component."""
+        return self.covered >= self.reachable
+
+
+@dataclass
+class ResilienceMatrix:
+    """All cells of one campaign, with rendering and roll-up queries."""
+
+    cells: List[CellResult] = field(default_factory=list)
+
+    def add(self, cell: CellResult) -> None:
+        """Record one cell."""
+        self.cells.append(cell)
+
+    @property
+    def all_green(self) -> bool:
+        """True when no cell violated any invariant."""
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def violations(self) -> List[Tuple[CellResult, str]]:
+        """Every (cell, violation) pair across the campaign."""
+        return [
+            (cell, violation)
+            for cell in self.cells
+            for violation in cell.violations
+        ]
+
+    def select(
+        self,
+        topology: Optional[str] = None,
+        scenario: Optional[str] = None,
+        protocol: Optional[str] = None,
+    ) -> List[CellResult]:
+        """Cells matching the given labels (None = wildcard)."""
+        return [
+            cell
+            for cell in self.cells
+            if (topology is None or cell.topology == topology)
+            and (scenario is None or cell.scenario == scenario)
+            and (protocol is None or cell.protocol == protocol)
+        ]
+
+    def render(self, title: str = "Chaos campaign resilience matrix") -> str:
+        """The matrix as an ASCII table, one row per cell."""
+        rows = [
+            (
+                cell.topology,
+                cell.scenario,
+                cell.protocol,
+                cell.seed,
+                f"{cell.covered}/{cell.reachable}",
+                f"{cell.delivery_ratio:.2%}",
+                cell.messages,
+                cell.retransmissions,
+                "ok" if cell.ok else ";".join(cell.violations),
+            )
+            for cell in self.cells
+        ]
+        return render_table(
+            [
+                "topology",
+                "scenario",
+                "protocol",
+                "seed",
+                "covered",
+                "delivery",
+                "msgs",
+                "retx",
+                "invariants",
+            ],
+            rows,
+            title=title,
+        )
+
+
+class ChaosCampaign:
+    """Sweep a scenario × protocol grid over one or more topologies.
+
+    Parameters
+    ----------
+    topologies:
+        ``(name, graph)`` pairs; the flood source is each graph's first
+        node (override per graph with ``sources``).
+    protocols:
+        Protocol columns; defaults to :func:`standard_protocols`.
+    scenarios:
+        Adversary rows; defaults to
+        :func:`~repro.robustness.scenarios.standard_scenarios`.
+    seeds:
+        One full grid pass per seed; every random choice inside a cell
+        is derived from its seed, so identical seeds reproduce identical
+        matrix rows.
+    sources:
+        Optional ``{topology_name: source_node}`` overrides.
+    """
+
+    def __init__(
+        self,
+        topologies: Sequence[Tuple[str, Graph]],
+        protocols: Optional[Sequence[ProtocolSpec]] = None,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        seeds: Sequence[int] = (0,),
+        sources: Optional[dict] = None,
+    ) -> None:
+        if not topologies:
+            raise SimulationError("a campaign needs at least one topology")
+        if not seeds:
+            raise SimulationError("a campaign needs at least one seed")
+        self.topologies = list(topologies)
+        self.protocols = list(protocols) if protocols is not None else standard_protocols()
+        self.scenarios = (
+            list(scenarios) if scenarios is not None else standard_scenarios()
+        )
+        self.seeds = list(seeds)
+        self.sources = dict(sources or {})
+
+    # ------------------------------------------------------------------
+
+    def run_cell(
+        self,
+        topology_name: str,
+        graph: Graph,
+        spec: ProtocolSpec,
+        scenario: Scenario,
+        seed: int,
+    ) -> CellResult:
+        """Run one cell: simulate, summarise, check invariants."""
+        source = self.sources.get(topology_name, graph.nodes()[0])
+        setup = scenario.build(graph, source, seed)
+        simulator = Simulator()
+        network = Network(graph, simulator, fault_model=setup.fault_model)
+        trace = TraceCollector()
+        network.add_observer(trace)
+        apply_schedule(setup.schedule, network, simulator)
+        protocol = spec.factory(network, source)
+        network.attach(protocol, start_nodes=[source])
+        budget = (
+            _EVENT_BUDGET_FACTOR
+            * max(1, spec.budget_multiplier)
+            * (graph.number_of_nodes() + graph.number_of_edges() + 100)
+        )
+        budget_exhausted = False
+        try:
+            simulator.run(max_events=budget)
+        except SimulationError:
+            budget_exhausted = True
+        result = summarize_run(
+            spec.name, graph, source, setup.schedule, network
+        )
+        record = RunRecord(
+            graph=graph,
+            source=source,
+            schedule=setup.schedule,
+            network=network,
+            simulator=simulator,
+            trace=trace,
+            protocol=protocol,
+            result=result,
+            budget_exhausted=budget_exhausted,
+            guarantees_delivery=spec.guarantees_delivery,
+        )
+        violations = check_invariants(record)
+        return CellResult(
+            topology=topology_name,
+            scenario=scenario.name,
+            protocol=spec.name,
+            seed=seed,
+            covered=result.covered,
+            reachable=result.reachable,
+            delivery_ratio=result.delivery_ratio,
+            messages=result.messages,
+            retransmissions=getattr(protocol, "retransmissions", 0),
+            completion_time=result.completion_time,
+            violations=tuple(str(v) for v in violations),
+        )
+
+    def run(self) -> ResilienceMatrix:
+        """Run every cell of the grid; return the populated matrix."""
+        matrix = ResilienceMatrix()
+        for topology_name, graph in self.topologies:
+            for scenario in self.scenarios:
+                for spec in self.protocols:
+                    for seed in self.seeds:
+                        matrix.add(
+                            self.run_cell(
+                                topology_name, graph, spec, scenario, seed
+                            )
+                        )
+        return matrix

@@ -1,0 +1,158 @@
+"""Post-run invariant checks for chaos campaign cells.
+
+Every campaign run finishes with a battery of checks over the *whole*
+simulation record — the result, the final network/simulator state and
+the full event trace — so a harness bug (a delivery to a dead node, a
+runaway retransmission loop) fails loudly instead of silently skewing a
+resilience matrix:
+
+* **coverage** — every node of the survivor component received the
+  payload (enforced only for protocols that *guarantee* delivery; for
+  best-effort protocols the shortfall is data, not a bug);
+* **quiescence** — the simulator drained its queue naturally (no
+  pending events, no exhausted event budget): the protocol terminated;
+* **no-dead-delivery** — replayed from the trace: no ``deliver`` event
+  targets a node inside one of its down windows;
+* **retransmission-budget** — the protocol's retransmission counter
+  respects its declared per-frame retry budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
+
+from repro.flooding.failures import FailureSchedule
+from repro.flooding.metrics import FloodResult
+from repro.flooding.network import Network, Protocol
+from repro.flooding.simulator import Simulator
+from repro.flooding.trace import TraceCollector
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant: which one, and what was observed."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.invariant}: {self.detail}"
+
+
+@dataclass
+class RunRecord:
+    """Everything one campaign run leaves behind for the checkers."""
+
+    graph: Graph
+    source: NodeId
+    schedule: FailureSchedule
+    network: Network
+    simulator: Simulator
+    trace: TraceCollector
+    protocol: Protocol
+    result: FloodResult
+    budget_exhausted: bool = False
+    guarantees_delivery: bool = False
+
+
+def check_survivor_coverage(record: RunRecord) -> Optional[InvariantViolation]:
+    """Full coverage of the survivor component (see module docstring)."""
+    result = record.result
+    if result.fully_covered:
+        return None
+    return InvariantViolation(
+        "coverage",
+        f"covered {result.covered} of {result.reachable} reachable survivors",
+    )
+
+
+def check_quiescence(record: RunRecord) -> Optional[InvariantViolation]:
+    """The simulation terminated by draining its queue."""
+    if record.budget_exhausted:
+        return InvariantViolation(
+            "quiescence", "event budget exhausted — runaway protocol?"
+        )
+    pending = record.simulator.pending_events
+    if pending:
+        return InvariantViolation(
+            "quiescence", f"{pending} events still pending after the run"
+        )
+    return None
+
+
+def check_no_dead_delivery(record: RunRecord) -> Optional[InvariantViolation]:
+    """No trace ``deliver`` event targets a currently-down node.
+
+    Replays the trace in order, tracking each node's down windows from
+    its own ``crash`` / ``recover`` events — the network is supposed to
+    drop these messages, so a hit means the harness itself is broken.
+    """
+    down: Set[NodeId] = set()
+    for event in record.trace.events:
+        if event.kind == "crash":
+            down.add(event.node)
+        elif event.kind == "recover":
+            down.discard(event.node)
+        elif event.kind == "deliver" and event.receiver in down:
+            return InvariantViolation(
+                "no-dead-delivery",
+                f"delivery to crashed node {event.receiver!r} at t={event.time}",
+            )
+    return None
+
+
+def check_retransmission_budget(record: RunRecord) -> Optional[InvariantViolation]:
+    """Retransmissions stay within the protocol's declared budget.
+
+    Protocols expose ``retransmissions`` plus either an explicit
+    ``retry_budget`` (the ARQ layer) or ``max_retries`` with
+    ``data_sent`` (ReliableFlood: budget = max_retries × distinct
+    frames).  Protocols without these counters pass vacuously.
+    """
+    protocol = record.protocol
+    retransmissions = getattr(protocol, "retransmissions", None)
+    if retransmissions is None:
+        return None
+    budget = getattr(protocol, "retry_budget", None)
+    if budget is None:
+        max_retries = getattr(protocol, "max_retries", None)
+        data_sent = getattr(protocol, "data_sent", None)
+        if max_retries is None or data_sent is None:
+            return None
+        budget = max_retries * max(0, data_sent - retransmissions)
+    if retransmissions > budget:
+        return InvariantViolation(
+            "retransmission-budget",
+            f"{retransmissions} retransmissions exceed the budget of {budget}",
+        )
+    return None
+
+
+_ALWAYS = (
+    check_quiescence,
+    check_no_dead_delivery,
+    check_retransmission_budget,
+)
+
+
+def check_invariants(record: RunRecord) -> List[InvariantViolation]:
+    """Run every applicable invariant; return the violations (ideally none).
+
+    The coverage invariant is enforced only when the record's protocol
+    ``guarantees_delivery`` — a best-effort protocol losing coverage
+    under chaos is a *measurement*, not a harness bug.
+    """
+    violations = []
+    if record.guarantees_delivery:
+        violation = check_survivor_coverage(record)
+        if violation is not None:
+            violations.append(violation)
+    for checker in _ALWAYS:
+        violation = checker(record)
+        if violation is not None:
+            violations.append(violation)
+    return violations

@@ -1,0 +1,203 @@
+"""Chaos scenarios: named, seeded adversary configurations.
+
+A :class:`Scenario` is a *recipe*: given a topology, a source and a
+seed it produces the concrete :class:`ScenarioSetup` (failure/recovery
+schedule plus message-level fault model) for one campaign cell.  The
+same (scenario, graph, source, seed) tuple always yields the same
+setup, which is what makes a resilience matrix row reproducible.
+
+The standard library covers the regimes the paper's guarantee should be
+stressed against but the crash-stop model alone cannot express:
+
+* ``baseline``        — no faults (sanity row);
+* ``loss-p``          — i.i.d. per-message drop with probability p;
+* ``dup-reorder``     — duplication + extra-delay reordering;
+* ``flapping``        — victims' links cycle down/up, outliving a
+  fixed retransmission window;
+* ``partition-heal``  — the network splits in two, then heals;
+* ``crash-recover``   — transient node crashes (crash-recovery model).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.flooding.failures import (
+    FailureSchedule,
+    bisect_groups,
+    crash_and_recover,
+    flapping_links,
+    partition,
+)
+from repro.flooding.faults import FaultModel, LinkFaultProfile, RandomFaultModel
+from repro.graphs.graph import Graph
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class ScenarioSetup:
+    """The concrete adversary for one run: schedule + fault model."""
+
+    schedule: FailureSchedule = field(default_factory=FailureSchedule)
+    fault_model: Optional[FaultModel] = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named adversary recipe (see module docstring).
+
+    ``build(graph, source, seed)`` must be deterministic in its
+    arguments; all randomness must flow through ``seed``.
+    """
+
+    name: str
+    build: Callable[[Graph, NodeId, int], ScenarioSetup]
+    description: str = ""
+
+
+def _pick_victims(
+    graph: Graph, source: NodeId, count: int, seed: int
+) -> List[NodeId]:
+    eligible = sorted((v for v in graph.nodes() if v != source), key=repr)
+    if count > len(eligible):
+        raise SimulationError(
+            f"cannot pick {count} victims among {len(eligible)} nodes"
+        )
+    return random.Random(seed).sample(eligible, count)
+
+
+def baseline() -> Scenario:
+    """No faults at all — every protocol must ace this row."""
+    return Scenario(
+        name="baseline",
+        build=lambda graph, source, seed: ScenarioSetup(),
+        description="fault-free sanity row",
+    )
+
+
+def message_loss(rate: float) -> Scenario:
+    """Drop each message i.i.d. with probability ``rate``."""
+    return Scenario(
+        name=f"loss-{rate:g}",
+        build=lambda graph, source, seed: ScenarioSetup(
+            fault_model=RandomFaultModel(LinkFaultProfile(drop=rate), seed=seed)
+        ),
+        description=f"i.i.d. message loss p={rate:g}",
+    )
+
+
+def duplicate_reorder(
+    duplicate: float = 0.3, reorder: float = 0.3, reorder_delay: float = 2.5
+) -> Scenario:
+    """Duplicate and extra-delay (reorder) messages, no loss."""
+    return Scenario(
+        name="dup-reorder",
+        build=lambda graph, source, seed: ScenarioSetup(
+            fault_model=RandomFaultModel(
+                LinkFaultProfile(
+                    duplicate=duplicate,
+                    reorder=reorder,
+                    reorder_delay=reorder_delay,
+                ),
+                seed=seed,
+            )
+        ),
+        description=(
+            f"duplication p={duplicate:g}, reorder p={reorder:g} "
+            f"(+{reorder_delay:g} delay)"
+        ),
+    )
+
+
+def flapping(
+    victims: int = 3,
+    down_for: float = 32.0,
+    period: float = 50.0,
+    start: float = 0.5,
+    cycles: int = 2,
+) -> Scenario:
+    """Flap every link of ``victims`` seeded-random nodes.
+
+    The down window deliberately outlives a fixed retransmission budget
+    (e.g. ReliableFlood's 8 × 3.0 = 24 time units), so only schemes
+    that keep retrying — exponential backoff with a deep budget — cover
+    the victims once their links come back.
+    """
+
+    def build(graph: Graph, source: NodeId, seed: int) -> ScenarioSetup:
+        chosen = _pick_victims(graph, source, victims, seed)
+        links = [
+            (node, neighbor)
+            for node in chosen
+            for neighbor in sorted(graph.neighbors(node), key=repr)
+        ]
+        return ScenarioSetup(
+            schedule=flapping_links(
+                links, period=period, down_for=down_for, start=start, cycles=cycles
+            )
+        )
+
+    return Scenario(
+        name="flapping",
+        build=build,
+        description=(
+            f"{victims} victims' links flap: down {down_for:g} of every "
+            f"{period:g} time units × {cycles} cycles"
+        ),
+    )
+
+
+def partition_heal(at: float = 0.0, heal_at: float = 40.0) -> Scenario:
+    """Split the network into two BFS halves at ``at``; heal at ``heal_at``."""
+
+    def build(graph: Graph, source: NodeId, seed: int) -> ScenarioSetup:
+        near, far = bisect_groups(graph, source)
+        return ScenarioSetup(
+            schedule=partition(graph, [near, far], at=at, heal_at=heal_at)
+        )
+
+    return Scenario(
+        name="partition-heal",
+        build=build,
+        description=f"two-way partition at t={at:g}, healed at t={heal_at:g}",
+    )
+
+
+def crash_recover(
+    victims: int = 5, crash_at: float = 0.5, recover_at: float = 35.0
+) -> Scenario:
+    """Crash ``victims`` seeded-random nodes transiently."""
+
+    def build(graph: Graph, source: NodeId, seed: int) -> ScenarioSetup:
+        chosen = _pick_victims(graph, source, victims, seed)
+        return ScenarioSetup(
+            schedule=crash_and_recover(
+                chosen, crash_at=crash_at, recover_at=recover_at
+            )
+        )
+
+    return Scenario(
+        name="crash-recover",
+        build=build,
+        description=(
+            f"{victims} nodes crash at t={crash_at:g}, recover at "
+            f"t={recover_at:g}"
+        ),
+    )
+
+
+def standard_scenarios(
+    loss_rates: Sequence[float] = (0.1, 0.3),
+) -> List[Scenario]:
+    """The default campaign grid (the acceptance sweep)."""
+    scenarios = [baseline()]
+    scenarios.extend(message_loss(rate) for rate in loss_rates)
+    scenarios.append(duplicate_reorder())
+    scenarios.append(flapping())
+    scenarios.append(partition_heal())
+    scenarios.append(crash_recover())
+    return scenarios

@@ -45,6 +45,25 @@ class TestFlood:
         assert "100.00%" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_chaos_baseline_all_green(self, capsys):
+        assert main(["chaos", "16", "2", "--scenarios", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants all green" in out
+        assert "reliable-flood" in out and "arq-reliable-flood" in out
+
+    def test_chaos_recoverable_scenarios_green(self, capsys):
+        code = main(
+            ["chaos", "16", "2", "--scenarios", "crash-recover", "--seed", "1"]
+        )
+        assert code == 0
+        assert "100.00%" in capsys.readouterr().out  # the ARQ rows
+
+    def test_chaos_unknown_scenario_errors(self, capsys):
+        assert main(["chaos", "16", "2", "--scenarios", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
 class TestTables:
     def test_coverage_table(self, capsys):
         assert main(["coverage", "3", "--max-n", "10"]) == 0

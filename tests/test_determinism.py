@@ -7,8 +7,18 @@ from repro.flooding.experiments import (
     run_gossip,
     run_treecast,
 )
-from repro.flooding.failures import random_crashes
-from repro.flooding.network import ExponentialLatency, UniformLatency
+from repro.flooding.failures import (
+    apply_schedule,
+    crash_and_recover,
+    random_crashes,
+    random_flapping_links,
+)
+from repro.flooding.faults import noisy_links
+from repro.flooding.network import ExponentialLatency, Network, UniformLatency
+from repro.flooding.protocols.arq import ArqProtocol
+from repro.flooding.protocols.reliable import ReliableFloodProtocol
+from repro.flooding.simulator import Simulator
+from repro.flooding.trace import TraceCollector
 
 
 def identical_results(a, b) -> bool:
@@ -64,6 +74,44 @@ class TestRunDeterminism:
         b = run_failure_detection(graph, [victim], 10.0, **kwargs)
         assert a.detection_delays == b.detection_delays
         assert a.false_suspicions == b.false_suspicions
+
+
+def chaotic_trace(seed: int) -> list:
+    """One fully-chaotic run: loss+dup+reorder, flapping, crash+recover."""
+    graph, _ = build_lhg(24, 3)
+    source = graph.nodes()[0]
+    victims = [v for v in graph.nodes() if v != source][:2]
+    schedule = crash_and_recover(victims, crash_at=0.5, recover_at=20.0).merged(
+        random_flapping_links(
+            graph, 3, period=12.0, down_for=5.0, start=1.0, cycles=2, seed=seed
+        )
+    )
+    simulator = Simulator()
+    network = Network(
+        graph,
+        simulator,
+        loss_rate=0.1,
+        loss_seed=seed,
+        fault_model=noisy_links(drop=0.1, duplicate=0.2, reorder=0.2, seed=seed),
+    )
+    trace = TraceCollector(keep_payloads=True)
+    network.add_observer(trace)
+    apply_schedule(schedule, network, simulator)
+    protocol = ArqProtocol(
+        network, ReliableFloodProtocol(network, source)
+    )
+    network.attach(protocol, start_nodes=[source])
+    simulator.run(max_events=500_000)
+    return trace.events
+
+
+class TestTraceDeterminism:
+    def test_chaotic_trace_byte_identical(self):
+        # every event — kind, time, endpoints, payload repr — must match
+        assert chaotic_trace(3) == chaotic_trace(3)
+
+    def test_chaotic_trace_seed_sensitive(self):
+        assert chaotic_trace(1) != chaotic_trace(2)
 
 
 class TestSeedSensitivity:

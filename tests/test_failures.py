@@ -6,9 +6,14 @@ from repro.errors import SimulationError
 from repro.flooding.failures import (
     FailureSchedule,
     apply_schedule,
+    bisect_groups,
+    crash_and_recover,
     crash_before_start,
+    flapping_links,
     minimum_cut_attack,
+    partition,
     random_crashes,
+    random_flapping_links,
     random_link_failures,
     survivors,
     targeted_crashes,
@@ -33,6 +38,42 @@ class TestScheduleBuilding:
     def test_crash_before_start(self):
         schedule = crash_before_start([3, 4])
         assert all(c.time == 0.0 for c in schedule.crashes)
+
+    def test_duplicate_events_deduped(self):
+        schedule = (
+            FailureSchedule()
+            .crash(1)
+            .crash(1)
+            .fail_link(2, 3)
+            .fail_link(3, 2)  # undirected duplicate
+            .recover(1, time=5.0)
+            .recover(1, time=5.0)
+            .restore_link(2, 3, time=5.0)
+            .restore_link(3, 2, time=5.0)
+        )
+        assert len(schedule.crashes) == 1
+        assert len(schedule.link_failures) == 1
+        assert len(schedule.recoveries) == 1
+        assert len(schedule.link_recoveries) == 1
+
+    def test_same_event_at_different_times_kept(self):
+        schedule = FailureSchedule().crash(1, time=0.0).crash(1, time=3.0)
+        assert len(schedule.crashes) == 2
+
+    def test_merged_dedupes_and_keeps_recoveries(self):
+        a = FailureSchedule().crash(1).fail_link(2, 3).recover(1, time=4.0)
+        b = FailureSchedule().crash(1).fail_link(3, 2).restore_link(2, 3, time=4.0)
+        union = a.merged(b)
+        assert len(union.crashes) == 1
+        assert len(union.link_failures) == 1
+        assert len(union.recoveries) == 1
+        assert len(union.link_recoveries) == 1
+
+    def test_merged_propagates_incomplete_cut(self):
+        a = FailureSchedule()
+        b = FailureSchedule(incomplete_cut=True)
+        assert a.merged(b).incomplete_cut
+        assert not a.merged(FailureSchedule()).incomplete_cut
 
 
 class TestBuilders:
@@ -76,7 +117,83 @@ class TestBuilders:
         g = cycle_graph(8)
         schedule = minimum_cut_attack(g)
         assert len(schedule.crashed_nodes) == 2
+        assert not schedule.incomplete_cut
         assert not is_connected(survivors(g, schedule))
+
+    def test_minimum_cut_attack_flags_protected_subcut(self):
+        g = cycle_graph(8)
+        full_cut = minimum_cut_attack(g).crashed_nodes
+        shielded = next(iter(full_cut))
+        schedule = minimum_cut_attack(g, protect={shielded})
+        assert schedule.incomplete_cut
+        assert shielded not in schedule.crashed_nodes
+        assert len(schedule.crashed_nodes) == len(full_cut) - 1
+
+
+class TestRecoveryBuilders:
+    def test_crash_and_recover_pairs_events(self):
+        schedule = crash_and_recover([1, 2], crash_at=1.0, recover_at=5.0)
+        assert schedule.crashed_nodes == {1, 2}
+        assert {r.node for r in schedule.recoveries} == {1, 2}
+        assert all(r.time == 5.0 for r in schedule.recoveries)
+
+    def test_crash_and_recover_orders_times(self):
+        with pytest.raises(SimulationError):
+            crash_and_recover([1], crash_at=5.0, recover_at=5.0)
+
+    def test_partition_cuts_only_cross_links(self):
+        g = cycle_graph(6)
+        schedule = partition(g, [[0, 1, 2], [3, 4, 5]], at=1.0)
+        cut = {frozenset((f.u, f.v)) for f in schedule.link_failures}
+        assert cut == {frozenset((2, 3)), frozenset((5, 0))}
+        assert not schedule.link_recoveries
+
+    def test_partition_heals_everything(self):
+        g = cycle_graph(6)
+        schedule = partition(g, [[0, 1, 2], [3, 4, 5]], at=1.0, heal_at=9.0)
+        assert len(schedule.link_recoveries) == len(schedule.link_failures)
+        assert all(r.time == 9.0 for r in schedule.link_recoveries)
+
+    def test_partition_rejects_overlap_and_bad_heal(self):
+        g = cycle_graph(6)
+        with pytest.raises(SimulationError):
+            partition(g, [[0, 1], [1, 2]])
+        with pytest.raises(SimulationError):
+            partition(g, [[0, 1], [2, 3]], at=5.0, heal_at=5.0)
+
+    def test_bisect_groups_splits_all_nodes(self):
+        g = cycle_graph(8)
+        near, far = bisect_groups(g, 0)
+        assert sorted(near + far) == g.nodes()
+        assert 0 in near and len(near) == 4
+
+    def test_flapping_links_one_cycle(self):
+        schedule = flapping_links([(0, 1)], period=10.0, down_for=4.0, start=2.0)
+        assert [(f.time) for f in schedule.link_failures] == [2.0]
+        assert [(r.time) for r in schedule.link_recoveries] == [6.0]
+
+    def test_flapping_links_multi_cycle(self):
+        schedule = flapping_links(
+            [(0, 1)], period=10.0, down_for=4.0, start=0.0, cycles=3
+        )
+        assert [f.time for f in schedule.link_failures] == [0.0, 10.0, 20.0]
+        assert [r.time for r in schedule.link_recoveries] == [4.0, 14.0, 24.0]
+
+    def test_flapping_links_validates_timing(self):
+        with pytest.raises(SimulationError):
+            flapping_links([(0, 1)], period=4.0, down_for=4.0)
+        with pytest.raises(SimulationError):
+            flapping_links([(0, 1)], period=4.0, down_for=0.0)
+        with pytest.raises(SimulationError):
+            flapping_links([(0, 1)], period=4.0, down_for=2.0, cycles=0)
+
+    def test_random_flapping_links_seeded(self):
+        g = cycle_graph(8)
+        a = random_flapping_links(g, 3, period=10.0, down_for=4.0, seed=1)
+        b = random_flapping_links(g, 3, period=10.0, down_for=4.0, seed=1)
+        assert a.link_failures == b.link_failures
+        with pytest.raises(SimulationError):
+            random_flapping_links(g, 99, period=10.0, down_for=4.0)
 
 
 class TestApplication:
@@ -106,6 +223,37 @@ class TestApplication:
         sim.run()
         assert not net.is_link_up(0, 1)
 
+    def test_timed_recovery_fires(self):
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        schedule = crash_and_recover([2], crash_at=1.0, recover_at=3.0)
+        schedule.fail_link(0, 1, time=1.0).restore_link(0, 1, time=3.0)
+        apply_schedule(schedule, net, sim)
+        sim.run()
+        assert net.is_alive(2)
+        assert net.is_link_up(0, 1)
+        assert sim.now == 3.0
+
+    def test_time_zero_crash_recover_pair_cancels(self):
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        apply_schedule(FailureSchedule().crash(2).recover(2), net, sim)
+        assert net.is_alive(2)
+
+    def test_same_time_crash_beats_delivery_recovery_beats_crash(self):
+        # at one instant the order is crash -> recover -> deliveries
+        g = cycle_graph(5)
+        sim = Simulator()
+        net = Network(g, sim)
+        schedule = crash_before_start([2]).merged(
+            FailureSchedule().recover(2, time=4.0).crash(2, time=4.0)
+        )
+        apply_schedule(schedule, net, sim)
+        sim.run()
+        assert net.is_alive(2)
+
 
 class TestSurvivors:
     def test_removes_crashed_nodes(self):
@@ -124,3 +272,28 @@ class TestSurvivors:
         g = cycle_graph(4)
         schedule = FailureSchedule().fail_link(0, 2)  # not an edge
         assert survivors(g, schedule).number_of_edges() == 4
+
+    def test_recovered_node_counts_as_survivor(self):
+        g = cycle_graph(6)
+        schedule = crash_and_recover([0, 3], crash_at=1.0, recover_at=5.0)
+        remaining = survivors(g, schedule)
+        assert remaining.number_of_nodes() == 6
+        assert is_connected(remaining)
+
+    def test_recovered_link_counts_as_survivor(self):
+        g = cycle_graph(6)
+        schedule = flapping_links(
+            [(0, 1), (3, 4)], period=10.0, down_for=4.0, cycles=2
+        )
+        assert survivors(g, schedule).number_of_edges() == 6
+
+    def test_final_state_wins_over_history(self):
+        g = cycle_graph(6)
+        # crashed, recovered, crashed again: down in the final state
+        schedule = (
+            FailureSchedule().crash(0, time=1.0).recover(0, time=2.0).crash(0, time=3.0)
+        )
+        assert 0 not in survivors(g, schedule).nodes()
+        # tie between last crash and last recovery goes to recovery
+        tie = FailureSchedule().crash(1, time=2.0).recover(1, time=2.0)
+        assert 1 in survivors(g, tie).nodes()

@@ -1,0 +1,139 @@
+"""Tests for the pluggable per-link message-fault models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.flooding.faults import (
+    PERFECT_LINK,
+    FaultModel,
+    LinkFaultProfile,
+    RandomFaultModel,
+    lossy_links,
+    noisy_links,
+)
+from repro.flooding.network import Network, NodeApi, Protocol
+from repro.flooding.simulator import Simulator
+from repro.graphs.generators.classic import path_graph
+
+
+class Recorder(Protocol):
+    def __init__(self):
+        self.messages = []
+
+    def on_message(self, node, payload, sender, api):
+        self.messages.append((node, payload, sender, api.now))
+
+
+class TestLinkFaultProfile:
+    def test_defaults_are_perfect(self):
+        assert PERFECT_LINK.drop == 0.0
+        assert PERFECT_LINK.duplicate == 0.0
+        assert PERFECT_LINK.reorder == 0.0
+
+    @pytest.mark.parametrize("name", ["drop", "duplicate", "reorder"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_probability_domain(self, name, bad):
+        with pytest.raises(SimulationError):
+            LinkFaultProfile(**{name: bad})
+
+    def test_negative_reorder_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            LinkFaultProfile(reorder=0.5, reorder_delay=-1.0)
+
+
+class TestFaultModelContract:
+    def test_base_model_is_perfect(self):
+        assert FaultModel().copies(0, 1) == [0.0]
+
+    def test_perfect_profile_delivers_once(self):
+        model = RandomFaultModel(seed=1)
+        assert all(model.copies(0, 1) == [0.0] for _ in range(50))
+
+    def test_full_drop_is_capped_below_one(self):
+        # drop=1.0 is rejected; near-1 drops almost everything
+        model = lossy_links(0.999, seed=1)
+        fates = [model.copies(0, 1) for _ in range(200)]
+        assert sum(1 for f in fates if f == []) >= 195
+
+    def test_duplicate_yields_two_copies(self):
+        model = noisy_links(duplicate=0.999, seed=2)
+        assert all(len(model.copies(0, 1)) == 2 for _ in range(20))
+
+    def test_reorder_yields_extra_delay(self):
+        model = noisy_links(reorder=0.999, reorder_delay=3.5, seed=3)
+        assert all(model.copies(0, 1) == [3.5] for _ in range(20))
+
+    def test_seeded_sequence_deterministic(self):
+        a = noisy_links(drop=0.3, duplicate=0.3, reorder=0.3, seed=7)
+        b = noisy_links(drop=0.3, duplicate=0.3, reorder=0.3, seed=7)
+        assert [a.copies(0, 1) for _ in range(100)] == [
+            b.copies(0, 1) for _ in range(100)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = [lossy_links(0.5, seed=1).copies(0, 1) for _ in range(50)]
+        b = [lossy_links(0.5, seed=2).copies(0, 1) for _ in range(50)]
+        assert a != b
+
+
+class TestPerLinkOverrides:
+    def test_override_is_undirected(self):
+        dead = LinkFaultProfile(drop=0.999)
+        model = RandomFaultModel(per_link={(0, 1): dead}, seed=0)
+        assert model.profile_for(0, 1) is dead
+        assert model.profile_for(1, 0) is dead
+        assert model.profile_for(1, 2) is model.profile
+
+    def test_only_overridden_link_drops(self):
+        dead = LinkFaultProfile(drop=0.999)
+        model = RandomFaultModel(per_link={(0, 1): dead}, seed=4)
+        assert [] in [model.copies(0, 1) for _ in range(50)]
+        assert all(model.copies(1, 2) == [0.0] for _ in range(50))
+
+
+class TestNetworkIntegration:
+    def _run(self, model, count=30):
+        sim = Simulator()
+        net = Network(path_graph(2), sim, fault_model=model)
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        for i in range(count):
+            sim.schedule(float(i), lambda i=i: NodeApi(net, 0).send(1, i))
+        sim.run()
+        return net, recorder
+
+    def test_dropping_model_records_fault_drops(self):
+        net, recorder = self._run(lossy_links(0.999, seed=1))
+        assert len(recorder.messages) <= 1
+        assert net.stats.messages_dropped >= 29
+        # drops still count as sent: the sender paid for them
+        assert net.stats.messages_sent == 30
+
+    def test_duplicating_model_delivers_twice(self):
+        net, recorder = self._run(noisy_links(duplicate=0.999, seed=2), count=10)
+        assert len(recorder.messages) == 20
+        assert net.stats.messages_delivered == 20
+
+    def test_reordering_model_lets_later_messages_overtake(self):
+        # only message 0 is reordered (+5 delay) → it arrives last
+        class ReorderFirst(FaultModel):
+            def __init__(self):
+                self.calls = 0
+
+            def copies(self, u, v):
+                self.calls += 1
+                return [5.0] if self.calls == 1 else [0.0]
+
+        _, recorder = self._run(ReorderFirst(), count=3)
+        assert [payload for (_, payload, _, _) in recorder.messages] == [1, 2, 0]
+
+    def test_negative_fault_delay_rejected(self):
+        class Broken(FaultModel):
+            def copies(self, u, v):
+                return [-1.0]
+
+        sim = Simulator()
+        net = Network(path_graph(2), sim, fault_model=Broken())
+        net.attach(Recorder(), start_nodes=[])
+        with pytest.raises(SimulationError):
+            NodeApi(net, 0).send(1, "x")

@@ -170,6 +170,73 @@ class TestFailureSemantics:
         assert not net.is_link_up(2, 1)
         assert net.crashed_nodes == {0}
 
+    def test_crash_and_fail_link_idempotent(self):
+        sim = Simulator()
+        net = Network(path_graph(3), sim)
+        events = []
+        net.add_observer(lambda kind, time, **d: events.append(kind))
+        net.crash_node(0)
+        net.crash_node(0)
+        net.fail_link(1, 2)
+        net.fail_link(2, 1)  # same undirected link
+        assert events == ["crash", "link-down"]
+
+
+class TestRecovery:
+    def test_recover_node_restores_delivery(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim, latency=ConstantLatency(1.0))
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        net.crash_node(1)
+        sim.schedule(1.0, lambda: net.recover_node(1))
+        sim.schedule(2.0, lambda: NodeApi(net, 0).send(1, "late"))
+        sim.run()
+        assert net.is_alive(1)
+        assert recorder.messages == [(1, "late", 0, 3.0)]
+
+    def test_recover_alive_node_is_noop(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        events = []
+        net.add_observer(lambda kind, time, **d: events.append(kind))
+        net.recover_node(0)
+        assert events == []
+
+    def test_restore_link_is_undirected_and_noop_when_up(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim)
+        events = []
+        net.add_observer(lambda kind, time, **d: events.append(kind))
+        net.restore_link(0, 1)  # already up
+        net.fail_link(0, 1)
+        net.restore_link(1, 0)  # other direction, same link
+        assert net.is_link_up(0, 1)
+        assert events == ["link-down", "link-up"]
+
+    def test_messages_lost_during_outage_stay_lost(self):
+        sim = Simulator()
+        net = Network(path_graph(2), sim, latency=ConstantLatency(2.0))
+        recorder = Recorder()
+        net.attach(recorder, start_nodes=[])
+        NodeApi(net, 0).send(1, "doomed")
+        sim.schedule(1.0, lambda: net.crash_node(1))
+        sim.schedule(1.5, lambda: net.recover_node(1))
+        # in flight across the crash window but delivered after recovery: ok
+        sim.run()
+        assert recorder.messages == [(1, "doomed", 0, 2.0)]
+        # now one that arrives inside the window
+        sim2 = Simulator()
+        net2 = Network(path_graph(2), sim2, latency=ConstantLatency(2.0))
+        recorder2 = Recorder()
+        net2.attach(recorder2, start_nodes=[])
+        NodeApi(net2, 0).send(1, "doomed")
+        sim2.schedule(1.0, lambda: net2.crash_node(1))
+        sim2.schedule(3.0, lambda: net2.recover_node(1))
+        sim2.run()
+        assert recorder2.messages == []
+        assert net2.stats.messages_dropped == 1
+
 
 class TestTimers:
     def test_timer_fires(self):

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.flooding.protocols",
     "repro.overlay",
     "repro.analysis",
+    "repro.robustness",
 ]
 
 
