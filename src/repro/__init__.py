@@ -26,7 +26,11 @@ Package map:
   failure injection and baseline protocols;
 * :mod:`repro.overlay` — dynamic-membership maintenance under churn;
 * :mod:`repro.analysis` — sweeps, tables, shape statistics for the
-  benchmark harness.
+  benchmark harness;
+* :mod:`repro.robustness` — chaos campaigns: scenario × protocol
+  resilience matrices with invariant checks;
+* :mod:`repro.exec` — the execution engine: deterministic parallel
+  fan-out (``workers=``) and memoized graph construction.
 """
 
 from repro.core.existence import build_lhg, exists, regular_exists
@@ -41,22 +45,44 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
-from repro.flooding.experiments import run_flood, run_gossip, run_treecast
+from repro.exec import WorkerPool, build_lhg_cached
+from repro.flooding.experiments import (
+    ExperimentSpec,
+    RunSummary,
+    run_experiment,
+    run_flood,
+    run_gossip,
+    run_treecast,
+)
 from repro.graphs.generators.harary import harary_graph
 from repro.graphs.graph import Graph
+from repro.robustness import (
+    ChaosCampaign,
+    ResilienceMatrix,
+    TopologySpec,
+    standard_protocols,
+    standard_scenarios,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosCampaign",
     "ConstructionError",
+    "ExperimentSpec",
     "Graph",
     "GraphError",
     "InfeasiblePairError",
     "LHGReport",
     "ReproError",
+    "ResilienceMatrix",
+    "RunSummary",
     "SimulationError",
+    "TopologySpec",
+    "WorkerPool",
     "__version__",
     "build_lhg",
+    "build_lhg_cached",
     "check_lhg",
     "exists",
     "harary_graph",
@@ -66,7 +92,10 @@ __all__ = [
     "kdiamond_graph",
     "ktree_graph",
     "regular_exists",
+    "run_experiment",
     "run_flood",
     "run_gossip",
     "run_treecast",
+    "standard_protocols",
+    "standard_scenarios",
 ]

@@ -59,6 +59,7 @@ def run_sweep(
     grid: Dict[str, Iterable[Any]],
     measure: Callable[..., Dict[str, Any]],
     skip: Callable[..., bool] = None,
+    workers: int = None,
 ) -> SweepResult:
     """Run ``measure(**params)`` over the cartesian product of ``grid``.
 
@@ -72,6 +73,13 @@ def run_sweep(
     skip:
         Optional predicate; truthy means the point is skipped (e.g.
         infeasible (n, k) combinations).
+    workers:
+        Fan the grid points out across this many worker processes via
+        the execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
+        run serially; for any count the sweep is collected in grid
+        order, so as long as ``measure`` is deterministic in its
+        parameters the :class:`SweepResult` is identical to a serial
+        run.
 
     Examples
     --------
@@ -80,12 +88,24 @@ def run_sweep(
     [1, 4]
     """
     names = list(grid.keys())
-    result = SweepResult()
+    points: List[Dict[str, Any]] = []
     for values in product(*(list(grid[name]) for name in names)):
         params = dict(zip(names, values))
         if skip is not None and skip(**params):
             continue
-        result.add(params, measure(**params))
+        points.append(params)
+
+    from repro.exec.pool import parallel_map
+
+    records = parallel_map(
+        lambda params: measure(**params),
+        points,
+        workers=workers,
+        labels=[repr(params) for params in points],
+    )
+    result = SweepResult()
+    for params, record in zip(points, records):
+        result.add(params, record)
     return result
 
 

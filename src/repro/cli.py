@@ -7,7 +7,8 @@ Subcommands:
 * ``check``    — verify LHG Properties 1–5 for a built pair;
 * ``flood``    — simulate a flood with optional random crashes;
 * ``chaos``    — run a chaos campaign (scenario × protocol resilience
-  matrix with invariant checks);
+  matrix with invariant checks; ``--workers`` fans the grid across
+  cores with results identical to a serial run);
 * ``coverage`` — print the per-rule existence table for a k;
 * ``diameter`` — compare Harary vs LHG diameters over an n sweep;
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
@@ -79,9 +80,10 @@ def _cmd_flood(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.exec import build_lhg_cached
     from repro.robustness import ChaosCampaign, standard_scenarios
 
-    graph, certificate = build_lhg(args.n, args.k, rule=args.rule)
+    graph, certificate = build_lhg_cached(args.n, args.k, rule=args.rule)
     scenarios = standard_scenarios(loss_rates=tuple(args.loss))
     if args.scenarios:
         wanted = set(args.scenarios)
@@ -99,7 +101,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         seeds=range(args.seed, args.seed + args.repeats),
     )
-    matrix = campaign.run()
+    matrix = campaign.run(workers=args.workers)
     print(
         matrix.render(
             title=(
@@ -113,6 +115,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"{len(matrix.cells)} cells, invariants "
         + ("all green" if green else f"VIOLATED in {len(matrix.violations)} case(s)")
     )
+    print(campaign.last_report.summary())
     return 0 if green else 1
 
 
@@ -129,16 +132,26 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
-    rows = []
+    from repro.analysis.sweep import run_sweep
+
+    sizes = []
     n = 2 * args.k
     while n <= args.max_n:
-        lhg, _ = build_lhg(n, args.k)
-        rows.append((n, diameter(harary_graph(args.k, n)), diameter(lhg)))
+        sizes.append(n)
         n *= 2
+
+    def measure(n: int) -> dict:
+        lhg, _ = build_lhg(n, args.k)
+        return {
+            "harary-diameter": diameter(harary_graph(args.k, n)),
+            "lhg-diameter": diameter(lhg),
+        }
+
+    sweep = run_sweep({"n": sizes}, measure, workers=args.workers)
     print(
         render_table(
             ["n", "harary-diameter", "lhg-diameter"],
-            rows,
+            sweep.rows(["n", "harary-diameter", "lhg-diameter"]),
             title=f"Diameter comparison for k={args.k}",
         )
     )
@@ -245,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--repeats", type=int, default=1, help="grid passes (seeds seed..seed+r-1)"
     )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the grid (default: serial; -1 = all cores)",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cov = sub.add_parser("coverage", help="per-rule existence table")
@@ -255,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_diam = sub.add_parser("diameter", help="Harary vs LHG diameter sweep")
     p_diam.add_argument("k", type=int)
     p_diam.add_argument("--max-n", type=int, default=512)
+    p_diam.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: serial; -1 = all cores)",
+    )
     p_diam.set_defaults(func=_cmd_diameter)
 
     p_paths = sub.add_parser("paths", help="show Menger disjoint paths")

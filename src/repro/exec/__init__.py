@@ -1,0 +1,49 @@
+"""The execution engine: deterministic parallel fan-out + memoization.
+
+Every sweep in this repository — chaos campaigns, flooding experiment
+repetitions, analysis grids — is a map of a pure, seeded cell function
+over a parameter grid.  This package gives those maps three things:
+
+* :class:`~repro.exec.pool.WorkerPool` — a process-pool executor whose
+  results are byte-identical to the serial loop (items carry their own
+  derived seeds; results are collected positionally);
+* :class:`~repro.exec.cache.GraphCache` / :data:`~repro.exec.cache.GRAPH_CACHE`
+  — keyed memoization of LHG constructions ``(n, k, rule) → (graph,
+  certificate)`` so a grid builds each topology once, not once per cell;
+* :class:`~repro.exec.profiling.ExecutionReport` — per-cell wall times
+  and cache hit rates for every map, surfaced by the F13 benchmark and
+  the CLI ``--workers`` flag.
+
+Layers above wire through it behind a ``workers=`` option:
+``ChaosCampaign.run(workers=4)``,
+``repeat_runs(..., workers=4)``, ``run_sweep(..., workers=4)`` and
+``python -m repro chaos 256 4 --workers 4``.
+"""
+
+from repro.exec.cache import (
+    GRAPH_CACHE,
+    GraphCache,
+    KeyedCache,
+    TopologySpec,
+    build_lhg_cached,
+)
+from repro.exec.pool import WorkerPool, fork_available, parallel_map, resolve_workers
+from repro.exec.profiling import CellTiming, ExecutionReport, Stopwatch
+from repro.exec.seeding import derive_seed, seed_key
+
+__all__ = [
+    "CellTiming",
+    "ExecutionReport",
+    "GRAPH_CACHE",
+    "GraphCache",
+    "KeyedCache",
+    "Stopwatch",
+    "TopologySpec",
+    "WorkerPool",
+    "build_lhg_cached",
+    "derive_seed",
+    "fork_available",
+    "parallel_map",
+    "resolve_workers",
+    "seed_key",
+]

@@ -1,0 +1,124 @@
+"""Keyed memoization for expensive constructions.
+
+Campaign and sweep grids revisit the same topology many times — every
+(scenario, protocol, seed) cell of a chaos campaign runs on the same
+LHG, and an n-sweep rebuilds each size once per protocol column.  A
+:class:`KeyedCache` memoizes any keyed builder with hit/miss counters;
+:class:`GraphCache` specializes it for LHG constructions keyed by
+``(n, k, rule)`` and keeps the construction certificate alongside the
+graph.
+
+The module-level :data:`GRAPH_CACHE` is the shared instance the
+execution engine, the campaign layer and the CLI all use, so one
+process builds each topology exactly once.  Worker processes forked by
+:class:`~repro.exec.pool.WorkerPool` inherit the parent's cache
+contents at fork time for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology named by its construction parameters, not an instance.
+
+    Campaigns may list topologies as specs instead of pre-built graphs;
+    the engine resolves each spec through :data:`GRAPH_CACHE` so
+    repeated campaigns (and repeated cells) share one construction.
+    """
+
+    n: int
+    k: int
+    rule: str = "auto"
+
+    @property
+    def label(self) -> str:
+        """Default row label for this topology."""
+        suffix = "" if self.rule == "auto" else f"-{self.rule}"
+        return f"lhg-n{self.n}-k{self.k}{suffix}"
+
+
+class KeyedCache:
+    """Memoize ``key -> builder()`` with hit/miss accounting.
+
+    Not thread-safe by design: the execution engine is process-based,
+    and within one process all access happens under the GIL between
+    bytecodes of ``get_or_build``'s dict operations.
+    """
+
+    def __init__(self, name: str = "cache") -> None:
+        self.name = name
+        self._entries: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on first use."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = builder()
+            self._entries[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` — never builds, never counts."""
+        return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: ``{"hits", "misses", "entries"}``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+class GraphCache(KeyedCache):
+    """A :class:`KeyedCache` of LHG constructions keyed by (n, k, rule)."""
+
+    def __init__(self, name: str = "graphs") -> None:
+        super().__init__(name=name)
+
+    def lhg(self, n: int, k: int, rule: str = "auto") -> Tuple[Any, Any]:
+        """``(graph, certificate)`` for the pair, built at most once.
+
+        Callers must treat the returned graph as immutable — it is
+        shared with every other caller of the same key.  Mutating runs
+        should work on ``graph.copy()``.
+        """
+        from repro.core.existence import build_lhg
+
+        key = (int(n), int(k), str(rule))
+        return self.get_or_build(key, lambda: build_lhg(n, k, rule=rule))
+
+    def resolve(self, topology: "TopologySpec") -> Tuple[Any, Any]:
+        """Resolve a :class:`TopologySpec` to ``(graph, certificate)``."""
+        return self.lhg(topology.n, topology.k, rule=topology.rule)
+
+
+#: Shared process-wide construction cache (see module docstring).
+GRAPH_CACHE = GraphCache()
+
+
+def build_lhg_cached(n: int, k: int, rule: str = "auto") -> Tuple[Any, Any]:
+    """:func:`repro.core.existence.build_lhg` through :data:`GRAPH_CACHE`."""
+    return GRAPH_CACHE.lhg(n, k, rule=rule)

@@ -1,0 +1,171 @@
+"""A deterministic process-pool executor for embarrassingly parallel grids.
+
+:class:`WorkerPool` maps a function over an ordered list of work items
+and guarantees the result list is *identical* to the serial loop — same
+values, same order — regardless of worker count.  Two properties make
+that hold:
+
+* **Determinism is the caller's half of the contract**: every item must
+  carry its own seed (see :mod:`repro.exec.seeding`), so a cell's
+  output is a pure function of the item, never of scheduling order.
+* **Order is the pool's half**: results are collected positionally
+  (``multiprocessing.Pool.map``), so the output list lines up with the
+  input list even when cells finish out of order.
+
+Implementation notes
+--------------------
+The pool uses the ``fork`` start method and ships only *item indices*
+to workers.  The function and item list are published in module globals
+immediately before forking, so children inherit them through the forked
+address space.  This sidesteps pickling entirely for the *inputs* —
+closures, lambdas and scenario recipes all work — while results still
+cross a pipe and therefore must be picklable (every result type in this
+codebase — ``CellResult``, ``RunSummary``, ``FloodResult``, plain
+dicts — is).
+
+Where ``fork`` is unavailable (Windows, some macOS configurations) or
+the caller asks for ≤ 1 worker, the pool degrades to an in-process
+serial loop with the same semantics, and the attached
+:class:`~repro.exec.profiling.ExecutionReport` records which mode ran.
+Nested pools never fork twice: a map issued from inside a worker runs
+serially in that worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.exec.profiling import CellTiming, ExecutionReport, Stopwatch
+
+# Published just before forking; inherited by children (see module docstring).
+_TASK_FN: Optional[Callable[[Any], Any]] = None
+_TASK_ITEMS: Sequence[Any] = ()
+# True inside a forked worker: forbids nested forking.
+_IN_WORKER = False
+
+
+def _invoke(index: int):
+    """Run one cell by index; return ``(value, wall_seconds)``."""
+    started = time.perf_counter()
+    value = _TASK_FN(_TASK_ITEMS[index])
+    return value, time.perf_counter() - started
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` argument to a concrete positive count.
+
+    ``None``, ``0`` and ``1`` mean serial; negative values mean "all
+    cores" (``os.cpu_count()``).
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, workers)
+
+
+class WorkerPool:
+    """Deterministic fan-out executor (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``None``/``0``/``1`` run serially in
+        process; ``-1`` uses every core.
+    cache:
+        Optional :class:`~repro.exec.cache.KeyedCache` whose counters
+        are snapshotted into each map's execution report.
+
+    Attributes
+    ----------
+    last_report:
+        The :class:`ExecutionReport` of the most recent :meth:`map`.
+    """
+
+    def __init__(self, workers: Optional[int] = None, cache: Any = None) -> None:
+        self.requested_workers = resolve_workers(workers)
+        self.cache = cache
+        self.last_report = ExecutionReport()
+
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """``[fn(item) for item in items]``, possibly across processes.
+
+        ``labels`` (same length as ``items``) name the cells in the
+        execution report; indices are used when omitted.
+        """
+        items = list(items)
+        if labels is None:
+            labels = [str(i) for i in range(len(items))]
+        workers = min(self.requested_workers, max(1, len(items)))
+        use_pool = workers > 1 and fork_available() and not _IN_WORKER
+
+        with Stopwatch() as watch:
+            if use_pool:
+                mode, pairs = "fork-pool", self._map_forked(fn, items, workers)
+            else:
+                mode, workers = "serial", 1
+                pairs = [_timed_call(fn, item) for item in items]
+
+        self.last_report = ExecutionReport(
+            mode=mode,
+            workers=workers,
+            requested_workers=self.requested_workers,
+            wall_seconds=watch.seconds,
+            timings=[
+                CellTiming(label=label, seconds=seconds)
+                for label, (_, seconds) in zip(labels, pairs)
+            ],
+            cache=self.cache.stats() if self.cache is not None else None,
+        )
+        return [value for value, _ in pairs]
+
+    # ------------------------------------------------------------------
+
+    def _map_forked(
+        self, fn: Callable[[Any], Any], items: Sequence[Any], workers: int
+    ) -> List[Any]:
+        global _TASK_FN, _TASK_ITEMS
+        context = multiprocessing.get_context("fork")
+        _TASK_FN, _TASK_ITEMS = fn, items
+        try:
+            with context.Pool(processes=workers, initializer=_mark_worker) as pool:
+                return pool.map(_invoke, range(len(items)), chunksize=1)
+        finally:
+            _TASK_FN, _TASK_ITEMS = None, ()
+
+
+def _timed_call(fn: Callable[[Any], Any], item: Any):
+    started = time.perf_counter()
+    value = fn(item)
+    return value, time.perf_counter() - started
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """One-shot :meth:`WorkerPool.map` for callers without pool state."""
+    return WorkerPool(workers=workers).map(fn, items, labels=labels)

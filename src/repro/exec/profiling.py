@@ -1,0 +1,108 @@
+"""Timing and cache instrumentation for the execution engine.
+
+Every :meth:`~repro.exec.pool.WorkerPool.map` call produces an
+:class:`ExecutionReport`: the per-cell wall times (measured inside the
+worker, so they exclude dispatch overhead), the total wall-clock of the
+whole map, the execution mode actually used, and a snapshot of cache
+statistics when a cache was attached.  Reports are what the benchmarks
+(F13) and the CLI ``--workers`` flag surface; they never influence
+results — simulated time and profiling wall time are separate worlds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock cost of one executed cell."""
+
+    label: str
+    seconds: float
+
+
+@dataclass
+class ExecutionReport:
+    """What one engine invocation did and what it cost.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"`` (in-process loop) or ``"fork-pool"`` (process pool).
+    workers:
+        Worker processes actually used (1 for serial).
+    requested_workers:
+        What the caller asked for (may exceed ``workers`` when the
+        platform cannot fork or there were fewer cells than workers).
+    wall_seconds:
+        End-to-end wall clock of the map call.
+    timings:
+        Per-cell wall times in submission (= result) order.
+    cache:
+        Snapshot of cache counters at completion, when a cache was
+        attached (``{"hits": ..., "misses": ..., "entries": ...}``).
+    """
+
+    mode: str = "serial"
+    workers: int = 1
+    requested_workers: int = 1
+    wall_seconds: float = 0.0
+    timings: List[CellTiming] = field(default_factory=list)
+    cache: Optional[Dict[str, int]] = None
+
+    @property
+    def cells(self) -> int:
+        """Number of cells executed."""
+        return len(self.timings)
+
+    def total_cell_seconds(self) -> float:
+        """Sum of per-cell wall times (the serial-equivalent cost)."""
+        return sum(t.seconds for t in self.timings)
+
+    def parallel_efficiency(self) -> float:
+        """cell-seconds / (workers × wall) — 1.0 is a perfect fan-out."""
+        denominator = self.workers * self.wall_seconds
+        if denominator <= 0:
+            return 0.0
+        return self.total_cell_seconds() / denominator
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """hits / (hits + misses), or ``None`` without a cache."""
+        if self.cache is None:
+            return None
+        lookups = self.cache.get("hits", 0) + self.cache.get("misses", 0)
+        if lookups == 0:
+            return 0.0
+        return self.cache.get("hits", 0) / lookups
+
+    def slowest(self, count: int = 5) -> List[CellTiming]:
+        """The ``count`` most expensive cells, costliest first."""
+        return sorted(self.timings, key=lambda t: -t.seconds)[:count]
+
+    def summary(self) -> str:
+        """One-line human summary (CLI ``--workers`` output)."""
+        parts = [
+            f"{self.cells} cells in {self.wall_seconds:.2f}s "
+            f"({self.mode}, {self.workers} worker(s))"
+        ]
+        rate = self.cache_hit_rate()
+        if rate is not None:
+            parts.append(f"graph cache hit rate {rate:.0%}")
+        return ", ".join(parts)
+
+
+class Stopwatch:
+    """Tiny context manager: ``with Stopwatch() as w: ...; w.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -15,7 +15,11 @@ topology.  This package simulates it end-to-end:
 """
 
 from repro.flooding.experiments import (
+    ExperimentSpec,
+    RunSummary,
+    experiment_names,
     repeat_runs,
+    run_experiment,
     run_arq_flood,
     run_broadcast_stream,
     run_echo,
@@ -68,6 +72,7 @@ from repro.flooding.trace import TraceCollector, TraceEvent
 __all__ = [
     "BandwidthLatency",
     "ConstantLatency",
+    "ExperimentSpec",
     "ExponentialLatency",
     "FailureSchedule",
     "FaultModel",
@@ -80,6 +85,7 @@ __all__ = [
     "Protocol",
     "RandomFaultModel",
     "ResultAggregate",
+    "RunSummary",
     "Simulator",
     "TraceCollector",
     "TraceEvent",
@@ -87,6 +93,7 @@ __all__ = [
     "bisect_groups",
     "crash_and_recover",
     "crash_before_start",
+    "experiment_names",
     "flapping_links",
     "lossy_links",
     "minimum_cut_attack",
@@ -100,6 +107,7 @@ __all__ = [
     "run_arq_flood",
     "run_broadcast_stream",
     "run_echo",
+    "run_experiment",
     "run_failure_detection",
     "run_flood",
     "run_gossip",

@@ -1,14 +1,38 @@
 """High-level experiment runners: one call = one simulated dissemination.
 
-These functions wire together simulator + network + failure schedule +
-protocol and return a :class:`~repro.flooding.metrics.FloodResult`.
-They are the API the benchmarks, examples and integration tests share,
-so every number in EXPERIMENTS.md traces back to one of these runners.
+The unit of this module is the :class:`ExperimentSpec` — a frozen,
+declarative description of one run (protocol name, topology, source,
+seed, parameters) — and the single dispatcher
+:func:`run_experiment(spec) <run_experiment>` that executes it and
+returns a :class:`RunSummary`.  One spec type instead of a dozen
+near-identical runner signatures is what lets the execution engine
+(:mod:`repro.exec`) fan a grid of runs across worker processes: a spec
+is plain data, a cell is ``run_experiment`` applied to it, and the
+result is a pure function of the spec.
+
+The historical per-protocol runners (:func:`run_flood`,
+:func:`run_gossip`, :func:`run_treecast`, :func:`run_unicast`,
+:func:`run_echo`, :func:`run_reliable_flood`, :func:`run_arq_flood`, …)
+remain the convenient call-site API — each is now a thin shim that
+builds a spec and delegates to the dispatcher, returning exactly what
+it always returned.  They are the API the benchmarks, examples and
+integration tests share, so every number in EXPERIMENTS.md traces back
+to one of these runners.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import SimulationError
 from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
@@ -31,6 +55,195 @@ def _event_budget(graph: Graph) -> int:
     return _EVENT_BUDGET_FACTOR * (
         graph.number_of_nodes() + graph.number_of_edges() + 100
     )
+
+
+def _freeze_items(value: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a mapping / item-iterable to a sorted item tuple."""
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = tuple(value)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment run.
+
+    Attributes
+    ----------
+    protocol:
+        Registered experiment name (see :func:`experiment_names`), e.g.
+        ``"flood"``, ``"gossip"``, ``"arq-flood"``.
+    graph:
+        The topology to run on.
+    source:
+        Originating node (protocol-specific meaning; ``None`` for
+        experiments that derive it from parameters, e.g. unicast takes
+        its source from the routed path).
+    seed:
+        Protocol-level randomness seed (gossip peer sampling etc.).
+    failures / latency / loss_rate / loss_seed / fault_model:
+        The adversary and network model, shared by every protocol.
+    params:
+        Protocol-specific parameters as a sorted item tuple (mappings
+        passed to the constructor are normalized automatically), e.g.
+        ``{"fanout": 3, "rounds": 12}`` for gossip.
+    """
+
+    protocol: str
+    graph: Graph
+    source: Optional[NodeId] = None
+    seed: int = 0
+    failures: Optional[FailureSchedule] = None
+    latency: Optional[LatencyModel] = None
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    fault_model: Optional[FaultModel] = None
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_items(self.params))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look one protocol-specific parameter up."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """The protocol-specific parameters as a fresh dict."""
+        return dict(self.params)
+
+    def with_params(self, **overrides: Any) -> "ExperimentSpec":
+        """A copy of this spec with parameters merged in."""
+        merged = self.params_dict
+        merged.update(overrides)
+        return ExperimentSpec(
+            protocol=self.protocol,
+            graph=self.graph,
+            source=self.source,
+            seed=self.seed,
+            failures=self.failures,
+            latency=self.latency,
+            loss_rate=self.loss_rate,
+            loss_seed=self.loss_seed,
+            fault_model=self.fault_model,
+            params=merged,
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """What one executed spec produced.
+
+    ``result`` is the :class:`FloodResult` for coverage-style protocols
+    (``None`` for point-to-point and report-style experiments);
+    ``metrics`` carries protocol-specific extras as a sorted item tuple
+    (``delivered_at`` and ``hops`` for unicast, ``completed`` and
+    ``aggregate`` for echo, …).  Summaries are plain, comparable data —
+    two identical specs must yield equal summaries, which is what the
+    parallel-determinism tests pin down.
+    """
+
+    protocol: str
+    result: Optional[FloodResult] = None
+    metrics: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metrics", _freeze_items(self.metrics))
+
+    def metric(self, name: str, default: Any = None) -> Any:
+        """Look one protocol-specific metric up."""
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def metrics_dict(self) -> Dict[str, Any]:
+        """The metrics as a fresh dict."""
+        return dict(self.metrics)
+
+
+# ----------------------------------------------------------------------
+# Dispatch machinery
+# ----------------------------------------------------------------------
+
+# name -> handler(spec) -> (RunSummary, raw protocol/report object)
+_HANDLERS: Dict[str, Callable[[ExperimentSpec], Tuple[RunSummary, Any]]] = {}
+
+
+def _handler(name: str):
+    def register(fn):
+        _HANDLERS[name] = fn
+        return fn
+
+    return register
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """Every protocol name :func:`run_experiment` can dispatch."""
+    return tuple(sorted(_HANDLERS))
+
+
+def run_experiment(spec: ExperimentSpec) -> RunSummary:
+    """Execute one :class:`ExperimentSpec` and summarize it.
+
+    This is the single entry point the execution engine fans out:
+    ``pool.map(run_experiment, specs)`` runs a whole grid.
+
+    Raises
+    ------
+    SimulationError
+        For unknown protocol names, vacuous setups (source crashed at
+        start) or exceeded event budgets.
+    """
+    summary, _ = _execute(spec)
+    return summary
+
+
+def _execute(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    handler = _HANDLERS.get(spec.protocol)
+    if handler is None:
+        known = ", ".join(experiment_names())
+        raise SimulationError(
+            f"unknown experiment protocol {spec.protocol!r}; known: {known}"
+        )
+    return handler(spec)
+
+
+def _schedule(spec: ExperimentSpec) -> FailureSchedule:
+    return spec.failures or FailureSchedule()
+
+
+def _guard_source(spec: ExperimentSpec, schedule: FailureSchedule, word: str) -> None:
+    if any(c.node == spec.source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError(f"the {word} source is crashed at start")
+
+
+def _network(
+    spec: ExperimentSpec,
+    simulator: Simulator,
+    schedule: Optional[FailureSchedule],
+    latency: bool = True,
+    loss: bool = True,
+    faults: bool = True,
+) -> Network:
+    """Build the network a spec describes and apply its schedule."""
+    network = Network(
+        spec.graph,
+        simulator,
+        latency=spec.latency if latency else None,
+        loss_rate=spec.loss_rate if loss else 0.0,
+        loss_seed=spec.loss_seed if loss else 0,
+        fault_model=spec.fault_model if faults else None,
+    )
+    if schedule is not None:
+        apply_schedule(schedule, network, simulator)
+    return network
 
 
 def summarize_run(
@@ -69,6 +282,263 @@ def summarize_run(
     )
 
 
+def _coverage_summary(
+    spec: ExperimentSpec,
+    name: str,
+    schedule: FailureSchedule,
+    network: Network,
+    protocol: Any,
+) -> Tuple[RunSummary, Any]:
+    result = summarize_run(name, spec.graph, spec.source, schedule, network)
+    return RunSummary(protocol=spec.protocol, result=result), protocol
+
+
+# ----------------------------------------------------------------------
+# Experiment handlers (one per protocol name)
+# ----------------------------------------------------------------------
+
+
+@_handler("flood")
+def _exec_flood(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "flood")
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule)
+    protocol = FloodProtocol(network, spec.source)
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(max_events=_event_budget(spec.graph))
+    return _coverage_summary(spec, "flood", schedule, network, protocol)
+
+
+@_handler("gossip")
+def _exec_gossip(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "gossip")
+    fanout = spec.param("fanout", 2)
+    rounds = spec.param("rounds", 16)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, faults=False)
+    protocol = PushGossipProtocol(
+        network, spec.source, fanout=fanout, rounds=rounds, seed=spec.seed
+    )
+    network.attach(protocol, start_nodes=spec.graph.nodes())
+    simulator.run(max_events=_event_budget(spec.graph) * max(1, rounds))
+    return _coverage_summary(spec, "gossip", schedule, network, protocol)
+
+
+@_handler("treecast")
+def _exec_treecast(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "treecast")
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, faults=False)
+    protocol = TreeCastProtocol(network, spec.graph, spec.source)
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(max_events=_event_budget(spec.graph))
+    return _coverage_summary(spec, "treecast", schedule, network, protocol)
+
+
+@_handler("unicast")
+def _exec_unicast(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.unicast import SourceRoutedUnicast
+
+    schedule = _schedule(spec)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, loss=False, faults=False)
+    protocol = SourceRoutedUnicast(network, spec.param("path"))
+    network.attach(protocol, start_nodes=[protocol.source])
+    simulator.run(max_events=_event_budget(spec.graph))
+    summary = RunSummary(
+        protocol=spec.protocol,
+        metrics={
+            "delivered_at": protocol.delivered_at,
+            "hops": protocol.hops_taken,
+        },
+    )
+    return summary, protocol
+
+
+@_handler("redundant-unicast")
+def _exec_redundant_unicast(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.unicast import RedundantUnicast
+
+    schedule = _schedule(spec)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, loss=False, faults=False)
+    protocol = RedundantUnicast(network, spec.param("paths"))
+    network.attach(protocol, start_nodes=[protocol.source])
+    simulator.run(max_events=_event_budget(spec.graph))
+    summary = RunSummary(
+        protocol=spec.protocol,
+        metrics={
+            "delivered_at": protocol.delivered_at,
+            "copies": protocol.copies_received,
+            "messages": protocol.messages_sent,
+        },
+    )
+    return summary, protocol
+
+
+@_handler("echo")
+def _exec_echo(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.echo import EchoProtocol
+
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "echo")
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, loss=False, faults=False)
+    protocol = EchoProtocol(
+        network,
+        spec.source,
+        value_of=spec.param("value_of", lambda node: 1),
+        combine=spec.param("combine", lambda a, b: a + b),
+    )
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(max_events=_event_budget(spec.graph))
+    summary = RunSummary(
+        protocol=spec.protocol,
+        metrics={
+            "completed": protocol.completed,
+            "aggregate": protocol.aggregate,
+        },
+    )
+    return summary, protocol
+
+
+@_handler("reliable-flood")
+def _exec_reliable_flood(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.reliable import ReliableFloodProtocol
+
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "flood")
+    max_retries = spec.param("max_retries", 8)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, latency=False)
+    protocol = ReliableFloodProtocol(
+        network,
+        spec.source,
+        retry_timeout=spec.param("retry_timeout", 3.0),
+        max_retries=max_retries,
+    )
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(max_events=_event_budget(spec.graph) * (max_retries + 2))
+    return _coverage_summary(spec, "reliable-flood", schedule, network, protocol)
+
+
+@_handler("arq-flood")
+def _exec_arq_flood(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.arq import ArqProtocol
+    from repro.flooding.protocols.reliable import ReliableFloodProtocol
+
+    schedule = _schedule(spec)
+    _guard_source(spec, schedule, "flood")
+    max_retries = spec.param("max_retries", 10)
+    inner_retries = spec.param("inner_retries", 8)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule)
+    inner = ReliableFloodProtocol(
+        network,
+        spec.source,
+        retry_timeout=spec.param("retry_timeout", 3.0),
+        max_retries=inner_retries,
+    )
+    protocol = ArqProtocol(
+        network,
+        inner,
+        base_timeout=spec.param("base_timeout", 2.5),
+        backoff=spec.param("backoff", 2.0),
+        max_timeout=spec.param("max_timeout", 16.0),
+        max_retries=max_retries,
+    )
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(
+        max_events=_event_budget(spec.graph) * (max_retries + inner_retries + 4)
+    )
+    return _coverage_summary(spec, "arq-reliable-flood", schedule, network, protocol)
+
+
+@_handler("broadcast-stream")
+def _exec_broadcast_stream(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.flood import StreamFloodProtocol
+
+    count = spec.param("count", 1)
+    simulator = Simulator()
+    network = _network(spec, simulator, None, loss=False, faults=False)
+    protocol = StreamFloodProtocol(
+        network, spec.source, count, interval=spec.param("interval", 0.0)
+    )
+    network.attach(protocol, start_nodes=[spec.source])
+    simulator.run(max_events=_event_budget(spec.graph) * max(1, count))
+    summary = RunSummary(
+        protocol=spec.protocol,
+        metrics={
+            "makespan": protocol.makespan(),
+            "fully_covered": protocol.fully_covered(
+                spec.graph.number_of_nodes()
+            ),
+            "messages": network.stats.messages_sent,
+        },
+    )
+    return summary, protocol
+
+
+@_handler("failure-detection")
+def _exec_failure_detection(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.heartbeat import HeartbeatProtocol
+
+    crashed = tuple(spec.param("crashed", ()))
+    crash_time = spec.param("crash_time", 0.0)
+    schedule = FailureSchedule()
+    for victim in crashed:
+        schedule.crash(victim, time=crash_time)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, faults=False)
+    protocol = HeartbeatProtocol(
+        network,
+        period=spec.param("period", 1.0),
+        timeout=spec.param("timeout", 3.5),
+        horizon=spec.param("horizon", 40.0),
+    )
+    network.attach(protocol)
+    simulator.run(max_events=10_000_000)
+    report = protocol.detection_report(set(crashed), crash_time)
+    summary = RunSummary(protocol=spec.protocol, metrics={"report": report})
+    return summary, report
+
+
+@_handler("view-change")
+def _exec_view_change(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
+    from repro.flooding.protocols.viewchange import ViewChangeProtocol
+
+    crashed_set = set(spec.param("crashed", ()))
+    crash_time = spec.param("crash_time", 0.0)
+    if spec.source in crashed_set:
+        raise SimulationError("coordinator fail-over is not modelled")
+    schedule = FailureSchedule()
+    for victim in crashed_set:
+        schedule.crash(victim, time=crash_time)
+    simulator = Simulator()
+    network = _network(spec, simulator, schedule, loss=False, faults=False)
+    protocol = ViewChangeProtocol(
+        network,
+        spec.source,
+        period=spec.param("period", 1.0),
+        timeout=spec.param("timeout", 3.5),
+        decision_delay=spec.param("decision_delay", 2.0),
+        horizon=spec.param("horizon", 60.0),
+    )
+    network.attach(protocol)
+    simulator.run(max_events=20_000_000)
+    report = protocol.convergence_report(crashed_set, crash_time)
+    summary = RunSummary(protocol=spec.protocol, metrics={"report": report})
+    return summary, report
+
+
+# ----------------------------------------------------------------------
+# Per-protocol runner shims (the historical convenience API)
+# ----------------------------------------------------------------------
+
+
 def run_flood(
     graph: Graph,
     source: NodeId,
@@ -86,23 +556,17 @@ def run_flood(
         If the source is scheduled to crash at time 0 (the experiment
         would be vacuous) or the event budget is exceeded.
     """
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the flood source is crashed at start")
-    simulator = Simulator()
-    network = Network(
-        graph,
-        simulator,
+    spec = ExperimentSpec(
+        protocol="flood",
+        graph=graph,
+        source=source,
+        failures=failures,
         latency=latency,
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         fault_model=fault_model,
     )
-    apply_schedule(schedule, network, simulator)
-    protocol = FloodProtocol(network, source)
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(max_events=_event_budget(graph))
-    return summarize_run("flood", graph, source, schedule, network)
+    return run_experiment(spec).result
 
 
 def run_gossip(
@@ -117,20 +581,18 @@ def run_gossip(
     loss_seed: int = 0,
 ) -> FloodResult:
     """Push-gossip ``graph`` from ``source`` (probabilistic baseline)."""
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the gossip source is crashed at start")
-    simulator = Simulator()
-    network = Network(
-        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    spec = ExperimentSpec(
+        protocol="gossip",
+        graph=graph,
+        source=source,
+        seed=seed,
+        failures=failures,
+        latency=latency,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        params={"fanout": fanout, "rounds": rounds},
     )
-    apply_schedule(schedule, network, simulator)
-    protocol = PushGossipProtocol(
-        network, source, fanout=fanout, rounds=rounds, seed=seed
-    )
-    network.attach(protocol, start_nodes=graph.nodes())
-    simulator.run(max_events=_event_budget(graph) * max(1, rounds))
-    return summarize_run("gossip", graph, source, schedule, network)
+    return run_experiment(spec).result
 
 
 def run_treecast(
@@ -142,18 +604,16 @@ def run_treecast(
     loss_seed: int = 0,
 ) -> FloodResult:
     """Broadcast over a precomputed BFS spanning tree (fragile baseline)."""
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the treecast source is crashed at start")
-    simulator = Simulator()
-    network = Network(
-        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    spec = ExperimentSpec(
+        protocol="treecast",
+        graph=graph,
+        source=source,
+        failures=failures,
+        latency=latency,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
     )
-    apply_schedule(schedule, network, simulator)
-    protocol = TreeCastProtocol(network, graph, source)
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(max_events=_event_budget(graph))
-    return summarize_run("treecast", graph, source, schedule, network)
+    return run_experiment(spec).result
 
 
 def run_unicast(
@@ -167,16 +627,15 @@ def run_unicast(
     Returns ``(delivery_time, hops_taken)``; the time is ``None`` when a
     failure severed the route.
     """
-    from repro.flooding.protocols.unicast import SourceRoutedUnicast
-
-    schedule = failures or FailureSchedule()
-    simulator = Simulator()
-    network = Network(graph, simulator, latency=latency)
-    apply_schedule(schedule, network, simulator)
-    protocol = SourceRoutedUnicast(network, path)
-    network.attach(protocol, start_nodes=[protocol.source])
-    simulator.run(max_events=_event_budget(graph))
-    return protocol.delivered_at, protocol.hops_taken
+    spec = ExperimentSpec(
+        protocol="unicast",
+        graph=graph,
+        failures=failures,
+        latency=latency,
+        params={"path": path},
+    )
+    summary = run_experiment(spec)
+    return summary.metric("delivered_at"), summary.metric("hops")
 
 
 def run_redundant_unicast(
@@ -189,16 +648,19 @@ def run_redundant_unicast(
 
     Returns ``(first_delivery_time, copies_received, messages_sent)``.
     """
-    from repro.flooding.protocols.unicast import RedundantUnicast
-
-    schedule = failures or FailureSchedule()
-    simulator = Simulator()
-    network = Network(graph, simulator, latency=latency)
-    apply_schedule(schedule, network, simulator)
-    protocol = RedundantUnicast(network, paths)
-    network.attach(protocol, start_nodes=[protocol.source])
-    simulator.run(max_events=_event_budget(graph))
-    return protocol.delivered_at, protocol.copies_received, protocol.messages_sent
+    spec = ExperimentSpec(
+        protocol="redundant-unicast",
+        graph=graph,
+        failures=failures,
+        latency=latency,
+        params={"paths": paths},
+    )
+    summary = run_experiment(spec)
+    return (
+        summary.metric("delivered_at"),
+        summary.metric("copies"),
+        summary.metric("messages"),
+    )
 
 
 def run_failure_detection(
@@ -217,22 +679,21 @@ def run_failure_detection(
     Returns a
     :class:`~repro.flooding.protocols.heartbeat.DetectionReport`.
     """
-    from repro.flooding.protocols.heartbeat import HeartbeatProtocol
-
-    schedule = FailureSchedule()
-    for victim in crashed:
-        schedule.crash(victim, time=crash_time)
-    simulator = Simulator()
-    network = Network(
-        graph, simulator, latency=latency, loss_rate=loss_rate, loss_seed=loss_seed
+    spec = ExperimentSpec(
+        protocol="failure-detection",
+        graph=graph,
+        latency=latency,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+        params={
+            "crashed": tuple(crashed),
+            "crash_time": crash_time,
+            "period": period,
+            "timeout": timeout,
+            "horizon": horizon,
+        },
     )
-    apply_schedule(schedule, network, simulator)
-    protocol = HeartbeatProtocol(
-        network, period=period, timeout=timeout, horizon=horizon
-    )
-    network.attach(protocol)
-    simulator.run(max_events=10_000_000)
-    return protocol.detection_report(set(crashed), crash_time)
+    return run_experiment(spec).metric("report")
 
 
 def run_broadcast_stream(
@@ -248,17 +709,18 @@ def run_broadcast_stream(
     with :class:`~repro.flooding.network.BandwidthLatency` to measure
     sustained broadcast throughput (experiment T6).
     """
-    from repro.flooding.protocols.flood import StreamFloodProtocol
-
-    simulator = Simulator()
-    network = Network(graph, simulator, latency=latency)
-    protocol = StreamFloodProtocol(network, source, count, interval=interval)
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(max_events=_event_budget(graph) * max(1, count))
+    spec = ExperimentSpec(
+        protocol="broadcast-stream",
+        graph=graph,
+        source=source,
+        latency=latency,
+        params={"count": count, "interval": interval},
+    )
+    summary = run_experiment(spec)
     return (
-        protocol.makespan(),
-        protocol.fully_covered(graph.number_of_nodes()),
-        network.stats.messages_sent,
+        summary.metric("makespan"),
+        summary.metric("fully_covered"),
+        summary.metric("messages"),
     )
 
 
@@ -282,17 +744,15 @@ def run_echo(
     SimulationError
         If the source is crashed at start.
     """
-    from repro.flooding.protocols.echo import EchoProtocol
-
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the echo source is crashed at start")
-    simulator = Simulator()
-    network = Network(graph, simulator, latency=latency)
-    apply_schedule(schedule, network, simulator)
-    protocol = EchoProtocol(network, source, value_of=value_of, combine=combine)
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(max_events=_event_budget(graph))
+    spec = ExperimentSpec(
+        protocol="echo",
+        graph=graph,
+        source=source,
+        failures=failures,
+        latency=latency,
+        params={"value_of": value_of, "combine": combine},
+    )
+    _, protocol = _execute(spec)
     return protocol
 
 
@@ -313,26 +773,17 @@ def run_reliable_flood(
     SimulationError
         If the source is crashed at start.
     """
-    from repro.flooding.protocols.reliable import ReliableFloodProtocol
-
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the flood source is crashed at start")
-    simulator = Simulator()
-    network = Network(
-        graph,
-        simulator,
+    spec = ExperimentSpec(
+        protocol="reliable-flood",
+        graph=graph,
+        source=source,
+        failures=failures,
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         fault_model=fault_model,
+        params={"retry_timeout": retry_timeout, "max_retries": max_retries},
     )
-    apply_schedule(schedule, network, simulator)
-    protocol = ReliableFloodProtocol(
-        network, source, retry_timeout=retry_timeout, max_retries=max_retries
-    )
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(max_events=_event_budget(graph) * (max_retries + 2))
-    return summarize_run("reliable-flood", graph, source, schedule, network)
+    return run_experiment(spec).result
 
 
 def run_arq_flood(
@@ -365,38 +816,25 @@ def run_arq_flood(
     SimulationError
         If the source is crashed at start.
     """
-    from repro.flooding.protocols.arq import ArqProtocol
-    from repro.flooding.protocols.reliable import ReliableFloodProtocol
-
-    schedule = failures or FailureSchedule()
-    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
-        raise SimulationError("the flood source is crashed at start")
-    simulator = Simulator()
-    network = Network(
-        graph,
-        simulator,
+    spec = ExperimentSpec(
+        protocol="arq-flood",
+        graph=graph,
+        source=source,
+        failures=failures,
         latency=latency,
         loss_rate=loss_rate,
         loss_seed=loss_seed,
         fault_model=fault_model,
+        params={
+            "base_timeout": base_timeout,
+            "backoff": backoff,
+            "max_timeout": max_timeout,
+            "max_retries": max_retries,
+            "retry_timeout": retry_timeout,
+            "inner_retries": inner_retries,
+        },
     )
-    apply_schedule(schedule, network, simulator)
-    inner = ReliableFloodProtocol(
-        network, source, retry_timeout=retry_timeout, max_retries=inner_retries
-    )
-    protocol = ArqProtocol(
-        network,
-        inner,
-        base_timeout=base_timeout,
-        backoff=backoff,
-        max_timeout=max_timeout,
-        max_retries=max_retries,
-    )
-    network.attach(protocol, start_nodes=[source])
-    simulator.run(
-        max_events=_event_budget(graph) * (max_retries + inner_retries + 4)
-    )
-    return summarize_run("arq-reliable-flood", graph, source, schedule, network)
+    return run_experiment(spec).result
 
 
 def run_view_change(
@@ -421,28 +859,68 @@ def run_view_change(
         If the coordinator is among the crashed set (fail-over is out of
         scope for this protocol).
     """
-    from repro.flooding.protocols.viewchange import ViewChangeProtocol
-
-    crashed_set = set(crashed)
-    if coordinator in crashed_set:
-        raise SimulationError("coordinator fail-over is not modelled")
-    schedule = FailureSchedule()
-    for victim in crashed_set:
-        schedule.crash(victim, time=crash_time)
-    simulator = Simulator()
-    network = Network(graph, simulator, latency=latency)
-    apply_schedule(schedule, network, simulator)
-    protocol = ViewChangeProtocol(
-        network,
-        coordinator,
-        period=period,
-        timeout=timeout,
-        decision_delay=decision_delay,
-        horizon=horizon,
+    spec = ExperimentSpec(
+        protocol="view-change",
+        graph=graph,
+        source=coordinator,
+        latency=latency,
+        params={
+            "crashed": tuple(crashed),
+            "crash_time": crash_time,
+            "period": period,
+            "timeout": timeout,
+            "decision_delay": decision_delay,
+            "horizon": horizon,
+        },
     )
-    network.attach(protocol)
-    simulator.run(max_events=20_000_000)
-    return protocol.convergence_report(crashed_set, crash_time)
+    return run_experiment(spec).metric("report")
+
+
+# ----------------------------------------------------------------------
+# Repetition harness
+# ----------------------------------------------------------------------
+
+# runner -> (protocol name, names of runner kwargs that map onto spec
+# fields rather than protocol params)
+_SPEC_FIELD_KWARGS = ("failures", "latency", "loss_rate", "loss_seed", "fault_model")
+_RUNNER_PROTOCOLS: Dict[Any, str] = {}
+
+
+def _register_runner_protocols() -> None:
+    _RUNNER_PROTOCOLS.update(
+        {
+            run_flood: "flood",
+            run_gossip: "gossip",
+            run_treecast: "treecast",
+            run_reliable_flood: "reliable-flood",
+            run_arq_flood: "arq-flood",
+        }
+    )
+
+
+_register_runner_protocols()
+
+
+def _spec_for_runner(
+    runner, graph: Graph, source: NodeId, schedule, kwargs: Dict[str, Any]
+) -> ExperimentSpec:
+    """Convert a (runner, kwargs) call into the equivalent spec."""
+    protocol = _RUNNER_PROTOCOLS[runner]
+    fields = {k: v for k, v in kwargs.items() if k in _SPEC_FIELD_KWARGS}
+    params = {
+        k: v
+        for k, v in kwargs.items()
+        if k not in _SPEC_FIELD_KWARGS and k != "seed"
+    }
+    return ExperimentSpec(
+        protocol=protocol,
+        graph=graph,
+        source=source,
+        seed=kwargs.get("seed", 0),
+        failures=schedule,
+        params=params,
+        **{k: v for k, v in fields.items() if k != "failures"},
+    )
 
 
 def repeat_runs(
@@ -451,6 +929,7 @@ def repeat_runs(
     source: NodeId,
     schedule_factory,
     repetitions: int,
+    workers: Optional[int] = None,
     **runner_kwargs,
 ) -> ResultAggregate:
     """Run ``runner`` over seeded failure schedules and aggregate.
@@ -463,6 +942,12 @@ def repeat_runs(
         ``seed -> FailureSchedule`` (or ``None`` for failure-free runs).
     repetitions:
         Number of seeds (0, 1, 2, …).
+    workers:
+        Fan the repetitions out across this many worker processes via
+        the execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
+        run serially; any value yields results identical to the serial
+        loop (schedules are derived per seed in the parent, and every
+        run is a pure function of its spec).
     runner_kwargs:
         Extra keyword arguments forwarded to the runner.  For
         :func:`run_gossip` a ``seed`` kwarg is injected per repetition
@@ -470,11 +955,12 @@ def repeat_runs(
         ``loss_seed`` is injected per repetition whenever a non-zero
         ``loss_rate`` is requested without a pinned seed.
     """
-    aggregate = ResultAggregate()
     inject_seed = runner is run_gossip and "seed" not in runner_kwargs
     inject_loss_seed = (
         runner_kwargs.get("loss_rate", 0.0) and "loss_seed" not in runner_kwargs
     )
+
+    prepared = []
     for seed in range(repetitions):
         schedule = schedule_factory(seed) if schedule_factory else None
         kwargs = dict(runner_kwargs)
@@ -482,5 +968,21 @@ def repeat_runs(
             kwargs["seed"] = seed
         if inject_loss_seed:
             kwargs["loss_seed"] = seed
-        aggregate.add(runner(graph, source, failures=schedule, **kwargs))
+        prepared.append((schedule, kwargs))
+
+    from repro.exec.pool import WorkerPool, resolve_workers
+
+    aggregate = ResultAggregate()
+    if resolve_workers(workers) > 1 and runner in _RUNNER_PROTOCOLS:
+        specs = [
+            _spec_for_runner(runner, graph, source, schedule, kwargs)
+            for schedule, kwargs in prepared
+        ]
+        pool = WorkerPool(workers=workers)
+        labels = [f"{spec.protocol}/rep{i}" for i, spec in enumerate(specs)]
+        for summary in pool.map(run_experiment, specs, labels=labels):
+            aggregate.add(summary.result)
+    else:
+        for schedule, kwargs in prepared:
+            aggregate.add(runner(graph, source, failures=schedule, **kwargs))
     return aggregate

@@ -9,6 +9,7 @@ invariants after every run, and aggregates a resilience matrix.
 Exposed on the command line as ``python -m repro chaos``.
 """
 
+from repro.exec.cache import TopologySpec
 from repro.robustness.campaign import (
     CellResult,
     ChaosCampaign,
@@ -46,6 +47,7 @@ __all__ = [
     "RunRecord",
     "Scenario",
     "ScenarioSetup",
+    "TopologySpec",
     "baseline",
     "check_invariants",
     "check_no_dead_delivery",

@@ -13,10 +13,13 @@ reproduced in isolation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import render_table
 from repro.errors import SimulationError
+from repro.exec.cache import GRAPH_CACHE, TopologySpec
+from repro.exec.pool import WorkerPool
+from repro.exec.profiling import ExecutionReport
 from repro.flooding.experiments import summarize_run
 from repro.flooding.failures import apply_schedule
 from repro.flooding.network import Network, Protocol
@@ -208,8 +211,11 @@ class ChaosCampaign:
     Parameters
     ----------
     topologies:
-        ``(name, graph)`` pairs; the flood source is each graph's first
-        node (override per graph with ``sources``).
+        ``(name, graph)`` pairs, or ``(name, TopologySpec)`` pairs to
+        have the engine build (and memoize) each topology through the
+        shared construction cache
+        (:data:`repro.exec.cache.GRAPH_CACHE`); the flood source is
+        each graph's first node (override per graph with ``sources``).
     protocols:
         Protocol columns; defaults to :func:`standard_protocols`.
     scenarios:
@@ -225,7 +231,7 @@ class ChaosCampaign:
 
     def __init__(
         self,
-        topologies: Sequence[Tuple[str, Graph]],
+        topologies: Sequence[Tuple[str, Union[Graph, TopologySpec]]],
         protocols: Optional[Sequence[ProtocolSpec]] = None,
         scenarios: Optional[Sequence[Scenario]] = None,
         seeds: Sequence[int] = (0,),
@@ -242,18 +248,53 @@ class ChaosCampaign:
         )
         self.seeds = list(seeds)
         self.sources = dict(sources or {})
+        self.last_report: ExecutionReport = ExecutionReport()
 
     # ------------------------------------------------------------------
+
+    def graph_for(self, topology_name: str) -> Graph:
+        """The (possibly cache-resolved) graph behind one topology row.
+
+        ``(name, TopologySpec)`` entries are built through the shared
+        construction cache on first use, so every cell — and every
+        later campaign over the same spec — reuses one graph instance.
+
+        Raises
+        ------
+        SimulationError
+            If the campaign has no topology of that name.
+        """
+        for name, entry in self.topologies:
+            if name == topology_name:
+                return self._resolve(entry)
+        known = ", ".join(name for name, _ in self.topologies)
+        raise SimulationError(
+            f"unknown topology {topology_name!r}; known: {known}"
+        )
+
+    @staticmethod
+    def _resolve(entry: Union[Graph, TopologySpec]) -> Graph:
+        if isinstance(entry, TopologySpec):
+            graph, _ = GRAPH_CACHE.resolve(entry)
+            return graph
+        return entry
 
     def run_cell(
         self,
         topology_name: str,
-        graph: Graph,
+        graph: Optional[Graph],
         spec: ProtocolSpec,
         scenario: Scenario,
         seed: int,
     ) -> CellResult:
-        """Run one cell: simulate, summarise, check invariants."""
+        """Run one cell: simulate, summarise, check invariants.
+
+        ``graph`` is the injected pre-built topology; pass ``None`` to
+        have the campaign resolve it by name (through the construction
+        cache when the topology was given as a spec).
+        """
+        if graph is None:
+            graph = self.graph_for(topology_name)
         source = self.sources.get(topology_name, graph.nodes()[0])
         setup = scenario.build(graph, source, seed)
         simulator = Simulator()
@@ -303,16 +344,44 @@ class ChaosCampaign:
             violations=tuple(str(v) for v in violations),
         )
 
-    def run(self) -> ResilienceMatrix:
-        """Run every cell of the grid; return the populated matrix."""
+    def run(self, workers: Optional[int] = None) -> ResilienceMatrix:
+        """Run every cell of the grid; return the populated matrix.
+
+        Parameters
+        ----------
+        workers:
+            Fan the cells out across this many worker processes via the
+            execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
+            run serially.  Cell order in the matrix, and every cell's
+            content, are identical for any worker count: each cell is a
+            pure function of (topology, protocol, scenario, seed), and
+            results are collected positionally.  The per-cell timing and
+            cache statistics of the latest run land in
+            :attr:`last_report`.
+        """
+        # Resolve every topology once, up front, so spec-given graphs
+        # are constructed (and cache-counted) in the parent process and
+        # inherited by forked workers instead of rebuilt per cell.
+        resolved = [
+            (name, self._resolve(entry)) for name, entry in self.topologies
+        ]
+        cells = [
+            (topology_name, graph, spec, scenario, seed)
+            for topology_name, graph in resolved
+            for scenario in self.scenarios
+            for spec in self.protocols
+            for seed in self.seeds
+        ]
+        labels = [
+            f"{name}/{scenario.name}/{spec.name}/s{seed}"
+            for name, _, spec, scenario, seed in cells
+        ]
+        pool = WorkerPool(workers=workers, cache=GRAPH_CACHE)
+        results = pool.map(
+            lambda cell: self.run_cell(*cell), cells, labels=labels
+        )
+        self.last_report = pool.last_report
         matrix = ResilienceMatrix()
-        for topology_name, graph in self.topologies:
-            for scenario in self.scenarios:
-                for spec in self.protocols:
-                    for seed in self.seeds:
-                        matrix.add(
-                            self.run_cell(
-                                topology_name, graph, spec, scenario, seed
-                            )
-                        )
+        for cell_result in results:
+            matrix.add(cell_result)
         return matrix

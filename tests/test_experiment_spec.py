@@ -1,0 +1,217 @@
+"""ExperimentSpec / run_experiment: the unified experiment facade.
+
+The contract under test: every historical runner is a thin shim over
+``run_experiment``, so a spec-driven run must produce *exactly* what
+the runner call it mirrors produces — same FloodResult, same error
+behavior — because the execution engine serializes specs, not runners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.errors import SimulationError
+from repro.flooding import (
+    ExperimentSpec,
+    FailureSchedule,
+    RunSummary,
+    experiment_names,
+    random_crashes,
+    repeat_runs,
+    run_arq_flood,
+    run_echo,
+    run_experiment,
+    run_flood,
+    run_gossip,
+    run_reliable_flood,
+    run_treecast,
+    run_unicast,
+)
+from repro.graphs.traversal import shortest_path
+
+
+@pytest.fixture(scope="module")
+def lhg20():
+    graph, _ = build_lhg(20, 4)
+    return graph
+
+
+def _crashes(graph, count=3, seed=1):
+    source = graph.nodes()[0]
+    return random_crashes(graph, count, seed=seed, protect={source})
+
+
+class TestSpecNormalization:
+    def test_params_mapping_becomes_sorted_items(self, lhg20):
+        spec = ExperimentSpec(
+            protocol="gossip", graph=lhg20, params={"rounds": 4, "fanout": 2}
+        )
+        assert spec.params == (("fanout", 2), ("rounds", 4))
+        assert spec.param("rounds") == 4
+        assert spec.param("absent", "d") == "d"
+        assert spec.params_dict == {"fanout": 2, "rounds": 4}
+
+    def test_with_params_merges(self, lhg20):
+        spec = ExperimentSpec(protocol="gossip", graph=lhg20, params={"fanout": 2})
+        updated = spec.with_params(rounds=9)
+        assert updated.param("fanout") == 2 and updated.param("rounds") == 9
+        assert spec.param("rounds") is None  # original untouched
+
+    def test_equal_specs_compare_equal(self, lhg20):
+        a = ExperimentSpec(protocol="flood", graph=lhg20, source=0, seed=3)
+        b = ExperimentSpec(
+            protocol="flood", graph=lhg20, source=0, seed=3, params={}
+        )
+        assert a == b
+
+    def test_summary_metric_lookup(self):
+        summary = RunSummary(protocol="x", metrics={"hops": 3})
+        assert summary.metric("hops") == 3
+        assert summary.metric("none", -1) == -1
+        assert summary.metrics_dict == {"hops": 3}
+
+
+class TestDispatch:
+    def test_unknown_protocol_raises_with_known_names(self, lhg20):
+        spec = ExperimentSpec(protocol="carrier-pigeon", graph=lhg20, source=0)
+        with pytest.raises(SimulationError, match="carrier-pigeon"):
+            run_experiment(spec)
+
+    def test_experiment_names_cover_the_runner_family(self):
+        names = experiment_names()
+        for expected in (
+            "flood",
+            "gossip",
+            "treecast",
+            "unicast",
+            "redundant-unicast",
+            "echo",
+            "reliable-flood",
+            "arq-flood",
+            "broadcast-stream",
+            "failure-detection",
+            "view-change",
+        ):
+            assert expected in names
+
+    def test_crashed_source_guard(self, lhg20):
+        source = lhg20.nodes()[0]
+        schedule = FailureSchedule()
+        schedule.crash(source, time=0.0)
+        spec = ExperimentSpec(
+            protocol="flood", graph=lhg20, source=source, failures=schedule
+        )
+        with pytest.raises(SimulationError, match="crashed at start"):
+            run_experiment(spec)
+
+
+class TestShimParity:
+    """spec-driven runs reproduce shim-driven runs exactly."""
+
+    def test_flood(self, lhg20):
+        source = lhg20.nodes()[0]
+        schedule = _crashes(lhg20)
+        via_shim = run_flood(lhg20, source, failures=schedule)
+        via_spec = run_experiment(
+            ExperimentSpec(
+                protocol="flood", graph=lhg20, source=source, failures=schedule
+            )
+        )
+        assert via_spec.result == via_shim
+        assert via_spec.result.delivery_times == via_shim.delivery_times
+
+    def test_gossip(self, lhg20):
+        source = lhg20.nodes()[0]
+        via_shim = run_gossip(lhg20, source, fanout=3, rounds=10, seed=7)
+        via_spec = run_experiment(
+            ExperimentSpec(
+                protocol="gossip",
+                graph=lhg20,
+                source=source,
+                seed=7,
+                params={"fanout": 3, "rounds": 10},
+            )
+        )
+        assert via_spec.result == via_shim
+
+    def test_treecast(self, lhg20):
+        source = lhg20.nodes()[0]
+        assert (
+            run_experiment(
+                ExperimentSpec(protocol="treecast", graph=lhg20, source=source)
+            ).result
+            == run_treecast(lhg20, source)
+        )
+
+    def test_reliable_flood(self, lhg20):
+        source = lhg20.nodes()[0]
+        via_shim = run_reliable_flood(lhg20, source, loss_rate=0.3, loss_seed=5)
+        via_spec = run_experiment(
+            ExperimentSpec(
+                protocol="reliable-flood",
+                graph=lhg20,
+                source=source,
+                loss_rate=0.3,
+                loss_seed=5,
+            )
+        )
+        assert via_spec.result == via_shim
+
+    def test_arq_flood(self, lhg20):
+        source = lhg20.nodes()[0]
+        via_shim = run_arq_flood(lhg20, source, loss_rate=0.2, loss_seed=3)
+        via_spec = run_experiment(
+            ExperimentSpec(
+                protocol="arq-flood",
+                graph=lhg20,
+                source=source,
+                loss_rate=0.2,
+                loss_seed=3,
+            )
+        )
+        assert via_spec.result == via_shim
+
+    def test_unicast(self, lhg20):
+        nodes = lhg20.nodes()
+        path = shortest_path(lhg20, nodes[0], nodes[-1])
+        delivered_at, hops = run_unicast(lhg20, path)
+        summary = run_experiment(
+            ExperimentSpec(protocol="unicast", graph=lhg20, params={"path": path})
+        )
+        assert summary.metric("delivered_at") == delivered_at
+        assert summary.metric("hops") == hops
+        assert delivered_at is not None
+
+    def test_echo_shim_returns_protocol(self, lhg20):
+        source = lhg20.nodes()[0]
+        protocol = run_echo(lhg20, source)
+        assert protocol.completed
+        assert protocol.aggregate == lhg20.number_of_nodes()
+        summary = run_experiment(
+            ExperimentSpec(protocol="echo", graph=lhg20, source=source)
+        )
+        assert summary.metric("completed") is True
+        assert summary.metric("aggregate") == protocol.aggregate
+
+
+class TestRepeatRunsWorkers:
+    def test_parallel_repetitions_match_serial(self, lhg20):
+        source = lhg20.nodes()[0]
+
+        def factory(seed):
+            return random_crashes(lhg20, 3, seed=seed, protect={source})
+
+        serial = repeat_runs(run_flood, lhg20, source, factory, 6)
+        fanned = repeat_runs(run_flood, lhg20, source, factory, 6, workers=2)
+        assert fanned.results == serial.results
+
+    def test_parallel_gossip_seed_injection_matches_serial(self, lhg20):
+        source = lhg20.nodes()[0]
+        serial = repeat_runs(
+            run_gossip, lhg20, source, None, 5, fanout=2, rounds=8
+        )
+        fanned = repeat_runs(
+            run_gossip, lhg20, source, None, 5, workers=3, fanout=2, rounds=8
+        )
+        assert fanned.results == serial.results

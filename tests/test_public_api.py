@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.graphs.generators",
     "repro.core",
+    "repro.exec",
     "repro.flooding",
     "repro.flooding.protocols",
     "repro.overlay",
@@ -37,6 +38,38 @@ class TestExports:
 
     def test_version_string(self):
         assert repro.__version__.count(".") == 2
+
+    def test_execution_surface_is_public(self):
+        # the engine + campaign facade promoted to the top level
+        for name in (
+            "ChaosCampaign",
+            "ExperimentSpec",
+            "ResilienceMatrix",
+            "RunSummary",
+            "TopologySpec",
+            "WorkerPool",
+            "build_lhg_cached",
+            "run_experiment",
+            "standard_protocols",
+            "standard_scenarios",
+        ):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_run_experiment_quickstart(self):
+        # the parallel-usage snippet in the README quickstart
+        from repro import ExperimentSpec, WorkerPool, build_lhg, run_experiment
+
+        graph, _ = build_lhg(n=24, k=3)
+        specs = [
+            ExperimentSpec(
+                protocol="flood", graph=graph, source=graph.nodes()[0], seed=s
+            )
+            for s in range(4)
+        ]
+        results = WorkerPool(workers=2).map(run_experiment, specs)
+        assert results == [run_experiment(spec) for spec in specs]
+        assert all(summary.result.fully_covered for summary in results)
 
 
 class TestReadmeQuickstart:
