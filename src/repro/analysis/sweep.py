@@ -60,6 +60,10 @@ def run_sweep(
     measure: Callable[..., Dict[str, Any]],
     skip: Callable[..., bool] = None,
     workers: int = None,
+    checkpoint: Any = None,
+    resume: bool = False,
+    timeout: float = None,
+    retries: int = None,
 ) -> SweepResult:
     """Run ``measure(**params)`` over the cartesian product of ``grid``.
 
@@ -75,11 +79,23 @@ def run_sweep(
         infeasible (n, k) combinations).
     workers:
         Fan the grid points out across this many worker processes via
-        the execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
-        run serially; for any count the sweep is collected in grid
-        order, so as long as ``measure`` is deterministic in its
-        parameters the :class:`SweepResult` is identical to a serial
-        run.
+        the execution engine (:mod:`repro.exec`).  ``None``/``1`` run
+        serially; for any count the sweep is collected in grid order,
+        so as long as ``measure`` is deterministic in its parameters
+        the :class:`SweepResult` is identical to a serial run.
+    checkpoint / resume:
+        Journal completed points to an append-only JSONL file
+        (:class:`~repro.exec.checkpoint.CheckpointJournal`) keyed by the
+        point's parameters; with ``resume=True`` journaled points are
+        skipped and merged back in grid order, byte-identical to an
+        uninterrupted sweep.
+    timeout / retries:
+        Supervised execution: per-point wall-clock budget (the worker is
+        SIGKILLed when exceeded) and bounded retries with deterministic
+        backoff.  Analysis grids must be complete to be meaningful, so a
+        point that exhausts its retries raises
+        :class:`~repro.errors.ExecutionError` (carrying the remote
+        traceback) rather than being quarantined.
 
     Examples
     --------
@@ -95,16 +111,62 @@ def run_sweep(
             continue
         points.append(params)
 
-    from repro.exec.pool import parallel_map
-
-    records = parallel_map(
-        lambda params: measure(**params),
-        points,
-        workers=workers,
-        labels=[repr(params) for params in points],
+    from repro.exec.checkpoint import (
+        checkpoint_key,
+        open_journal,
+        pack_pickle,
+        unpack_pickle,
     )
+    from repro.exec.pool import WorkerPool
+    from repro.exec.supervisor import SupervisorConfig
+
+    labels = [repr(params) for params in points]
+    keys = [
+        checkpoint_key("sweep-point", *sorted(params.items()))
+        for params in points
+    ]
+    journal = open_journal(checkpoint, resume)
+    done: Dict[int, Dict[str, Any]] = {}
+    if journal is not None:
+        for position, key in enumerate(keys):
+            payload = journal.get(key)
+            if payload is not None:
+                done[position] = unpack_pickle(payload)
+    todo = [i for i in range(len(points)) if i not in done]
+
+    supervised = journal is not None or timeout is not None or retries is not None
+    config = None
+    if supervised:
+
+        def journal_result(position: int, record: Dict[str, Any]) -> None:
+            if journal is not None:
+                journal.record(
+                    keys[todo[position]],
+                    pack_pickle(record),
+                    label=labels[todo[position]],
+                )
+
+        config = SupervisorConfig(
+            timeout=timeout,
+            retries=2 if retries is None else retries,
+            failure_mode="raise",
+            on_result=journal_result if journal is not None else None,
+        )
+
+    pool = WorkerPool(workers=workers, supervisor=config)
+    try:
+        records = pool.map(
+            lambda params: measure(**params),
+            [points[i] for i in todo],
+            labels=[labels[i] for i in todo],
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     result = SweepResult()
-    for params, record in zip(points, records):
+    fresh = iter(records)
+    for position, params in enumerate(points):
+        record = done[position] if position in done else next(fresh)
         result.add(params, record)
     return result
 

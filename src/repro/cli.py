@@ -8,7 +8,9 @@ Subcommands:
 * ``flood``    — simulate a flood with optional random crashes;
 * ``chaos``    — run a chaos campaign (scenario × protocol resilience
   matrix with invariant checks; ``--workers`` fans the grid across
-  cores with results identical to a serial run);
+  cores with results identical to a serial run; ``--timeout`` /
+  ``--retries`` supervise the workers and ``--checkpoint`` /
+  ``--resume`` journal completed cells for restart);
 * ``coverage`` — print the per-rule existence table for a k;
 * ``diameter`` — compare Harary vs LHG diameters over an n sweep;
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
@@ -101,7 +103,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         seeds=range(args.seed, args.seed + args.repeats),
     )
-    matrix = campaign.run(workers=args.workers)
+    matrix = campaign.run(
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     print(
         matrix.render(
             title=(
@@ -111,10 +119,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
     )
     green = matrix.all_green
-    print(
-        f"{len(matrix.cells)} cells, invariants "
-        + ("all green" if green else f"VIOLATED in {len(matrix.violations)} case(s)")
-    )
+    status = "all green" if green else f"VIOLATED in {len(matrix.violations)} case(s)"
+    if matrix.failures:
+        status += f", {len(matrix.failures)} cell(s) failed to execute"
+    print(f"{len(matrix.cells)} cells, invariants {status}")
     print(campaign.last_report.summary())
     return 0 if green else 1
 
@@ -147,7 +155,15 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
             "lhg-diameter": diameter(lhg),
         }
 
-    sweep = run_sweep({"n": sizes}, measure, workers=args.workers)
+    sweep = run_sweep(
+        {"n": sizes},
+        measure,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     print(
         render_table(
             ["n", "harary-diameter", "lhg-diameter"],
@@ -219,6 +235,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="construction rule (default: auto)",
         )
 
+    def add_fault_tolerance(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-cell wall-clock budget; a cell exceeding it is "
+            "killed and retried (default: no timeout)",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="retry a failed/timed-out cell up to N times with "
+            "deterministic backoff (default: 2 when supervision is on)",
+        )
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="PATH",
+            help="journal completed cells to this JSONL file so an "
+            "interrupted run can be resumed with --resume",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip cells already recorded in the --checkpoint journal",
+        )
+
     p_build = sub.add_parser("build", help="construct an LHG and summarise it")
     add_pair(p_build)
     p_build.add_argument("--json", action="store_true", help="emit JSON edge list")
@@ -264,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the grid (default: serial; -1 = all cores)",
     )
+    add_fault_tolerance(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cov = sub.add_parser("coverage", help="per-rule existence table")
@@ -280,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep (default: serial; -1 = all cores)",
     )
+    add_fault_tolerance(p_diam)
     p_diam.set_defaults(func=_cmd_diameter)
 
     p_paths = sub.add_parser("paths", help="show Menger disjoint paths")
@@ -307,7 +355,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
+        # ValueError covers argument validation below argparse's reach:
+        # workers counts, --resume without --checkpoint, journal refusal
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

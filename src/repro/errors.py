@@ -7,6 +7,7 @@ mirror the package layout:
 * :class:`GraphError` — the graph substrate (:mod:`repro.graphs`).
 * :class:`ConstructionError` — LHG builders (:mod:`repro.core`).
 * :class:`SimulationError` — the flooding simulator (:mod:`repro.flooding`).
+* :class:`ExecutionError` — the execution engine (:mod:`repro.exec`).
 
 Errors carry the offending parameters as attributes where that helps a
 caller recover (for example :class:`InfeasiblePairError` exposes ``n`` and
@@ -77,6 +78,21 @@ class InfeasiblePairError(ConstructionError, ValueError):
 
 class CertificateError(ConstructionError):
     """A construction certificate is inconsistent with its graph."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine could not complete a map.
+
+    Raised by the supervised executor when an item exhausts its retries
+    under ``failure_mode="raise"``.  The structured
+    :class:`~repro.exec.supervisor.ItemFailure` record is attached as
+    :attr:`failure` (``None`` for engine-level failures without a
+    single offending item).
+    """
+
+    def __init__(self, message: str, failure: object = None) -> None:
+        super().__init__(message)
+        self.failure = failure
 
 
 class SimulationError(ReproError):

@@ -24,11 +24,22 @@ codebase — ``CellResult``, ``RunSummary``, ``FloodResult``, plain
 dicts — is).
 
 Where ``fork`` is unavailable (Windows, some macOS configurations) or
-the caller asks for ≤ 1 worker, the pool degrades to an in-process
+the caller asks for 1 worker, the pool degrades to an in-process
 serial loop with the same semantics, and the attached
 :class:`~repro.exec.profiling.ExecutionReport` records which mode ran.
 Nested pools never fork twice: a map issued from inside a worker runs
 serially in that worker.
+
+Exceptions raised inside a forked worker are re-raised in the parent
+with the worker-side traceback attached: the rebuilt exception carries a
+``remote_traceback`` string attribute and a :class:`RemoteTraceback`
+``__cause__``, so a failing campaign cell is debuggable instead of
+pointing at ``pool.map``.
+
+Passing ``supervisor=SupervisorConfig(...)`` swaps the bare pool for the
+fault-tolerant executor of :mod:`repro.exec.supervisor`: per-item
+timeouts, worker-death detection, bounded deterministic retries and
+poison-item quarantine, with the same ordered-results contract.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.exec.profiling import CellTiming, ExecutionReport, Stopwatch
@@ -47,10 +59,50 @@ _TASK_ITEMS: Sequence[Any] = ()
 _IN_WORKER = False
 
 
+class RemoteTraceback(Exception):
+    """Carrier for a worker-side traceback, attached as ``__cause__``."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return self.tb
+
+
+def _rebuild_exc(exc: BaseException, tb: str) -> BaseException:
+    """Reattach a worker-side traceback string to a rebuilt exception."""
+    exc.remote_traceback = tb
+    exc.__cause__ = RemoteTraceback(tb)
+    return exc
+
+
+class _RemoteError:
+    """Pickled carrier for a worker-side exception and its traceback text.
+
+    Exceptions lose their traceback when pickled across the result pipe
+    (and ``multiprocessing`` would re-wrap a raised one with its own
+    machinery), so workers *return* this carrier instead of raising; the
+    parent rebuilds the original exception with the remote traceback
+    attached via :func:`_rebuild_exc` and raises it there.
+    """
+
+    def __init__(self, exc: BaseException, tb: str) -> None:
+        self.exc = exc
+        self.tb = tb
+
+
 def _invoke(index: int):
-    """Run one cell by index; return ``(value, wall_seconds)``."""
+    """Run one cell by index; return ``(value, wall_seconds)``.
+
+    Failures come back as a ``(_RemoteError, seconds)`` pair rather than
+    propagating — see :class:`_RemoteError`.
+    """
     started = time.perf_counter()
-    value = _TASK_FN(_TASK_ITEMS[index])
+    try:
+        value = _TASK_FN(_TASK_ITEMS[index])
+    except Exception as exc:
+        value = _RemoteError(exc, traceback.format_exc())
     return value, time.perf_counter() - started
 
 
@@ -67,15 +119,25 @@ def fork_available() -> bool:
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers=`` argument to a concrete positive count.
 
-    ``None``, ``0`` and ``1`` mean serial; negative values mean "all
-    cores" (``os.cpu_count()``).
+    ``None`` and ``1`` mean serial; ``-1`` means "all cores"
+    (``os.cpu_count()``).
+
+    Raises
+    ------
+    ValueError
+        For ``0`` and any negative count other than ``-1`` — such values
+        used to be silently coerced, masking caller bugs.
     """
     if workers is None:
         return 1
     workers = int(workers)
-    if workers < 0:
+    if workers == -1:
         return max(1, os.cpu_count() or 1)
-    return max(1, workers)
+    if workers < 1:
+        raise ValueError(
+            f"workers must be a positive count or -1 (all cores), got {workers}"
+        )
+    return workers
 
 
 class WorkerPool:
@@ -84,11 +146,16 @@ class WorkerPool:
     Parameters
     ----------
     workers:
-        Worker process count.  ``None``/``0``/``1`` run serially in
-        process; ``-1`` uses every core.
+        Worker process count.  ``None``/``1`` run serially in process;
+        ``-1`` uses every core.
     cache:
         Optional :class:`~repro.exec.cache.KeyedCache` whose counters
         are snapshotted into each map's execution report.
+    supervisor:
+        Optional :class:`~repro.exec.supervisor.SupervisorConfig`.  When
+        given, maps run under supervision — per-item timeouts, retries
+        with deterministic backoff, worker-death recovery and
+        poison-item quarantine — instead of the bare fork pool.
 
     Attributes
     ----------
@@ -96,9 +163,15 @@ class WorkerPool:
         The :class:`ExecutionReport` of the most recent :meth:`map`.
     """
 
-    def __init__(self, workers: Optional[int] = None, cache: Any = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Any = None,
+        supervisor: Any = None,
+    ) -> None:
         self.requested_workers = resolve_workers(workers)
         self.cache = cache
+        self.supervisor = supervisor
         self.last_report = ExecutionReport()
 
     # ------------------------------------------------------------------
@@ -113,10 +186,17 @@ class WorkerPool:
 
         ``labels`` (same length as ``items``) name the cells in the
         execution report; indices are used when omitted.
+
+        Under supervision (``supervisor=`` at construction), slots whose
+        item exhausted its retries hold the structured
+        :class:`~repro.exec.supervisor.ItemFailure` instead of a value;
+        ``last_report.failures`` lists them.
         """
         items = list(items)
         if labels is None:
             labels = [str(i) for i in range(len(items))]
+        if self.supervisor is not None:
+            return self._map_supervised(fn, items, labels)
         workers = min(self.requested_workers, max(1, len(items)))
         use_pool = workers > 1 and fork_available() and not _IN_WORKER
 
@@ -148,11 +228,53 @@ class WorkerPool:
         global _TASK_FN, _TASK_ITEMS
         context = multiprocessing.get_context("fork")
         _TASK_FN, _TASK_ITEMS = fn, items
+        pool = context.Pool(processes=workers, initializer=_mark_worker)
         try:
-            with context.Pool(processes=workers, initializer=_mark_worker) as pool:
-                return pool.map(_invoke, range(len(items)), chunksize=1)
+            pairs = pool.map(_invoke, range(len(items)), chunksize=1)
+            for value, _ in pairs:
+                if isinstance(value, _RemoteError):
+                    raise _rebuild_exc(value.exc, value.tb)
+            return pairs
         finally:
+            # terminate + join unconditionally: on KeyboardInterrupt (or
+            # any error) mid-map this kills and *reaps* every child, so
+            # an interrupted sweep leaves no zombies behind.
+            pool.terminate()
+            pool.join()
             _TASK_FN, _TASK_ITEMS = None, ()
+
+    # ------------------------------------------------------------------
+
+    def _map_supervised(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        labels: Sequence[str],
+    ) -> List[Any]:
+        from repro.exec.supervisor import SupervisedExecutor
+
+        workers = min(self.requested_workers, max(1, len(items)))
+        executor = SupervisedExecutor(
+            fn, items, labels, config=self.supervisor, workers=workers
+        )
+        with Stopwatch() as watch:
+            results, stats = executor.run()
+        self.last_report = ExecutionReport(
+            mode=stats.mode,
+            workers=stats.workers_used,
+            requested_workers=self.requested_workers,
+            wall_seconds=watch.seconds,
+            timings=[
+                CellTiming(label=label, seconds=seconds)
+                for label, seconds in zip(labels, stats.timings)
+            ],
+            cache=self.cache.stats() if self.cache is not None else None,
+            failures=list(stats.failures),
+            retries=stats.retries,
+            timeouts=stats.timeouts,
+            worker_deaths=stats.worker_deaths,
+        )
+        return results
 
 
 def _timed_call(fn: Callable[[Any], Any], item: Any):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,10 @@ class ExecutionReport:
     Attributes
     ----------
     mode:
-        ``"serial"`` (in-process loop) or ``"fork-pool"`` (process pool).
+        ``"serial"`` (in-process loop), ``"fork-pool"`` (bare process
+        pool), or one of the supervised modes — ``"supervised-fork"``,
+        ``"supervised-serial"``, ``"supervised-degraded"`` (started
+        forked, finished serially after the worker-death budget ran out).
     workers:
         Worker processes actually used (1 for serial).
     requested_workers:
@@ -44,6 +47,17 @@ class ExecutionReport:
     cache:
         Snapshot of cache counters at completion, when a cache was
         attached (``{"hits": ..., "misses": ..., "entries": ...}``).
+    failures:
+        Quarantined items (supervised maps only): the structured
+        :class:`~repro.exec.supervisor.ItemFailure` per poison item.
+    retries:
+        Retried attempts across the whole map (supervised maps only).
+    timeouts:
+        Items whose worker was SIGKILLed for exceeding the per-item
+        wall-clock budget (supervised maps only).
+    worker_deaths:
+        Worker processes lost to crashes, kills or timeouts
+        (supervised maps only).
     """
 
     mode: str = "serial"
@@ -52,6 +66,10 @@ class ExecutionReport:
     wall_seconds: float = 0.0
     timings: List[CellTiming] = field(default_factory=list)
     cache: Optional[Dict[str, int]] = None
+    failures: List[Any] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
 
     @property
     def cells(self) -> int:
@@ -91,6 +109,13 @@ class ExecutionReport:
         rate = self.cache_hit_rate()
         if rate is not None:
             parts.append(f"graph cache hit rate {rate:.0%}")
+        if self.retries or self.worker_deaths:
+            parts.append(
+                f"{self.retries} retrie(s), {self.timeouts} timeout(s), "
+                f"{self.worker_deaths} worker death(s)"
+            )
+        if self.failures:
+            parts.append(f"{len(self.failures)} cell(s) quarantined")
         return ", ".join(parts)
 
 

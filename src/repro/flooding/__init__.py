@@ -20,6 +20,7 @@ from repro.flooding.experiments import (
     experiment_names,
     repeat_runs,
     run_experiment,
+    run_experiments,
     run_arq_flood,
     run_broadcast_stream,
     run_echo,
@@ -108,6 +109,7 @@ __all__ = [
     "run_broadcast_stream",
     "run_echo",
     "run_experiment",
+    "run_experiments",
     "run_failure_detection",
     "run_flood",
     "run_gossip",

@@ -877,6 +877,109 @@ def run_view_change(
 
 
 # ----------------------------------------------------------------------
+# Batch execution: many specs through the (supervised) engine
+# ----------------------------------------------------------------------
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    workers: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint: Any = None,
+    resume: bool = False,
+) -> Sequence[RunSummary]:
+    """Execute a batch of specs through the execution engine.
+
+    The batch equivalent of ``pool.map(run_experiment, specs)`` with the
+    engine's fault-tolerance knobs attached:
+
+    * ``workers`` fans the batch across processes (results identical to
+      the serial loop for any count);
+    * ``timeout`` / ``retries`` run the batch supervised — a crashed,
+      hung or raising run is retried with deterministic backoff, and a
+      run that exhausts its retries raises
+      :class:`~repro.errors.ExecutionError` with the remote traceback;
+    * ``checkpoint`` / ``resume`` journal each completed summary to an
+      append-only JSONL file so an interrupted batch resumes without
+      recomputation, byte-identical to an uninterrupted one.  Journal
+      keys combine each spec's position, protocol, topology size and
+      seed, so resuming expects the same spec list.
+    """
+    from repro.exec.checkpoint import (
+        checkpoint_key,
+        open_journal,
+        pack_pickle,
+        unpack_pickle,
+    )
+    from repro.exec.pool import WorkerPool
+    from repro.exec.supervisor import SupervisorConfig
+
+    specs = list(specs)
+    if labels is None:
+        labels = [f"{spec.protocol}/{i}" for i, spec in enumerate(specs)]
+    keys = [
+        checkpoint_key(
+            "experiment",
+            index,
+            spec.protocol,
+            spec.graph.name,
+            spec.graph.number_of_nodes(),
+            spec.graph.number_of_edges(),
+            spec.source,
+            spec.seed,
+            spec.loss_rate,
+            spec.loss_seed,
+        )
+        for index, spec in enumerate(specs)
+    ]
+    journal = open_journal(checkpoint, resume)
+    done = {}
+    if journal is not None:
+        for position, key in enumerate(keys):
+            payload = journal.get(key)
+            if payload is not None:
+                done[position] = unpack_pickle(payload)
+    todo = [i for i in range(len(specs)) if i not in done]
+
+    supervised = journal is not None or timeout is not None or retries is not None
+    config = None
+    if supervised:
+
+        def journal_result(position: int, summary: RunSummary) -> None:
+            if journal is not None:
+                journal.record(
+                    keys[todo[position]],
+                    pack_pickle(summary),
+                    label=labels[todo[position]],
+                )
+
+        config = SupervisorConfig(
+            timeout=timeout,
+            retries=2 if retries is None else retries,
+            failure_mode="raise",
+            on_result=journal_result if journal is not None else None,
+        )
+
+    pool = WorkerPool(workers=workers, supervisor=config)
+    try:
+        results = pool.map(
+            run_experiment,
+            [specs[i] for i in todo],
+            labels=[labels[i] for i in todo],
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    fresh = iter(results)
+    return [
+        done[position] if position in done else next(fresh)
+        for position in range(len(specs))
+    ]
+
+
+# ----------------------------------------------------------------------
 # Repetition harness
 # ----------------------------------------------------------------------
 
@@ -930,6 +1033,10 @@ def repeat_runs(
     schedule_factory,
     repetitions: int,
     workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint: Any = None,
+    resume: bool = False,
     **runner_kwargs,
 ) -> ResultAggregate:
     """Run ``runner`` over seeded failure schedules and aggregate.
@@ -944,10 +1051,15 @@ def repeat_runs(
         Number of seeds (0, 1, 2, …).
     workers:
         Fan the repetitions out across this many worker processes via
-        the execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
-        run serially; any value yields results identical to the serial
+        the execution engine (:mod:`repro.exec`).  ``None``/``1`` run
+        serially; any value yields results identical to the serial
         loop (schedules are derived per seed in the parent, and every
         run is a pure function of its spec).
+    timeout / retries / checkpoint / resume:
+        Fault-tolerance knobs forwarded to :func:`run_experiments`:
+        per-repetition wall-clock budget, bounded retries, and
+        journal-based resume of interrupted repetition batches.  They
+        require a registered runner (one convertible to specs).
     runner_kwargs:
         Extra keyword arguments forwarded to the runner.  For
         :func:`run_gossip` a ``seed`` kwarg is injected per repetition
@@ -970,17 +1082,39 @@ def repeat_runs(
             kwargs["loss_seed"] = seed
         prepared.append((schedule, kwargs))
 
-    from repro.exec.pool import WorkerPool, resolve_workers
+    from repro.exec.pool import resolve_workers
+
+    supervised = (
+        timeout is not None
+        or retries is not None
+        or checkpoint is not None
+        or resume
+    )
+    spec_able = runner in _RUNNER_PROTOCOLS
+    if supervised and not spec_able:
+        raise ValueError(
+            "timeout/retries/checkpoint need a registered runner "
+            "(run_flood, run_gossip, run_treecast, run_reliable_flood, "
+            "run_arq_flood)"
+        )
 
     aggregate = ResultAggregate()
-    if resolve_workers(workers) > 1 and runner in _RUNNER_PROTOCOLS:
+    if spec_able and (supervised or resolve_workers(workers) > 1):
         specs = [
             _spec_for_runner(runner, graph, source, schedule, kwargs)
             for schedule, kwargs in prepared
         ]
-        pool = WorkerPool(workers=workers)
         labels = [f"{spec.protocol}/rep{i}" for i, spec in enumerate(specs)]
-        for summary in pool.map(run_experiment, specs, labels=labels):
+        summaries = run_experiments(
+            specs,
+            workers=workers,
+            labels=labels,
+            timeout=timeout,
+            retries=retries,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        for summary in summaries:
             aggregate.add(summary.result)
     else:
         for schedule, kwargs in prepared:

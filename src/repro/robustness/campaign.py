@@ -12,14 +12,17 @@ reproduced in isolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tables import render_table
 from repro.errors import SimulationError
 from repro.exec.cache import GRAPH_CACHE, TopologySpec
+from repro.exec.checkpoint import CheckpointJournal, checkpoint_key, open_journal
 from repro.exec.pool import WorkerPool
 from repro.exec.profiling import ExecutionReport
+from repro.exec.supervisor import ItemFailure, SupervisorConfig
 from repro.flooding.experiments import summarize_run
 from repro.flooding.failures import apply_schedule
 from repro.flooding.network import Network, Protocol
@@ -133,11 +136,56 @@ class CellResult:
         return self.covered >= self.reachable
 
 
+def _cell_payload(cell: CellResult) -> dict:
+    """JSON-safe checkpoint payload for one cell (see ``_cell_from_payload``)."""
+    return {
+        "topology": cell.topology,
+        "scenario": cell.scenario,
+        "protocol": cell.protocol,
+        "seed": cell.seed,
+        "covered": cell.covered,
+        "reachable": cell.reachable,
+        "delivery_ratio": cell.delivery_ratio,
+        "messages": cell.messages,
+        "retransmissions": cell.retransmissions,
+        "completion_time": cell.completion_time,
+        "violations": list(cell.violations),
+    }
+
+
+def _cell_from_payload(payload: dict) -> CellResult:
+    """Rebuild a :class:`CellResult` from its journal payload.
+
+    The round trip is exact: every field is an int, a str, a tuple of
+    str, or a float (JSON floats round-trip via ``repr``), so a resumed
+    matrix is byte-identical to the uninterrupted one.
+    """
+    return CellResult(
+        topology=payload["topology"],
+        scenario=payload["scenario"],
+        protocol=payload["protocol"],
+        seed=payload["seed"],
+        covered=payload["covered"],
+        reachable=payload["reachable"],
+        delivery_ratio=payload["delivery_ratio"],
+        messages=payload["messages"],
+        retransmissions=payload["retransmissions"],
+        completion_time=payload["completion_time"],
+        violations=tuple(payload["violations"]),
+    )
+
+
 @dataclass
 class ResilienceMatrix:
-    """All cells of one campaign, with rendering and roll-up queries."""
+    """All cells of one campaign, with rendering and roll-up queries.
+
+    ``failures`` lists cells the supervised executor quarantined (item
+    exhausted its retries); such cells have no :class:`CellResult` row
+    and make :attr:`all_green` False.
+    """
 
     cells: List[CellResult] = field(default_factory=list)
+    failures: List[ItemFailure] = field(default_factory=list)
 
     def add(self, cell: CellResult) -> None:
         """Record one cell."""
@@ -145,8 +193,8 @@ class ResilienceMatrix:
 
     @property
     def all_green(self) -> bool:
-        """True when no cell violated any invariant."""
-        return all(cell.ok for cell in self.cells)
+        """True when no cell violated any invariant and none failed to run."""
+        return all(cell.ok for cell in self.cells) and not self.failures
 
     @property
     def violations(self) -> List[Tuple[CellResult, str]]:
@@ -188,7 +236,7 @@ class ResilienceMatrix:
             )
             for cell in self.cells
         ]
-        return render_table(
+        table = render_table(
             [
                 "topology",
                 "scenario",
@@ -203,6 +251,15 @@ class ResilienceMatrix:
             rows,
             title=title,
         )
+        if self.failures:
+            lines = [
+                table,
+                "",
+                f"execution failures: {len(self.failures)} cell(s) quarantined",
+            ]
+            lines.extend(f"  {failure.summary()}" for failure in self.failures)
+            table = "\n".join(lines)
+        return table
 
 
 class ChaosCampaign:
@@ -344,20 +401,87 @@ class ChaosCampaign:
             violations=tuple(str(v) for v in violations),
         )
 
-    def run(self, workers: Optional[int] = None) -> ResilienceMatrix:
+    def cell_key(
+        self, topology_name: str, scenario_name: str, protocol_name: str, seed: int
+    ) -> str:
+        """Stable checkpoint key for one cell of this campaign's grid.
+
+        The key hashes the topology's *construction identity* — for a
+        :class:`TopologySpec` entry its ``(n, k, rule)`` parameters, for
+        a pre-built graph its name and size — together with the
+        scenario, protocol and seed, via SHA-256
+        (:func:`~repro.exec.checkpoint.checkpoint_key`).  Two topology
+        entries that collide on display name but differ in parameters
+        therefore get distinct keys, never a silent checkpoint hit.
+        """
+        for name, entry in self.topologies:
+            if name == topology_name:
+                if isinstance(entry, TopologySpec):
+                    identity: Tuple = ("spec", entry.n, entry.k, entry.rule)
+                else:
+                    identity = (
+                        "graph",
+                        entry.name,
+                        entry.number_of_nodes(),
+                        entry.number_of_edges(),
+                    )
+                return checkpoint_key(
+                    "chaos-cell",
+                    topology_name,
+                    *identity,
+                    scenario_name,
+                    protocol_name,
+                    seed,
+                )
+        raise SimulationError(f"unknown topology {topology_name!r}")
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        checkpoint: Optional[Union[str, Path, CheckpointJournal]] = None,
+        resume: bool = False,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+    ) -> ResilienceMatrix:
         """Run every cell of the grid; return the populated matrix.
 
         Parameters
         ----------
         workers:
             Fan the cells out across this many worker processes via the
-            execution engine (:mod:`repro.exec`).  ``None``/``0``/``1``
-            run serially.  Cell order in the matrix, and every cell's
+            execution engine (:mod:`repro.exec`).  ``None``/``1`` run
+            serially.  Cell order in the matrix, and every cell's
             content, are identical for any worker count: each cell is a
             pure function of (topology, protocol, scenario, seed), and
             results are collected positionally.  The per-cell timing and
             cache statistics of the latest run land in
             :attr:`last_report`.
+        checkpoint:
+            Path of (or an open) append-only
+            :class:`~repro.exec.checkpoint.CheckpointJournal`; every
+            completed cell is journaled the moment it finishes, so an
+            interrupted campaign can be resumed.
+        resume:
+            Skip cells already present in the checkpoint journal and
+            merge them back in grid order — the resumed matrix is
+            byte-identical to an uninterrupted run.
+        timeout:
+            Per-cell wall-clock budget in seconds; an overdue cell's
+            worker is SIGKILLed and the cell retried (supervised mode).
+        retries:
+            Retry attempts per failing cell before it is quarantined as
+            an :class:`~repro.exec.supervisor.ItemFailure` in
+            ``matrix.failures`` (default 2 once supervision is active).
+        supervisor:
+            Full :class:`~repro.exec.supervisor.SupervisorConfig` for
+            callers needing every knob (fault hooks, backoff shape);
+            overrides ``timeout``/``retries``.
+
+        Any of ``checkpoint``/``timeout``/``retries``/``supervisor``
+        switches execution to the supervised pool, which also survives
+        worker crashes and hangs; with none of them the bare
+        deterministic fork pool runs as before.
         """
         # Resolve every topology once, up front, so spec-given graphs
         # are constructed (and cache-counted) in the parent process and
@@ -376,12 +500,61 @@ class ChaosCampaign:
             f"{name}/{scenario.name}/{spec.name}/s{seed}"
             for name, _, spec, scenario, seed in cells
         ]
-        pool = WorkerPool(workers=workers, cache=GRAPH_CACHE)
-        results = pool.map(
-            lambda cell: self.run_cell(*cell), cells, labels=labels
+        journal = open_journal(checkpoint, resume)
+        keys = None
+        done = {}
+        if journal is not None:
+            keys = [
+                self.cell_key(name, scenario.name, spec.name, seed)
+                for name, _, spec, scenario, seed in cells
+            ]
+            for position, key in enumerate(keys):
+                payload = journal.get(key)
+                if payload is not None:
+                    done[position] = _cell_from_payload(payload)
+        todo = [i for i in range(len(cells)) if i not in done]
+
+        supervised = (
+            supervisor is not None
+            or journal is not None
+            or timeout is not None
+            or retries is not None
         )
+        config = None
+        if supervised:
+            config = supervisor or SupervisorConfig(
+                timeout=timeout, retries=2 if retries is None else retries
+            )
+            if journal is not None:
+                chained = config.on_result
+
+                def journal_result(position: int, value: object) -> None:
+                    if isinstance(value, CellResult):
+                        journal.record(
+                            keys[todo[position]],
+                            _cell_payload(value),
+                            label=labels[todo[position]],
+                        )
+                    if chained is not None:
+                        chained(position, value)
+
+                config = replace(config, on_result=journal_result)
+
+        pool = WorkerPool(workers=workers, cache=GRAPH_CACHE, supervisor=config)
+        try:
+            results = pool.map(
+                lambda cell: self.run_cell(*cell),
+                [cells[i] for i in todo],
+                labels=[labels[i] for i in todo],
+            )
+        finally:
+            if journal is not None:
+                journal.close()
         self.last_report = pool.last_report
-        matrix = ResilienceMatrix()
-        for cell_result in results:
-            matrix.add(cell_result)
+        matrix = ResilienceMatrix(failures=list(pool.last_report.failures))
+        fresh = iter(results)
+        for position in range(len(cells)):
+            value = done[position] if position in done else next(fresh)
+            if isinstance(value, CellResult):
+                matrix.add(value)
         return matrix

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.exec import (
     GRAPH_CACHE,
     GraphCache,
     KeyedCache,
+    RemoteTraceback,
     TopologySpec,
     WorkerPool,
     build_lhg_cached,
@@ -24,16 +27,24 @@ def _square(x: int) -> int:
 
 
 class TestResolveWorkers:
-    def test_none_zero_one_are_serial(self):
+    def test_none_and_one_are_serial(self):
         assert resolve_workers(None) == 1
-        assert resolve_workers(0) == 1
         assert resolve_workers(1) == 1
 
-    def test_negative_means_all_cores(self):
+    def test_minus_one_means_all_cores(self):
         assert resolve_workers(-1) >= 1
 
     def test_explicit_count_passes_through(self):
         assert resolve_workers(4) == 4
+
+    @pytest.mark.parametrize("bad", [0, -2, -16])
+    def test_zero_and_other_negatives_raise(self, bad):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(bad)
+
+    def test_pool_rejects_invalid_count_eagerly(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0).map(_square, [1, 2])
 
 
 class TestWorkerPool:
@@ -86,6 +97,21 @@ class TestWorkerPool:
             WorkerPool(workers=2).map(boom, [1, 2, 3])
         with pytest.raises(ValueError, match="bad cell"):
             WorkerPool(workers=1).map(boom, [1])
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_worker_exception_keeps_remote_traceback(self):
+        def boom(x):
+            raise ValueError(f"bad cell {x}")
+
+        with pytest.raises(ValueError, match="bad cell") as excinfo:
+            WorkerPool(workers=2).map(boom, [1, 2, 3])
+        exc = excinfo.value
+        # the worker-side traceback survives the pickle round-trip both
+        # as an attribute and as the __cause__ chain pytest will render
+        assert "bad cell" in exc.remote_traceback
+        assert "in boom" in exc.remote_traceback
+        assert isinstance(exc.__cause__, RemoteTraceback)
+        assert "in boom" in str(exc.__cause__)
 
 
 class TestDeriveSeed:
@@ -170,6 +196,56 @@ class TestGraphCache:
         graph, certificate = cache.resolve(spec)
         assert graph.number_of_nodes() == 14
         assert certificate is not None
+
+    def test_key_is_stable_across_processes(self):
+        # cache keys (and the checkpoint keys derived from them) must not
+        # depend on PYTHONHASHSEED, or a resumed run would recompute — or
+        # worse, mis-attribute — every journaled cell
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.exec.checkpoint import checkpoint_key\n"
+            "from repro.robustness import ChaosCampaign\n"
+            "from repro.exec import TopologySpec\n"
+            "c = ChaosCampaign([('t', TopologySpec(14, 3))])\n"
+            "print(checkpoint_key('graph', 14, 3, 'auto'))\n"
+            "print(c.cell_key('t', 'crash-1', 'flood', 7))\n"
+        )
+        outputs = set()
+        for hashseed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+
+    def test_same_display_name_different_params_stay_distinct(self):
+        # two topologies can share a human-facing name; the cache and
+        # the checkpoint keys must still treat them as different work,
+        # not serve one construction (or one journal entry) for both
+        from repro.robustness import ChaosCampaign
+
+        small, big = TopologySpec(14, 3), TopologySpec(30, 3)
+        cache = GraphCache()
+        g_small, _ = cache.resolve(small)
+        g_big, _ = cache.resolve(big)
+        assert cache.misses == 2 and cache.hits == 0
+        assert g_small.number_of_nodes() != g_big.number_of_nodes()
+
+        key_small = ChaosCampaign([("ring", small)]).cell_key(
+            "ring", "crash-1", "flood", 0
+        )
+        key_big = ChaosCampaign([("ring", big)]).cell_key(
+            "ring", "crash-1", "flood", 0
+        )
+        assert key_small != key_big
 
 
 class TestExecutionReport:
