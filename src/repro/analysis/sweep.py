@@ -153,13 +153,18 @@ def run_sweep(
             on_result=journal_result if journal is not None else None,
         )
 
+    from repro import obs
+
     pool = WorkerPool(workers=workers, supervisor=config)
     try:
-        records = pool.map(
-            lambda params: measure(**params),
-            [points[i] for i in todo],
-            labels=[labels[i] for i in todo],
-        )
+        with obs.span(
+            "sweep", points=len(points), resumed=len(done)
+        ):
+            records = pool.map(
+                lambda params: measure(**params),
+                [points[i] for i in todo],
+                labels=[labels[i] for i in todo],
+            )
     finally:
         if journal is not None:
             journal.close()

@@ -14,7 +14,14 @@ Subcommands:
 * ``coverage`` — print the per-rule existence table for a k;
 * ``diameter`` — compare Harary vs LHG diameters over an n sweep;
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
-* ``spectral`` — algebraic connectivity vs the Harary baseline.
+* ``spectral`` — algebraic connectivity vs the Harary baseline;
+* ``trace``    — summarise or convert a ``--telemetry`` JSONL log
+  (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``).
+
+``build``, ``flood``, ``chaos`` and ``diameter`` accept ``--telemetry
+PATH`` (write the run's JSONL event log to PATH on exit) and
+``--log-json`` (stream events to stderr as they happen).  Telemetry is
+passive: enabling it changes no computed result, only what is recorded.
 
 Every command is a thin veneer over the library API, so anything shown
 here can be scripted directly in Python.
@@ -23,6 +30,7 @@ here can be scripted directly in Python.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -35,6 +43,65 @@ from repro.flooding.failures import random_crashes
 from repro.graphs.generators.harary import harary_graph
 from repro.graphs.io import to_json
 from repro.graphs.traversal import diameter
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace):
+    """Install a telemetry collector for one CLI invocation when asked.
+
+    ``--telemetry PATH`` batches the JSONL event log to PATH on exit;
+    ``--log-json`` streams each event to stderr as it is recorded.  A
+    ``cli:<command>`` root span wraps the whole command, and the final
+    metrics registry is appended as one ``metrics-snapshot`` event so
+    the log is self-contained.
+    """
+    from repro import obs
+
+    path = getattr(args, "telemetry", None)
+    stream = getattr(args, "log_json", False)
+    if path is None and not stream:
+        yield
+        return
+    collector = obs.install(
+        obs.Collector(sink=obs.JsonlSink(sys.stderr) if stream else None)
+    )
+    try:
+        with obs.span(f"cli:{args.command}"):
+            yield
+    finally:
+        collector.emit(
+            "metrics-snapshot",
+            kind="metrics",
+            attrs=collector.metrics.snapshot(),
+        )
+        obs.uninstall()
+        if path is not None:
+            count = obs.write_jsonl(collector.events, path)
+            print(
+                f"telemetry: {count} event(s) written to {path}",
+                file=sys.stderr,
+            )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    events = obs.read_jsonl(args.file)
+    problems = obs.validate_events(events)
+    if args.action == "summary":
+        print(obs.summarize_events(events))
+        if problems:
+            print(f"\n{len(problems)} schema problem(s):", file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        return 0
+    # chrome: convert to a trace_event JSON file for Perfetto
+    output = args.output or (args.file + ".trace.json")
+    count = obs.write_chrome_trace(events, output)
+    print(f"wrote {count} trace event(s) to {output}")
+    print("open https://ui.perfetto.dev (or chrome://tracing) and load it")
+    return 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -235,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="construction rule (default: auto)",
         )
 
+    def add_telemetry(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--telemetry",
+            default=None,
+            metavar="PATH",
+            help="write the run's JSONL telemetry event log to PATH "
+            "(inspect with 'repro trace summary PATH')",
+        )
+        p.add_argument(
+            "--log-json",
+            action="store_true",
+            help="stream telemetry events to stderr as JSON lines",
+        )
+
     def add_fault_tolerance(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--timeout",
@@ -271,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--explain", action="store_true", help="narrate the construction steps"
     )
+    add_telemetry(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_check = sub.add_parser("check", help="verify LHG properties 1-5")
@@ -281,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_pair(p_flood)
     p_flood.add_argument("--crashes", type=int, default=0, help="random crashes")
     p_flood.add_argument("--seed", type=int, default=0, help="failure seed")
+    add_telemetry(p_flood)
     p_flood.set_defaults(func=_cmd_flood)
 
     p_chaos = sub.add_parser(
@@ -311,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the grid (default: serial; -1 = all cores)",
     )
     add_fault_tolerance(p_chaos)
+    add_telemetry(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_cov = sub.add_parser("coverage", help="per-rule existence table")
@@ -328,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default: serial; -1 = all cores)",
     )
     add_fault_tolerance(p_diam)
+    add_telemetry(p_diam)
     p_diam.set_defaults(func=_cmd_diameter)
 
     p_paths = sub.add_parser("paths", help="show Menger disjoint paths")
@@ -346,6 +431,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_plan.set_defaults(func=_cmd_plan)
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect or convert a --telemetry JSONL log"
+    )
+    p_trace.add_argument(
+        "action",
+        choices=["summary", "chrome"],
+        help="summary: human digest; chrome: Chrome trace_event JSON "
+        "(loads in Perfetto)",
+    )
+    p_trace.add_argument("file", help="JSONL telemetry log to read")
+    p_trace.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output path for 'chrome' (default: FILE.trace.json)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
     return parser
 
 
@@ -354,10 +458,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
-    except (ReproError, ValueError) as exc:
+        with _telemetry(args):
+            return args.func(args)
+    except (ReproError, ValueError, OSError) as exc:
         # ValueError covers argument validation below argparse's reach:
-        # workers counts, --resume without --checkpoint, journal refusal
+        # workers counts, --resume without --checkpoint, journal refusal;
+        # OSError covers unreadable/unwritable telemetry and trace files
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -41,6 +41,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from repro import obs
 from repro.exec.seeding import seed_key
 
 
@@ -124,6 +125,12 @@ class CheckpointJournal:
                     continue
                 self._entries[key] = record["payload"]
                 self._labels[key] = record.get("label", "")
+        obs.event(
+            "checkpoint-load",
+            src="exec",
+            path=str(self.path),
+            entries=len(self._entries),
+        )
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
@@ -158,6 +165,9 @@ class CheckpointJournal:
             os.fsync(self._fh.fileno())
         self._entries[key] = payload
         self._labels[key] = label
+        obs.event(
+            "checkpoint-write", src="exec", key=key[:12], label=label
+        )
 
     def close(self) -> None:
         """Close the underlying file handle (appends reopen it)."""

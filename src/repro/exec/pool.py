@@ -50,6 +50,7 @@ import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.exec.profiling import CellTiming, ExecutionReport, Stopwatch
 
 # Published just before forking; inherited by children (see module docstring).
@@ -93,17 +94,22 @@ class _RemoteError:
 
 
 def _invoke(index: int):
-    """Run one cell by index; return ``(value, wall_seconds)``.
+    """Run one cell by index; return ``(value, seconds, telemetry)``.
 
-    Failures come back as a ``(_RemoteError, seconds)`` pair rather than
-    propagating — see :class:`_RemoteError`.
+    Failures come back as a ``(_RemoteError, seconds, telemetry)``
+    triple rather than propagating — see :class:`_RemoteError`.  The
+    third slot is the captured telemetry payload for the cell (``None``
+    when no collector is installed); forked workers inherit the parent's
+    collector and ship their events back through this slot.
     """
+    token = obs.capture_start()
     started = time.perf_counter()
     try:
         value = _TASK_FN(_TASK_ITEMS[index])
     except Exception as exc:
         value = _RemoteError(exc, traceback.format_exc())
-    return value, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    return value, seconds, obs.capture_finish(token)
 
 
 def _mark_worker() -> None:
@@ -200,12 +206,20 @@ class WorkerPool:
         workers = min(self.requested_workers, max(1, len(items)))
         use_pool = workers > 1 and fork_available() and not _IN_WORKER
 
-        with Stopwatch() as watch:
-            if use_pool:
-                mode, pairs = "fork-pool", self._map_forked(fn, items, workers)
-            else:
-                mode, workers = "serial", 1
-                pairs = [_timed_call(fn, item) for item in items]
+        mark = _telemetry_mark()
+        with obs.span("map", items=len(items)) as map_span:
+            with Stopwatch() as watch:
+                if use_pool:
+                    mode = "fork-pool"
+                    triples = self._map_forked(fn, items, workers)
+                else:
+                    mode, workers = "serial", 1
+                    triples = [_timed_call(fn, item) for item in items]
+            # Merge worker telemetry in submission order — deterministic
+            # regardless of worker count or completion order.
+            for label, (_, _, payload) in zip(labels, triples):
+                obs.adopt(payload, label=label)
+            map_span.set(mode=mode, workers=workers)
 
         self.last_report = ExecutionReport(
             mode=mode,
@@ -214,11 +228,12 @@ class WorkerPool:
             wall_seconds=watch.seconds,
             timings=[
                 CellTiming(label=label, seconds=seconds)
-                for label, (_, seconds) in zip(labels, pairs)
+                for label, (_, seconds, _) in zip(labels, triples)
             ],
             cache=self.cache.stats() if self.cache is not None else None,
+            span_tree=_telemetry_tree(mark),
         )
-        return [value for value, _ in pairs]
+        return [value for value, _, _ in triples]
 
     # ------------------------------------------------------------------
 
@@ -230,11 +245,11 @@ class WorkerPool:
         _TASK_FN, _TASK_ITEMS = fn, items
         pool = context.Pool(processes=workers, initializer=_mark_worker)
         try:
-            pairs = pool.map(_invoke, range(len(items)), chunksize=1)
-            for value, _ in pairs:
+            triples = pool.map(_invoke, range(len(items)), chunksize=1)
+            for value, _, _ in triples:
                 if isinstance(value, _RemoteError):
                     raise _rebuild_exc(value.exc, value.tb)
-            return pairs
+            return triples
         finally:
             # terminate + join unconditionally: on KeyboardInterrupt (or
             # any error) mid-map this kills and *reaps* every child, so
@@ -257,8 +272,11 @@ class WorkerPool:
         executor = SupervisedExecutor(
             fn, items, labels, config=self.supervisor, workers=workers
         )
-        with Stopwatch() as watch:
-            results, stats = executor.run()
+        mark = _telemetry_mark()
+        with obs.span("map", items=len(items)) as map_span:
+            with Stopwatch() as watch:
+                results, stats = executor.run()
+            map_span.set(mode=stats.mode, workers=stats.workers_used)
         self.last_report = ExecutionReport(
             mode=stats.mode,
             workers=stats.workers_used,
@@ -273,14 +291,33 @@ class WorkerPool:
             retries=stats.retries,
             timeouts=stats.timeouts,
             worker_deaths=stats.worker_deaths,
+            span_tree=_telemetry_tree(mark),
         )
         return results
 
 
 def _timed_call(fn: Callable[[Any], Any], item: Any):
+    token = obs.capture_start()
     started = time.perf_counter()
     value = fn(item)
-    return value, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    return value, seconds, obs.capture_finish(token)
+
+
+def _telemetry_mark() -> int:
+    """Event-list position before a map (for scoping its span tree)."""
+    collector = obs.active()
+    return len(collector.events) if collector is not None else 0
+
+
+def _telemetry_tree(mark: int):
+    """The span tree of events recorded since ``mark``, or ``None``."""
+    collector = obs.active()
+    if collector is None:
+        return None
+    from repro.obs.export import build_span_tree
+
+    return build_span_tree(collector.events[mark:])
 
 
 def parallel_map(

@@ -58,6 +58,10 @@ class ExecutionReport:
     worker_deaths:
         Worker processes lost to crashes, kills or timeouts
         (supervised maps only).
+    span_tree:
+        Nested span timings for this map (see
+        :func:`repro.obs.export.build_span_tree`) when a telemetry
+        collector was installed during the run; ``None`` otherwise.
     """
 
     mode: str = "serial"
@@ -70,6 +74,7 @@ class ExecutionReport:
     retries: int = 0
     timeouts: int = 0
     worker_deaths: int = 0
+    span_tree: Optional[List[Dict[str, Any]]] = None
 
     @property
     def cells(self) -> int:
@@ -81,11 +86,21 @@ class ExecutionReport:
         return sum(t.seconds for t in self.timings)
 
     def parallel_efficiency(self) -> float:
-        """cell-seconds / (workers × wall) — 1.0 is a perfect fan-out."""
-        denominator = self.workers * self.wall_seconds
-        if denominator <= 0:
+        """cell-seconds / (workers × wall) — 1.0 is a perfect fan-out.
+
+        A sub-millisecond map on a coarse clock can legitimately report
+        ``wall_seconds == 0``; falling back to the measured floor — the
+        slowest single cell, which the map can never beat — keeps the
+        efficiency finite and meaningful instead of zeroing it.
+        """
+        if not self.timings:
             return 0.0
-        return self.total_cell_seconds() / denominator
+        wall = self.wall_seconds
+        if wall <= 0:
+            wall = max(t.seconds for t in self.timings)
+        if wall <= 0 or self.workers <= 0:
+            return 0.0
+        return self.total_cell_seconds() / (self.workers * wall)
 
     def cache_hit_rate(self) -> Optional[float]:
         """hits / (hits + misses), or ``None`` without a cache."""

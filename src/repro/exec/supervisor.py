@@ -52,6 +52,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ExecutionError
 from repro.exec.seeding import derive_seed
 
@@ -311,6 +312,7 @@ def _child_loop(task_r: int, result_w: int) -> None:
         if message is None or message[0] == "stop":
             os._exit(0)
         _, index, attempt, attempt_seed = message
+        token = obs.capture_start()
         started = time.perf_counter()
         try:
             if _SUP_HOOK is not None:
@@ -323,8 +325,10 @@ def _child_loop(task_r: int, result_w: int) -> None:
                     )
                 )
             value = _SUP_FN(_SUP_ITEMS[index])
-            reply = ("ok", index, attempt, value, time.perf_counter() - started)
+            seconds = time.perf_counter() - started
+            reply = ("ok", index, attempt, value, seconds, obs.capture_finish(token))
         except BaseException as exc:  # noqa: BLE001 — must report, not die
+            obs.capture_finish(token)  # roll back; failed attempts ship nothing
             reply = (
                 "err",
                 index,
@@ -402,6 +406,11 @@ class SupervisedExecutor:
         self.stats = SupervisionStats()
         self._results: List[Any] = [_UNSET] * len(self.items)
         self._timings: List[float] = [0.0] * len(self.items)
+        # Captured telemetry payload of each item's *successful* attempt;
+        # adopted in index order after the map (deterministic merge).
+        self._telemetry: List[Optional[Dict[str, Any]]] = [None] * len(
+            self.items
+        )
         self._completed = 0
         self._pending: "deque[_Attempt]" = deque(
             _Attempt(i, 0, 0.0) for i in range(len(self.items))
@@ -439,6 +448,10 @@ class SupervisedExecutor:
             self.stats.workers_used = 1
             self._run_serial()
         self.stats.timings = list(self._timings)
+        # Merge per-item telemetry in submission order, never completion
+        # order — the event stream stays identical across worker counts.
+        for index, payload in enumerate(self._telemetry):
+            obs.adopt(payload, label=self.labels[index])
         return self._results, self.stats
 
     # -- forked mode ----------------------------------------------------
@@ -495,6 +508,7 @@ class SupervisedExecutor:
         os.close(task_r)
         os.close(result_w)
         self._workers[result_r] = _Worker(pid, task_w, result_r)
+        obs.event("worker-spawn", src="exec", worker_pid=pid)
 
     def _assign(self, now: float) -> None:
         for worker in list(self._workers.values()):
@@ -509,6 +523,12 @@ class SupervisedExecutor:
             except OSError:
                 # the idle worker died between items: not the task's fault
                 self._retire(worker)
+                obs.event(
+                    "worker-death",
+                    src="exec",
+                    worker_pid=worker.pid,
+                    while_idle=True,
+                )
                 self._note_death()
                 self._pending.appendleft(task)
                 self._ensure_capacity()
@@ -570,6 +590,12 @@ class SupervisedExecutor:
             # EOF: the worker died mid-item (crash, OOM kill, os._exit)
             task = worker.task
             self._retire(worker)
+            obs.event(
+                "worker-death",
+                src="exec",
+                worker_pid=worker.pid,
+                index=None if task is None else task.index,
+            )
             self._note_death()
             if task is not None:
                 self._record_failure(
@@ -581,9 +607,10 @@ class SupervisedExecutor:
             self._ensure_capacity()
             return
         if message[0] == "ok":
-            _, index, _, value, seconds = message
+            _, index, _, value, seconds, telemetry = message
             worker.task = None
             worker.deadline = None
+            self._telemetry[index] = telemetry
             self._finish(index, value, seconds, succeeded=True)
         else:
             _, index, _, error, detail, remote_tb = message
@@ -600,6 +627,14 @@ class SupervisedExecutor:
             if task is None or worker.deadline is None or now < worker.deadline:
                 continue
             self._kill_worker(worker)
+            obs.event(
+                "timeout-kill",
+                src="exec",
+                worker_pid=worker.pid,
+                index=task.index,
+                attempt=task.attempt,
+                budget=self.config.timeout,
+            )
             self.stats.timeouts += 1
             self._note_death()
             self._record_failure(
@@ -622,9 +657,14 @@ class SupervisedExecutor:
     def _note_death(self) -> None:
         self.stats.worker_deaths += 1
         self._death_budget -= 1
-        if self._death_budget < 0:
+        if self._death_budget < 0 and not self.stats.degraded:
             self.stats.degraded = True
             self.stats.mode = "supervised-degraded"
+            obs.event(
+                "degraded",
+                src="exec",
+                worker_deaths=self.stats.worker_deaths,
+            )
 
     def _retire(self, worker: _Worker) -> None:
         """Forget a dead worker: close fds, reap the zombie."""
@@ -660,6 +700,7 @@ class SupervisedExecutor:
             if task.ready_at > now:
                 time.sleep(task.ready_at - now)
             seed = derive_seed(self.config.seed, "attempt", task.index, task.attempt)
+            token = obs.capture_start()
             started = time.perf_counter()
             try:
                 if self.config.fault_hook is not None:
@@ -673,13 +714,14 @@ class SupervisedExecutor:
                     )
                 value = self.fn(self.items[task.index])
             except Exception as exc:
+                obs.capture_finish(token)  # roll back the failed attempt
                 self._record_failure(
                     task, type(exc).__name__, str(exc), traceback.format_exc()
                 )
                 continue
-            self._finish(
-                task.index, value, time.perf_counter() - started, succeeded=True
-            )
+            seconds = time.perf_counter() - started
+            self._telemetry[task.index] = obs.capture_finish(token)
+            self._finish(task.index, value, seconds, succeeded=True)
 
     # -- shared bookkeeping ---------------------------------------------
 
@@ -700,6 +742,14 @@ class SupervisedExecutor:
         attempts = task.attempt + 1
         if task.attempt < self.config.retries:
             self.stats.retries += 1
+            obs.event(
+                "retry",
+                src="exec",
+                index=task.index,
+                label=self.labels[task.index],
+                attempt=task.attempt,
+                error=error,
+            )
             delay = min(
                 self.config.backoff_cap,
                 self.config.backoff_base * (2 ** task.attempt),
@@ -729,6 +779,14 @@ class SupervisedExecutor:
                 + (f"\n--- remote traceback ---\n{remote_tb}" if remote_tb else ""),
                 failure=failure,
             )
+        obs.event(
+            "quarantine",
+            src="exec",
+            index=task.index,
+            label=self.labels[task.index],
+            attempts=attempts,
+            error=error,
+        )
         self.stats.failures.append(failure)
         self._finish(task.index, failure, 0.0, succeeded=False)
 

@@ -34,6 +34,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
 from repro.flooding.faults import FaultModel
@@ -212,7 +213,13 @@ def _execute(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
         raise SimulationError(
             f"unknown experiment protocol {spec.protocol!r}; known: {known}"
         )
-    return handler(spec)
+    with obs.span(
+        "protocol-run",
+        protocol=spec.protocol,
+        n=spec.graph.number_of_nodes(),
+        seed=spec.seed,
+    ):
+        return handler(spec)
 
 
 def _schedule(spec: ExperimentSpec) -> FailureSchedule:
@@ -261,6 +268,7 @@ def summarize_run(
     the runners below and the chaos campaign engine
     (:mod:`repro.robustness`).
     """
+    obs.record_network(network)
     alive_graph = survivors(graph, schedule)
     reachable = reachable_from(alive_graph, source)
     covered = {

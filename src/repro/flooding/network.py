@@ -182,6 +182,18 @@ class NetworkStats:
     messages_dropped: int = 0
     per_node_sent: Dict[NodeId, int] = field(default_factory=dict)
 
+    def as_counters(self) -> Dict[str, int]:
+        """The totals under their telemetry counter names.
+
+        Harvested once per finished run by ``obs.record_network`` —
+        the simulator hot path carries no per-message instrumentation.
+        """
+        return {
+            "net.send": self.messages_sent,
+            "net.deliver": self.messages_delivered,
+            "net.drop": self.messages_dropped,
+        }
+
 
 class NodeApi:
     """The capabilities a protocol instance has at one node."""

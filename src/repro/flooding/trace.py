@@ -56,8 +56,10 @@ class TraceCollector:
         self.limit = limit
         self.events: List[TraceEvent] = []
         self.truncated = 0
+        self.observed: "Counter[str]" = Counter()
 
     def __call__(self, kind: str, time: float, **details: Any) -> None:
+        self.observed[kind] += 1
         if len(self.events) >= self.limit:
             self.truncated += 1
             return
@@ -85,9 +87,37 @@ class TraceCollector:
         """All events of one kind, in order."""
         return [e for e in self.events if e.kind == kind]
 
+    @property
+    def truncated_events(self) -> int:
+        """Events observed but not stored because ``limit`` was reached."""
+        return self.truncated
+
     def counts(self) -> Dict[str, int]:
-        """Event counts per kind."""
+        """*Stored* event counts per kind.
+
+        Past ``limit`` these undercount what actually happened; compare
+        with :meth:`observed_counts` (the full tally) and check
+        :attr:`truncated_events` before trusting a saturated trace.
+        """
         return dict(Counter(e.kind for e in self.events))
+
+    def observed_counts(self) -> Dict[str, int]:
+        """Per-kind counts of *every* observed event, stored or not."""
+        return dict(self.observed)
+
+    def summary(self) -> str:
+        """One line: observed totals, with the truncated share called out."""
+        total = sum(self.observed.values())
+        bits = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.observed.items())
+        )
+        line = f"{total} events ({bits})"
+        if self.truncated:
+            line += (
+                f"; {self.truncated} beyond the {self.limit}-event"
+                f" storage limit (counted, not stored)"
+            )
+        return line
 
     def messages_between(
         self, sender: NodeId, receiver: NodeId
@@ -124,6 +154,53 @@ class TraceCollector:
         return dict(sorted(histogram.items()))
 
     # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def export_events(self) -> List[Dict[str, Any]]:
+        """The trace as JSON-safe dicts (for the JSONL telemetry log).
+
+        One record per stored event, followed — when the collector hit
+        its ``limit`` — by a trailing
+        ``{"kind": "trace-truncated", "count": N, "observed": {...}}``
+        record, so a saturated trace can never silently pass for a
+        complete one.
+        """
+        records: List[Dict[str, Any]] = [
+            {
+                "kind": event.kind,
+                "time": event.time,
+                "sender": event.sender,
+                "receiver": event.receiver,
+                "node": event.node,
+                "detail": event.detail,
+            }
+            for event in self.events
+        ]
+        if self.truncated:
+            records.append(
+                {
+                    "kind": "trace-truncated",
+                    "count": self.truncated,
+                    "observed": self.observed_counts(),
+                }
+            )
+        return records
+
+    def write_jsonl(self, path: str) -> int:
+        """Write :meth:`export_events` to ``path``; return record count."""
+        import json
+
+        records = self.export_events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+        return len(records)
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
 
@@ -145,5 +222,8 @@ class TraceCollector:
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
         if self.truncated:
-            lines.append(f"... {self.truncated} events beyond the collector limit")
+            lines.append(
+                f"... {self.truncated} further event(s) observed beyond the "
+                f"{self.limit}-event storage limit (counted, not stored)"
+            )
         return "\n".join(lines)

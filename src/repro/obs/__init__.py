@@ -1,0 +1,105 @@
+"""repro.obs — zero-dependency telemetry: spans, metrics, JSONL, exports.
+
+Layout::
+
+    obs/
+      spans.py    Collector, span()/traced(), capture/adopt protocol
+      metrics.py  MetricsRegistry: counters, gauges, histograms
+      log.py      JSONL sinks, file round-trip, event-schema validation
+      export.py   chrome_trace(), span trees, log summaries
+
+Everything is inert until a :class:`Collector` is installed: with the
+global slot empty, :func:`span` hands back a shared no-op singleton and
+the metric shortcuts return after one ``is None`` check, so
+instrumented hot paths cost nothing.  Telemetry never feeds back into
+computation — enabling it is provably passive (byte-identical results,
+pinned by ``tests/test_telemetry.py``).
+
+Typical use::
+
+    from repro import obs
+
+    collector = obs.install()
+    with obs.span("campaign", cells=28):
+        ...
+    obs.uninstall()
+    obs.write_jsonl(collector.events, "run.jsonl")
+"""
+
+from repro.obs.export import (
+    build_span_tree,
+    chrome_trace,
+    format_span_tree,
+    summarize_events,
+    write_chrome_trace,
+)
+from repro.obs.log import (
+    EVENT_KINDS,
+    EVENT_SOURCES,
+    JsonlSink,
+    encode_event,
+    iter_spans,
+    read_jsonl,
+    validate_event,
+    validate_events,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    metrics_delta,
+)
+from repro.obs.spans import (
+    Collector,
+    Span,
+    active,
+    adopt,
+    capture_finish,
+    capture_start,
+    counter,
+    event,
+    gauge,
+    install,
+    observe,
+    record_network,
+    span,
+    traced,
+    uninstall,
+)
+
+__all__ = [
+    "Collector",
+    "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "EVENT_SOURCES",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Span",
+    "active",
+    "adopt",
+    "build_span_tree",
+    "capture_finish",
+    "capture_start",
+    "chrome_trace",
+    "counter",
+    "encode_event",
+    "event",
+    "format_span_tree",
+    "gauge",
+    "install",
+    "iter_spans",
+    "metrics_delta",
+    "observe",
+    "read_jsonl",
+    "record_network",
+    "span",
+    "summarize_events",
+    "traced",
+    "uninstall",
+    "validate_event",
+    "validate_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,248 @@
+"""Exporters: Chrome trace JSON, span-tree rendering, log summaries.
+
+:func:`chrome_trace` converts a telemetry event stream into the Chrome
+``trace_event`` JSON format, so a whole chaos campaign renders as a
+flame timeline in ``chrome://tracing`` or https://ui.perfetto.dev —
+each recording pid becomes its own track, which makes worker
+parallelism directly visible.
+
+:func:`build_span_tree` / :func:`format_span_tree` turn the same stream
+into the nested timing structure attached to
+:class:`~repro.exec.profiling.ExecutionReport` and printed by the
+``repro trace summary`` CLI subcommand; same-name siblings aggregate
+into one line (count / total / max) so a 28-cell campaign summarises in
+a dozen lines instead of hundreds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.log import iter_spans
+
+
+def chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """The event stream as a Chrome ``trace_event`` JSON object.
+
+    Completed spans become ``ph:"X"`` (complete) events and point
+    events become ``ph:"i"`` (instant) events, with microsecond
+    timestamps relative to the collector epoch.  All tracks share
+    ``pid`` 0; the recording process id becomes the ``tid`` so each
+    worker gets its own lane.  Serialise with ``json.dump`` and load
+    the file straight into Perfetto.
+    """
+    events = list(events)
+    trace_events: List[Dict[str, Any]] = []
+    for span in iter_spans(events):
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": span["src"],
+                "ph": "X",
+                "ts": round(span["t0"] * 1e6, 3),
+                "dur": round(max(span["seconds"], 0.0) * 1e6, 3),
+                "pid": 0,
+                "tid": span.get("pid", 0),
+                "args": span["attrs"],
+            }
+        )
+    for event in events:
+        if event.get("kind") not in ("event", "metrics"):
+            continue
+        trace_events.append(
+            {
+                "name": event["name"],
+                "cat": event.get("src", "main"),
+                "ph": "i",
+                "s": "t",
+                "ts": round(event["t"] * 1e6, 3),
+                "pid": 0,
+                "tid": event.get("pid", 0),
+                "args": event.get("attrs", {}),
+            }
+        )
+    trace_events.sort(key=lambda entry: (entry["ts"], entry["tid"]))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write :func:`chrome_trace` output to ``path``; return event count."""
+    trace = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, separators=(",", ":"))
+    return len(trace["traceEvents"])
+
+
+def build_span_tree(
+    events: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Nest completed spans into parent→children trees.
+
+    Returns the list of root spans, each a dict with ``name``,
+    ``seconds``, ``t0``, ``attrs``, ``src`` and ``children`` (same
+    shape, recursively), ordered by start time.  Spans whose parent
+    never completed surface as roots rather than vanishing.
+    """
+    spans = sorted(iter_spans(events), key=lambda s: (s["t0"], s["id"]))
+    nodes: Dict[int, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        nodes[span["id"]] = {
+            "name": span["name"],
+            "seconds": span["seconds"],
+            "t0": span["t0"],
+            "src": span["src"],
+            "attrs": span["attrs"],
+            "children": [],
+        }
+    for span in spans:
+        node = nodes[span["id"]]
+        parent = nodes.get(span.get("parent"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def _aggregate_siblings(
+    children: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Group same-name siblings into (name, count, total, max, sample)."""
+    order: List[str] = []
+    groups: Dict[str, Dict[str, Any]] = {}
+    for child in children:
+        name = child["name"]
+        group = groups.get(name)
+        if group is None:
+            order.append(name)
+            groups[name] = group = {
+                "name": name,
+                "count": 0,
+                "total": 0.0,
+                "max": 0.0,
+                "sample": child,
+            }
+        group["count"] += 1
+        group["total"] += child["seconds"]
+        if child["seconds"] >= group["max"]:
+            group["max"] = child["seconds"]
+            group["sample"] = child
+    return [groups[name] for name in order]
+
+
+def format_span_tree(
+    roots: List[Dict[str, Any]],
+    indent: int = 0,
+    max_depth: int = 6,
+) -> List[str]:
+    """Render a span tree as indented text lines.
+
+    Same-name siblings collapse into one aggregate line (``×count``,
+    total and max seconds); the slowest instance's subtree is the one
+    expanded beneath it, which is the instance worth reading.
+    """
+    lines: List[str] = []
+    if indent // 2 >= max_depth:
+        return lines
+    for group in _aggregate_siblings(roots):
+        pad = " " * indent
+        sample = group["sample"]
+        if group["count"] == 1:
+            detail = _format_attrs(sample["attrs"])
+            lines.append(
+                f"{pad}{group['name']}  {sample['seconds'] * 1e3:.2f} ms"
+                + (f"  [{detail}]" if detail else "")
+            )
+        else:
+            lines.append(
+                f"{pad}{group['name']} ×{group['count']}  "
+                f"total {group['total'] * 1e3:.2f} ms  "
+                f"max {group['max'] * 1e3:.2f} ms"
+            )
+        lines.extend(
+            format_span_tree(sample["children"], indent + 2, max_depth)
+        )
+    return lines
+
+
+def _format_attrs(attrs: Dict[str, Any], limit: int = 4) -> str:
+    parts = [f"{key}={attrs[key]}" for key in list(attrs)[:limit]]
+    if len(attrs) > limit:
+        parts.append("…")
+    return " ".join(parts)
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> str:
+    """A human-readable digest of a JSONL telemetry log.
+
+    Sections: span tree (aggregated), lifecycle events grouped by name,
+    and the final metrics snapshot / accumulated metric deltas.
+    """
+    events = list(events)
+    lines: List[str] = []
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    total = len(events)
+    kind_bits = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    lines.append(f"{total} events ({kind_bits})")
+
+    tree = build_span_tree(events)
+    if tree:
+        lines.append("")
+        lines.append("span tree:")
+        lines.extend("  " + line for line in format_span_tree(tree))
+
+    lifecycle: Dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "event":
+            name = event.get("name", "?")
+            lifecycle[name] = lifecycle.get(name, 0) + 1
+    if lifecycle:
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(lifecycle):
+            lines.append(f"  {name} ×{lifecycle[name]}")
+
+    snapshot = _final_metrics(events)
+    if snapshot:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(snapshot.get("counters", {})):
+            lines.append(f"  {name} = {snapshot['counters'][name]}")
+        for name in sorted(snapshot.get("gauges", {})):
+            lines.append(f"  {name} = {snapshot['gauges'][name]} (gauge)")
+        for name, payload in sorted(
+            snapshot.get("histograms", {}).items()
+        ):
+            lines.append(
+                f"  {name}: n={payload['count']} sum={payload['sum']:.4f}s"
+                f" max={payload['max']:.4f}s"
+            )
+    return "\n".join(lines)
+
+
+def _final_metrics(
+    events: List[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The last full metrics snapshot, else the sum of metric deltas."""
+    from repro.obs.metrics import MetricsRegistry
+
+    snapshot = None
+    for event in events:
+        if event.get("kind") == "metrics" and event.get("name") == (
+            "metrics-snapshot"
+        ):
+            snapshot = event.get("attrs")
+    if snapshot is not None:
+        return snapshot
+    registry = MetricsRegistry()
+    seen = False
+    for event in events:
+        if event.get("kind") == "metrics":
+            registry.merge(event.get("attrs", {}))
+            seen = True
+    return registry.snapshot() if seen else None

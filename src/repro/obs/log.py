@@ -1,0 +1,183 @@
+"""Structured JSONL event log: sinks, file round-trip, schema validation.
+
+One telemetry event is one JSON object per line.  The schema is small
+and fixed (see :data:`EVENT_KINDS` and :func:`validate_event`), so the
+log is greppable, diffable, and safely parseable by anything — the CI
+``telemetry`` job validates every emitted line against it.
+
+Two ways to get a log on disk:
+
+* **streaming** — install a :class:`JsonlSink` on the collector; events
+  are written the moment they are recorded (only by the process that
+  created the collector; forked workers buffer and ship instead);
+* **batch** — :func:`write_jsonl` dumps a collector's accumulated
+  events after the run (what the CLI ``--telemetry PATH`` flag does),
+  which keeps hot paths free of I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Union
+
+#: The closed set of event kinds a JSONL log may contain.
+EVENT_KINDS = ("span-open", "span-close", "event", "metrics")
+
+#: Sources: ``main`` — deterministic in-process stream; ``cell`` —
+#: adopted per-item capture (deterministic, merged in submission
+#: order); ``exec`` — executor lifecycle (scheduling-dependent).
+EVENT_SOURCES = ("main", "cell", "exec")
+
+_REQUIRED_FIELDS = {
+    "seq": int,
+    "t": (int, float),
+    "kind": str,
+    "name": str,
+    "src": str,
+    "pid": int,
+    "attrs": dict,
+}
+
+
+def encode_event(event: Dict[str, Any]) -> str:
+    """One event as its canonical JSONL line (sorted keys, no spaces)."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink:
+    """A collector sink streaming each event as one JSON line.
+
+    Parameters
+    ----------
+    stream:
+        Writable text stream; defaults to ``sys.stderr`` (what the CLI
+        ``--log-json`` flag uses).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        self.stream.write(encode_event(event) + "\n")
+
+
+def write_jsonl(events: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write events to ``path``, one JSON object per line; return count."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(encode_event(event) + "\n")
+            written += 1
+    return written
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Parse a JSONL telemetry log from a path or open stream."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    return [json.loads(line) for line in source if line.strip()]
+
+
+def validate_event(event: Dict[str, Any]) -> List[str]:
+    """Problems with one event against the schema (empty list = valid)."""
+    problems: List[str] = []
+    for field, types in _REQUIRED_FIELDS.items():
+        if field not in event:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(event[field], types) or isinstance(
+            event[field], bool
+        ):
+            problems.append(
+                f"field {field!r} has type {type(event[field]).__name__}"
+            )
+    if not problems:
+        if event["kind"] not in EVENT_KINDS:
+            problems.append(f"unknown kind {event['kind']!r}")
+        if event["src"] not in EVENT_SOURCES:
+            problems.append(f"unknown src {event['src']!r}")
+        if event["kind"] in ("span-open", "span-close"):
+            if not isinstance(event.get("id"), int):
+                problems.append(f"{event['kind']} event without integer 'id'")
+        if event["kind"] == "span-open":
+            parent = event.get("parent", "absent")
+            if parent is not None and not isinstance(parent, int):
+                problems.append("span-open 'parent' must be int or null")
+    return problems
+
+
+def validate_events(
+    events: Iterable[Dict[str, Any]],
+) -> List[str]:
+    """Validate a whole stream; also checks seq ordering and span pairing.
+
+    Returns a flat list of ``"event N: problem"`` strings, empty when
+    the stream is schema-valid.
+    """
+    problems: List[str] = []
+    opened: Dict[int, str] = {}
+    closed: set = set()
+    for position, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append(f"event {position}: {problem}")
+        if not isinstance(event.get("seq"), int) or event["seq"] != position:
+            problems.append(
+                f"event {position}: seq {event.get('seq')!r} out of order"
+            )
+        kind = event.get("kind")
+        if kind == "span-open":
+            span_id = event.get("id")
+            if span_id in opened or span_id in closed:
+                problems.append(f"event {position}: duplicate span id {span_id}")
+            elif isinstance(span_id, int):
+                opened[span_id] = event.get("name", "")
+        elif kind == "span-close":
+            span_id = event.get("id")
+            if span_id in closed:
+                problems.append(
+                    f"event {position}: span id {span_id} closed twice"
+                )
+            elif span_id not in opened:
+                problems.append(
+                    f"event {position}: close of unopened span id {span_id}"
+                )
+            else:
+                del opened[span_id]
+                closed.add(span_id)
+    for span_id, name in opened.items():
+        problems.append(f"span id {span_id} ({name!r}) never closed")
+    return problems
+
+
+def iter_spans(
+    events: Iterable[Dict[str, Any]],
+) -> Iterator[Dict[str, Any]]:
+    """Yield one merged record per completed span (open + close pair).
+
+    Each record carries the open event's ``name``/``parent``/``src``/
+    ``pid``, start time ``t0``, end time ``t1``, ``seconds``, and the
+    union of open/close attributes (close wins on conflict).
+    """
+    pending: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span-open":
+            pending[event["id"]] = event
+        elif kind == "span-close":
+            start = pending.pop(event.get("id"), None)
+            if start is None:
+                continue
+            attrs = dict(start.get("attrs", {}))
+            attrs.update(event.get("attrs", {}))
+            yield {
+                "id": start["id"],
+                "name": start["name"],
+                "parent": start.get("parent"),
+                "src": start.get("src", "main"),
+                "pid": start.get("pid"),
+                "t0": start["t"],
+                "t1": event["t"],
+                "seconds": event["t"] - start["t"],
+                "attrs": attrs,
+            }

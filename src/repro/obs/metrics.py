@@ -1,0 +1,240 @@
+"""Process-local metrics: named counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a plain, allocation-light accumulator the
+telemetry collector (:mod:`repro.obs.spans`) carries through a run.
+Three instrument kinds cover everything the execution layers count:
+
+* **counters** — monotonically increasing tallies (messages sent,
+  retries, worker deaths, cache hits, checkpoint writes);
+* **gauges** — last-written values (current worker count, grid size);
+* **histograms** — fixed-bucket distributions (per-cell latency); the
+  bucket edges are frozen at first observation so two registries with
+  the same metric always merge exactly.
+
+Everything snapshots to (and merges from) plain JSON-safe dicts, which
+is how worker-side metric deltas ride the result pipe back to the
+supervising process and land in the JSONL event log — snapshots are
+pure data, so merging deltas in deterministic submission order yields
+an order-independent, reproducible total.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in seconds — spans cell costs
+#: from sub-millisecond graph builds to minute-long supervised cells.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram: counts per bucket plus count/sum/min/max.
+
+    ``buckets`` are the inclusive upper bounds of each bucket; values
+    above the last bound land in an implicit overflow bucket, so
+    ``len(counts) == len(buckets) + 1``.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {bounds}"
+            )
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The histogram as a plain JSON-safe dict."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a snapshot/delta dict (same bucket edges) into this one.
+
+        Raises
+        ------
+        ValueError
+            If the bucket edges disagree — merging histograms with
+            different shapes would silently misplace samples.
+        """
+        if tuple(delta["buckets"]) != self.buckets:
+            raise ValueError(
+                f"histogram bucket mismatch: {delta['buckets']} vs "
+                f"{list(self.buckets)}"
+            )
+        for slot, count in enumerate(delta["counts"]):
+            self.counts[slot] += count
+        self.count += delta["count"]
+        self.total += delta["sum"]
+        for bound, pick in (("min", min), ("max", max)):
+            other = delta.get(bound)
+            if other is None:
+                continue
+            mine = self.minimum if bound == "min" else self.maximum
+            merged = other if mine is None else pick(mine, other)
+            if bound == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+
+    @classmethod
+    def from_snapshot(cls, payload: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`snapshot` output."""
+        histogram = cls(payload["buckets"])
+        histogram.merge(payload)
+        return histogram
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one telemetry session."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def counter(self, name: str, amount: Number = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``buckets`` only takes effect when the histogram is created by
+        this observation; later calls reuse the frozen edges.
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(buckets)
+        histogram.observe(value)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything recorded so far as one plain JSON-safe dict."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: h.snapshot() for name, h in self.histograms.items()
+            },
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Reset the registry to a previously taken :meth:`snapshot`."""
+        self.counters = dict(snapshot["counters"])
+        self.gauges = dict(snapshot["gauges"])
+        self.histograms = {
+            name: Histogram.from_snapshot(payload)
+            for name, payload in snapshot["histograms"].items()
+        }
+
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a snapshot-shaped delta into this registry (additive)."""
+        for name, amount in delta.get("counters", {}).items():
+            self.counter(name, amount)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, payload in delta.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                self.histograms[name] = Histogram.from_snapshot(payload)
+            else:
+                histogram.merge(payload)
+
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not (self.counters or self.gauges or self.histograms)
+
+
+def metrics_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The snapshot-shaped difference ``after - before``.
+
+    Counters and histogram bucket counts subtract; gauges take the
+    ``after`` value for every key written since ``before``.  Merging the
+    returned delta into a registry restored to ``before`` reproduces
+    ``after`` exactly — the round trip worker-side telemetry relies on.
+    """
+    counters = {
+        name: value - before["counters"].get(name, 0)
+        for name, value in after["counters"].items()
+        if value != before["counters"].get(name, 0)
+    }
+    gauges = {
+        name: value
+        for name, value in after["gauges"].items()
+        if name not in before["gauges"] or before["gauges"][name] != value
+    }
+    histograms = {}
+    for name, payload in after["histograms"].items():
+        prior = before["histograms"].get(name)
+        if prior is None:
+            histograms[name] = payload
+            continue
+        if payload["count"] == prior["count"]:
+            continue
+        histograms[name] = {
+            "buckets": payload["buckets"],
+            "counts": [
+                now - then
+                for now, then in zip(payload["counts"], prior["counts"])
+            ],
+            "count": payload["count"] - prior["count"],
+            "sum": payload["sum"] - prior["sum"],
+            "min": payload["min"],
+            "max": payload["max"],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

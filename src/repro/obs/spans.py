@@ -1,0 +1,425 @@
+"""Run-scoped tracing spans and the telemetry collector.
+
+The heart of :mod:`repro.obs`: one process-global :class:`Collector`
+slot.  While no collector is installed every instrument in the codebase
+is inert — :func:`span` returns a shared no-op singleton, :func:`event`
+/ :func:`counter` return after one global ``is None`` check, and no
+event record is ever allocated.  Installing a collector (CLI
+``--telemetry`` / ``--log-json``, or :func:`install` from code) turns
+the same call sites into a structured event stream:
+
+* **spans** — hierarchical timed regions (``campaign → cell →
+  graph-build → protocol-run``) opened/closed via context manager or
+  the :func:`traced` decorator, timed on the monotonic clock;
+* **events** — point records (supervisor lifecycle: fork, SIGKILL,
+  retry, quarantine; checkpoint journal writes);
+* **metrics** — counters/gauges/histograms accumulated in the
+  collector's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Telemetry is **provably passive**: nothing here is consulted by any
+simulation or construction code path, so a telemetry-enabled run yields
+byte-identical results to a telemetry-off run (pinned by
+``tests/test_telemetry.py``).
+
+Worker-side capture
+-------------------
+Forked workers inherit the installed collector through the copied
+address space.  :func:`capture_start` / :func:`capture_finish` bracket
+one work item: events recorded in between are extracted (and the
+metric/id state rolled back), shipped over the existing result pipe as
+a plain dict, and merged in the parent via :func:`adopt` — in
+deterministic submission order, with span ids remapped onto the
+parent's id sequence.  The same capture runs around serial in-process
+items, so the merged event stream is identical for any worker count.
+
+Event schema (one JSON object per line in the JSONL log)::
+
+    {"seq": int, "t": float, "kind": "span-open" | "span-close" |
+     "event" | "metrics", "name": str, "src": "main" | "cell" | "exec",
+     "pid": int, "attrs": {...}, "id": int?, "parent": int | null}
+
+``t`` is seconds since the collector was created (monotonic);  ``src``
+separates the deterministic stream (``main`` spans, adopted ``cell``
+subtrees) from scheduling-dependent executor lifecycle noise (``exec``).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, metrics_delta
+
+#: The process-global collector slot.  ``None`` means telemetry is off.
+_COLLECTOR: Optional["Collector"] = None
+
+
+class Collector:
+    """Accumulates telemetry events and metrics for one session.
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with each event dict as it is
+        recorded (e.g. a :class:`~repro.obs.log.JsonlSink` streaming to
+        stderr).  Only the process that created the collector streams;
+        forked children buffer and ship their events back instead.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.sink = sink
+        self.events: List[Dict[str, Any]] = []
+        self.metrics = MetricsRegistry()
+        self._stack: List[int] = []
+        self._next_id = 1
+        self._owner_pid = os.getpid()
+
+    # -- time -----------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this collector was created (monotonic)."""
+        return self._clock() - self.epoch
+
+    # -- recording ------------------------------------------------------
+
+    def _record(self, event: Dict[str, Any]) -> None:
+        event["seq"] = len(self.events)
+        self.events.append(event)
+        if self.sink is not None and os.getpid() == self._owner_pid:
+            self.sink(event)
+
+    def current_span(self) -> Optional[int]:
+        """Id of the innermost open span, or ``None`` at top level."""
+        return self._stack[-1] if self._stack else None
+
+    def emit(
+        self,
+        name: str,
+        kind: str = "event",
+        src: str = "main",
+        t: Optional[float] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one point event under the current span."""
+        self._record(
+            {
+                "t": self.now() if t is None else t,
+                "kind": kind,
+                "name": name,
+                "src": src,
+                "pid": os.getpid(),
+                "parent": self.current_span(),
+                "attrs": attrs or {},
+            }
+        )
+
+    def open_span(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        t: Optional[float] = None,
+        src: str = "main",
+    ) -> int:
+        """Open a span nested under the current one; return its id."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._record(
+            {
+                "t": self.now() if t is None else t,
+                "kind": "span-open",
+                "name": name,
+                "src": src,
+                "pid": os.getpid(),
+                "id": span_id,
+                "parent": self.current_span(),
+                "attrs": attrs or {},
+            }
+        )
+        self._stack.append(span_id)
+        return span_id
+
+    def close_span(
+        self,
+        span_id: int,
+        attrs: Optional[Dict[str, Any]] = None,
+        t: Optional[float] = None,
+        src: str = "main",
+        name: str = "",
+    ) -> None:
+        """Close a span (innermost-first; stray ids are tolerated)."""
+        if span_id in self._stack:
+            while self._stack and self._stack[-1] != span_id:
+                self._stack.pop()
+            self._stack.pop()
+        self._record(
+            {
+                "t": self.now() if t is None else t,
+                "kind": "span-close",
+                "name": name,
+                "src": src,
+                "pid": os.getpid(),
+                "id": span_id,
+                "attrs": attrs or {},
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# Global slot management
+# ----------------------------------------------------------------------
+
+
+def install(collector: Optional[Collector] = None) -> Collector:
+    """Install (and return) the process-global collector.
+
+    Passing ``None`` installs a fresh default :class:`Collector`.
+    Installing over an existing collector replaces it.
+    """
+    global _COLLECTOR
+    _COLLECTOR = collector if collector is not None else Collector()
+    return _COLLECTOR
+
+
+def uninstall() -> Optional[Collector]:
+    """Remove and return the installed collector (``None`` if none)."""
+    global _COLLECTOR
+    collector, _COLLECTOR = _COLLECTOR, None
+    return collector
+
+
+def active() -> Optional[Collector]:
+    """The installed collector, or ``None`` when telemetry is off."""
+    return _COLLECTOR
+
+
+# ----------------------------------------------------------------------
+# Span API (context manager + decorator)
+# ----------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Shared no-op span: what :func:`span` returns when telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span: context manager over one collector span."""
+
+    __slots__ = ("name", "attrs", "_late", "_id")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._late: Dict[str, Any] = {}
+        self._id: Optional[int] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after opening (land on the close event)."""
+        self._late.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        collector = _COLLECTOR
+        if collector is not None:
+            self._id = collector.open_span(self.name, self.attrs)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        collector = _COLLECTOR
+        if collector is not None and self._id is not None:
+            collector.close_span(self._id, attrs=self._late, name=self.name)
+        self._id = None
+
+
+def span(name: str, **attrs: Any):
+    """A context-manager span, inert (shared singleton) without a collector.
+
+    Examples
+    --------
+    >>> with span("graph-build", n=64, k=4):
+    ...     pass
+    """
+    if _COLLECTOR is None:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: Optional[str] = None):
+    """Decorator form of :func:`span`; zero overhead when telemetry is off."""
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            if _COLLECTOR is None:
+                return fn(*args, **kwargs)
+            with span(label):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap
+
+
+# ----------------------------------------------------------------------
+# Point events and metric shortcuts
+# ----------------------------------------------------------------------
+
+
+def event(name: str, src: str = "main", **attrs: Any) -> None:
+    """Record one point event (no-op when telemetry is off)."""
+    collector = _COLLECTOR
+    if collector is not None:
+        collector.emit(name, src=src, attrs=attrs)
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Increment a collector counter (no-op when telemetry is off)."""
+    collector = _COLLECTOR
+    if collector is not None:
+        collector.metrics.counter(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a collector gauge (no-op when telemetry is off)."""
+    collector = _COLLECTOR
+    if collector is not None:
+        collector.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float, buckets=DEFAULT_BUCKETS) -> None:
+    """Record a histogram sample (no-op when telemetry is off)."""
+    collector = _COLLECTOR
+    if collector is not None:
+        collector.metrics.observe(name, value, buckets)
+
+
+def record_network(network: Any) -> None:
+    """Harvest a finished network's message totals into the metrics.
+
+    Bulk-adds the :class:`~repro.flooding.network.NetworkStats` the
+    simulation already keeps (``net.send`` / ``net.deliver`` /
+    ``net.drop`` counters), so telemetry costs one call per *run*
+    instead of one observer call per *message* — the hot path of the
+    simulator stays untouched.  No-op when telemetry is off.
+    """
+    collector = _COLLECTOR
+    if collector is None:
+        return
+    metrics = collector.metrics
+    for name, total in network.stats.as_counters().items():
+        metrics.counter(name, total)
+
+
+# ----------------------------------------------------------------------
+# Worker-side capture: extract-ship-adopt
+# ----------------------------------------------------------------------
+
+#: Capture token: (event mark, metrics snapshot, start time, next span id).
+CaptureToken = Tuple[int, Dict[str, Any], float, int]
+
+
+def capture_start() -> Optional[CaptureToken]:
+    """Begin capturing one item's telemetry; ``None`` when off."""
+    collector = _COLLECTOR
+    if collector is None:
+        return None
+    return (
+        len(collector.events),
+        collector.metrics.snapshot(),
+        collector.now(),
+        collector._next_id,
+    )
+
+
+def capture_finish(token: Optional[CaptureToken]) -> Optional[Dict[str, Any]]:
+    """End a capture; return the pipe-shippable payload (or ``None``).
+
+    Events recorded since :func:`capture_start` are *removed* from the
+    collector, and the metric registry and span-id counter are rolled
+    back to their pre-capture state — so a serially executed item leaves
+    the collector exactly as a forked one does, and :func:`adopt`
+    produces the identical merged stream either way.
+    """
+    collector = _COLLECTOR
+    if collector is None or token is None:
+        return None
+    mark, before, started, next_id = token
+    events = collector.events[mark:]
+    del collector.events[mark:]
+    after = collector.metrics.snapshot()
+    delta = metrics_delta(before, after)
+    collector.metrics.restore(before)
+    collector._next_id = next_id
+    return {
+        "events": events,
+        "metrics": delta,
+        "t0": started,
+        "t1": collector.now(),
+    }
+
+
+def adopt(
+    payload: Optional[Dict[str, Any]],
+    name: str = "cell",
+    src: str = "cell",
+    **attrs: Any,
+) -> None:
+    """Merge one captured payload into the installed collector.
+
+    Wraps the captured events in a ``name`` span stamped with the
+    capture's real start/end times, remaps captured span ids onto the
+    parent's id sequence (references to spans opened outside the
+    capture re-parent onto the wrapping span), folds the metric delta
+    into the registry, and emits one ``metrics``-kind event carrying
+    the delta — the "metric deltas" records of the JSONL log.
+    """
+    collector = _COLLECTOR
+    if collector is None or payload is None:
+        return
+    wrapper = collector.open_span(name, attrs, t=payload["t0"], src=src)
+    mapping: Dict[int, int] = {}
+    for captured in payload["events"]:
+        merged = dict(captured)
+        merged["src"] = src
+        old_id = merged.get("id")
+        if old_id is not None:
+            if merged["kind"] == "span-open":
+                mapping[old_id] = collector._next_id
+                collector._next_id += 1
+            merged["id"] = mapping.get(old_id, old_id)
+        if "parent" in merged:
+            parent = merged["parent"]
+            merged["parent"] = mapping.get(parent, wrapper)
+        collector._record(merged)
+    delta = payload["metrics"]
+    if any(delta.values()):
+        collector.metrics.merge(delta)
+        collector.emit(
+            "metrics-delta", kind="metrics", src=src, t=payload["t1"], attrs=delta
+        )
+    collector.close_span(wrapper, t=payload["t1"], src=src, name=name)

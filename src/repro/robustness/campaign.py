@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.analysis.tables import render_table
 from repro.errors import SimulationError
 from repro.exec.cache import GRAPH_CACHE, TopologySpec
@@ -353,24 +354,34 @@ class ChaosCampaign:
         if graph is None:
             graph = self.graph_for(topology_name)
         source = self.sources.get(topology_name, graph.nodes()[0])
-        setup = scenario.build(graph, source, seed)
-        simulator = Simulator()
-        network = Network(graph, simulator, fault_model=setup.fault_model)
-        trace = TraceCollector()
-        network.add_observer(trace)
-        apply_schedule(setup.schedule, network, simulator)
-        protocol = spec.factory(network, source)
-        network.attach(protocol, start_nodes=[source])
+        with obs.span(
+            "scenario-build", scenario=scenario.name, topology=topology_name
+        ):
+            setup = scenario.build(graph, source, seed)
+            simulator = Simulator()
+            network = Network(graph, simulator, fault_model=setup.fault_model)
+            trace = TraceCollector()
+            network.add_observer(trace)
+            apply_schedule(setup.schedule, network, simulator)
+            protocol = spec.factory(network, source)
+            network.attach(protocol, start_nodes=[source])
         budget = (
             _EVENT_BUDGET_FACTOR
             * max(1, spec.budget_multiplier)
             * (graph.number_of_nodes() + graph.number_of_edges() + 100)
         )
         budget_exhausted = False
-        try:
-            simulator.run(max_events=budget)
-        except SimulationError:
-            budget_exhausted = True
+        with obs.span(
+            "protocol-run",
+            protocol=spec.name,
+            scenario=scenario.name,
+            topology=topology_name,
+            seed=seed,
+        ):
+            try:
+                simulator.run(max_events=budget)
+            except SimulationError:
+                budget_exhausted = True
         result = summarize_run(
             spec.name, graph, source, setup.schedule, network
         )
@@ -386,7 +397,11 @@ class ChaosCampaign:
             budget_exhausted=budget_exhausted,
             guarantees_delivery=spec.guarantees_delivery,
         )
-        violations = check_invariants(record)
+        with obs.span("invariant-check"):
+            violations = check_invariants(record)
+        obs.counter("campaign.cells")
+        if violations:
+            obs.counter("campaign.violations", len(violations))
         return CellResult(
             topology=topology_name,
             scenario=scenario.name,
@@ -483,12 +498,44 @@ class ChaosCampaign:
         worker crashes and hangs; with none of them the bare
         deterministic fork pool runs as before.
         """
+        with obs.span(
+            "campaign",
+            topologies=len(self.topologies),
+            scenarios=len(self.scenarios),
+            protocols=len(self.protocols),
+            seeds=len(self.seeds),
+        ) as campaign_span:
+            return self._run_grid(
+                campaign_span,
+                workers=workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                timeout=timeout,
+                retries=retries,
+                supervisor=supervisor,
+            )
+
+    def _run_grid(
+        self,
+        campaign_span,
+        workers: Optional[int],
+        checkpoint: Optional[Union[str, Path, CheckpointJournal]],
+        resume: bool,
+        timeout: Optional[float],
+        retries: Optional[int],
+        supervisor: Optional[SupervisorConfig],
+    ) -> ResilienceMatrix:
         # Resolve every topology once, up front, so spec-given graphs
         # are constructed (and cache-counted) in the parent process and
         # inherited by forked workers instead of rebuilt per cell.
-        resolved = [
-            (name, self._resolve(entry)) for name, entry in self.topologies
-        ]
+        resolved = []
+        for name, entry in self.topologies:
+            with obs.span("graph-build", topology=name) as build_span:
+                graph = self._resolve(entry)
+                build_span.set(
+                    n=graph.number_of_nodes(), m=graph.number_of_edges()
+                )
+            resolved.append((name, graph))
         cells = [
             (topology_name, graph, spec, scenario, seed)
             for topology_name, graph in resolved
@@ -513,6 +560,7 @@ class ChaosCampaign:
                 if payload is not None:
                     done[position] = _cell_from_payload(payload)
         todo = [i for i in range(len(cells)) if i not in done]
+        campaign_span.set(cells=len(cells), resumed=len(done))
 
         supervised = (
             supervisor is not None

@@ -114,3 +114,97 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTelemetry:
+    def test_chaos_with_telemetry_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro import obs
+
+        path = str(tmp_path / "run.jsonl")
+        assert (
+            main(
+                [
+                    "chaos",
+                    "16",
+                    "2",
+                    "--scenarios",
+                    "baseline",
+                    "--telemetry",
+                    path,
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "event(s) written" in captured.err
+        events = obs.read_jsonl(path)
+        assert obs.validate_events(events) == []
+        names = {e["name"] for e in events if e["kind"] == "span-open"}
+        assert "cli:chaos" in names and "campaign" in names
+        # the final metrics snapshot makes the log self-contained
+        assert events[-1]["kind"] == "metrics"
+        assert events[-1]["name"] == "metrics-snapshot"
+
+    def test_telemetry_output_identical_to_plain_run(self, tmp_path, capsys):
+        from repro.exec.cache import GRAPH_CACHE
+
+        def science(text):
+            # drop the wall-clock footer ("14 cells in 0.05s ...")
+            return [l for l in text.splitlines() if " cells in " not in l]
+
+        argv = ["chaos", "16", "2", "--scenarios", "baseline", "crash-recover"]
+        GRAPH_CACHE.clear()
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        path = str(tmp_path / "run.jsonl")
+        GRAPH_CACHE.clear()
+        assert main(argv + ["--telemetry", path]) == 0
+        traced = capsys.readouterr().out
+        assert science(traced) == science(plain)
+
+    def test_log_json_streams_to_stderr(self, capsys):
+        assert main(["build", "10", "3", "--log-json"]) == 0
+        err_lines = [
+            line
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        assert err_lines
+        event = json.loads(err_lines[0])
+        assert event["name"] == "cli:build"
+        assert event["kind"] == "span-open"
+
+    def test_flood_telemetry_counts_network_events(self, tmp_path, capsys):
+        from repro import obs
+
+        path = str(tmp_path / "run.jsonl")
+        assert main(["flood", "12", "3", "--telemetry", path]) == 0
+        events = obs.read_jsonl(path)
+        snapshot = events[-1]["attrs"]
+        assert snapshot["counters"]["net.send"] > 0
+        assert snapshot["counters"]["net.deliver"] > 0
+
+    def test_trace_summary_renders_span_tree(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        main(["diameter", "2", "--max-n", "16", "--telemetry", path])
+        capsys.readouterr()
+        assert main(["trace", "summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "cli:diameter" in out
+        assert "sweep" in out
+
+    def test_trace_chrome_emits_loadable_json(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        main(["build", "10", "3", "--telemetry", path])
+        capsys.readouterr()
+        output = str(tmp_path / "out.trace.json")
+        assert main(["trace", "chrome", path, "-o", output]) == 0
+        with open(output) as handle:
+            trace = json.load(handle)
+        assert trace["traceEvents"]
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_trace_missing_file_is_a_clean_error(self, capsys):
+        assert main(["trace", "summary", "/nonexistent/run.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,328 @@
+"""Unit tests for the repro.obs telemetry subsystem."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry, metrics_delta
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_collector():
+    """Every test starts and ends with telemetry off."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+class TestInertWhenOff:
+    def test_span_is_shared_singleton(self):
+        first = obs.span("a", x=1)
+        second = obs.span("b")
+        assert first is second  # no allocation per call site
+
+    def test_null_span_api(self):
+        with obs.span("anything", n=3) as span:
+            span.set(late=True)
+        # nothing recorded anywhere, nothing raised
+
+    def test_shortcuts_are_noops(self):
+        obs.event("e", detail=1)
+        obs.counter("c")
+        obs.gauge("g", 2.0)
+        obs.observe("h", 0.5)
+        assert obs.active() is None
+
+    def test_capture_returns_none(self):
+        assert obs.capture_start() is None
+        assert obs.capture_finish(None) is None
+        obs.adopt(None)  # no-op
+
+    def test_record_network_is_noop(self):
+        obs.record_network(object())  # stats never touched, nothing raised
+
+    def test_traced_decorator_passthrough(self):
+        @obs.traced()
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+
+
+class TestCollector:
+    def test_span_nesting_and_attrs(self):
+        collector = obs.install()
+        with obs.span("outer", a=1) as outer:
+            with obs.span("inner"):
+                obs.event("ping", x=2)
+            outer.set(late="yes")
+        obs.uninstall()
+        kinds = [e["kind"] for e in collector.events]
+        assert kinds == [
+            "span-open",
+            "span-open",
+            "event",
+            "span-close",
+            "span-close",
+        ]
+        open_outer, open_inner, ping, close_inner, close_outer = (
+            collector.events
+        )
+        assert open_inner["parent"] == open_outer["id"]
+        assert ping["parent"] == open_inner["id"]
+        assert close_outer["attrs"] == {"late": "yes"}
+        assert open_outer["attrs"] == {"a": 1}
+
+    def test_seq_is_dense_and_ordered(self):
+        collector = obs.install()
+        with obs.span("s"):
+            obs.event("e")
+        assert [e["seq"] for e in collector.events] == [0, 1, 2]
+
+    def test_metrics_shortcuts_accumulate(self):
+        collector = obs.install()
+        obs.counter("hits")
+        obs.counter("hits", 2)
+        obs.gauge("level", 7)
+        obs.observe("lat", 0.02)
+        snapshot = collector.metrics.snapshot()
+        assert snapshot["counters"]["hits"] == 3
+        assert snapshot["gauges"]["level"] == 7
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_record_network_harvests_stats(self):
+        from repro.flooding.network import NetworkStats
+
+        class FakeNetwork:
+            stats = NetworkStats(
+                messages_sent=7, messages_delivered=5, messages_dropped=2
+            )
+
+        collector = obs.install()
+        obs.record_network(FakeNetwork())
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters == {
+            "net.send": 7,
+            "net.deliver": 5,
+            "net.drop": 2,
+        }
+
+    def test_traced_decorator_records(self):
+        collector = obs.install()
+
+        @obs.traced("labelled")
+        def f(x):
+            return x * 2
+
+        assert f(3) == 6
+        names = [e["name"] for e in collector.events]
+        assert names == ["labelled", "labelled"]
+
+    def test_sink_streams_in_owner_process_only(self):
+        stream = io.StringIO()
+        collector = obs.Collector(sink=obs.JsonlSink(stream))
+        obs.install(collector)
+        obs.event("hello")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "hello"
+
+    def test_validate_clean_stream(self):
+        collector = obs.install()
+        with obs.span("a"):
+            with obs.span("b"):
+                obs.event("e")
+        assert obs.validate_events(collector.events) == []
+
+    def test_validate_rejects_bad_events(self):
+        assert obs.validate_event({"kind": "event"})  # missing fields
+        bad = {
+            "seq": 0,
+            "t": 0.0,
+            "kind": "mystery",
+            "name": "x",
+            "src": "main",
+            "pid": 1,
+            "attrs": {},
+        }
+        assert any("kind" in p for p in obs.validate_event(bad))
+
+    def test_validate_catches_unclosed_span(self):
+        collector = obs.install()
+        collector.open_span("dangling")
+        problems = obs.validate_events(collector.events)
+        assert any("never closed" in p for p in problems)
+
+
+class TestCaptureAdopt:
+    def test_roundtrip_restores_parent_state(self):
+        collector = obs.install()
+        obs.counter("before")
+        token = obs.capture_start()
+        with obs.span("work"):
+            obs.counter("inside", 5)
+        payload = obs.capture_finish(token)
+        # capture removed its events and rolled metrics back
+        assert collector.events == []
+        assert "inside" not in collector.metrics.counters
+        obs.adopt(payload, label="cell-0")
+        assert collector.metrics.counters["inside"] == 5
+        assert collector.metrics.counters["before"] == 1
+        names = [e["name"] for e in collector.events]
+        assert "cell" in names and "work" in names
+        assert obs.validate_events(collector.events) == []
+
+    def test_adopted_ids_identical_serial_and_prefork(self):
+        # serial capture consumes parent ids then rolls them back, so
+        # adoption assigns the same ids a forked worker's copy would
+        def capture_once():
+            token = obs.capture_start()
+            with obs.span("work"):
+                pass
+            return obs.capture_finish(token)
+
+        collector = obs.install()
+        first = capture_once()
+        second = capture_once()
+        obs.adopt(first, label="a")
+        obs.adopt(second, label="b")
+        ids = [
+            e["id"] for e in collector.events if e["kind"] == "span-open"
+        ]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+        assert obs.validate_events(collector.events) == []
+
+    def test_adopt_merges_metric_delta_once(self):
+        collector = obs.install()
+        obs.counter("n", 10)
+        token = obs.capture_start()
+        obs.counter("n", 1)
+        payload = obs.capture_finish(token)
+        assert collector.metrics.counters["n"] == 10
+        obs.adopt(payload)
+        assert collector.metrics.counters["n"] == 11
+        deltas = [e for e in collector.events if e["kind"] == "metrics"]
+        assert len(deltas) == 1
+        assert deltas[0]["attrs"]["counters"] == {"n": 1}
+
+    def test_adopt_wraps_with_capture_times(self):
+        collector = obs.install()
+        token = obs.capture_start()
+        payload = obs.capture_finish(token)
+        payload["t0"], payload["t1"] = 1.5, 2.5
+        obs.adopt(payload, label="timed")
+        spans = list(obs.iter_spans(collector.events))
+        assert spans[0]["t0"] == 1.5
+        assert spans[0]["t1"] == 2.5
+
+
+class TestMetrics:
+    def test_histogram_buckets(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.minimum == 0.05
+        assert histogram.maximum == 5.0
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_histogram_merge_requires_same_buckets(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        other = Histogram(buckets=(0.5,))
+        with pytest.raises(ValueError):
+            histogram.merge(other.snapshot())
+
+    def test_delta_roundtrip_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 3)
+        registry.observe("h", 0.2)
+        before = registry.snapshot()
+        registry.counter("c", 2)
+        registry.counter("fresh")
+        registry.gauge("g", 9)
+        registry.observe("h", 0.7)
+        after = registry.snapshot()
+        delta = metrics_delta(before, after)
+        rebuilt = MetricsRegistry()
+        rebuilt.restore(before)
+        rebuilt.merge(delta)
+        assert rebuilt.snapshot() == after
+
+    def test_empty_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        snapshot = registry.snapshot()
+        delta = metrics_delta(snapshot, snapshot)
+        assert not any(delta.values())
+
+
+class TestExport:
+    def _sample_events(self):
+        collector = obs.install()
+        with obs.span("root", n=8):
+            with obs.span("child", i=0):
+                obs.event("marker")
+            with obs.span("child", i=1):
+                pass
+        obs.uninstall()
+        return collector.events
+
+    def test_chrome_trace_shape(self):
+        trace = obs.chrome_trace(self._sample_events())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 3
+        assert len(instants) == 1
+        for entry in trace["traceEvents"]:
+            assert entry["ts"] >= 0
+            assert isinstance(entry["pid"], int)
+        assert json.dumps(trace)  # JSON-serialisable end to end
+
+    def test_span_tree_nesting(self):
+        tree = obs.build_span_tree(self._sample_events())
+        assert len(tree) == 1
+        assert tree[0]["name"] == "root"
+        assert [c["name"] for c in tree[0]["children"]] == ["child", "child"]
+
+    def test_format_aggregates_same_name_siblings(self):
+        lines = obs.format_span_tree(
+            obs.build_span_tree(self._sample_events())
+        )
+        rendered = "\n".join(lines)
+        assert "child ×2" in rendered
+        assert "root" in rendered
+
+    def test_summary_lists_metrics_snapshot(self):
+        collector = obs.install()
+        obs.counter("net.send", 4)
+        collector.emit(
+            "metrics-snapshot",
+            kind="metrics",
+            attrs=collector.metrics.snapshot(),
+        )
+        obs.uninstall()
+        digest = obs.summarize_events(collector.events)
+        assert "net.send = 4" in digest
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        events = self._sample_events()
+        path = str(tmp_path / "run.jsonl")
+        assert obs.write_jsonl(events, path) == len(events)
+        assert obs.read_jsonl(path) == events
+
+    def test_write_chrome_trace_loads_as_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = obs.write_chrome_trace(self._sample_events(), path)
+        with open(path) as handle:
+            parsed = json.load(handle)
+        assert len(parsed["traceEvents"]) == count

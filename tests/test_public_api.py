@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.overlay",
     "repro.analysis",
     "repro.robustness",
+    "repro.obs",
 ]
 
 

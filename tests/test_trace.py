@@ -110,3 +110,63 @@ class TestAnalysis:
         text = trace.render_timeline(limit=2)
         assert "send" in text
         assert "more events" in text
+
+
+class TestTruncationAccounting:
+    def test_observed_counts_include_truncated_events(self):
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        stored = sum(trace.counts().values())
+        observed = sum(trace.observed_counts().values())
+        assert stored == 3
+        assert observed == stored + trace.truncated_events
+        assert trace.truncated_events == trace.truncated > 0
+
+    def test_untruncated_counts_agree(self):
+        trace = TraceCollector()
+        traced_flood(cycle_graph(8), 0, trace=trace)
+        assert trace.truncated_events == 0
+        assert trace.counts() == trace.observed_counts()
+
+    def test_summary_calls_out_truncation(self):
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        summary = trace.summary()
+        assert str(trace.truncated_events) in summary
+        assert "not stored" in summary
+
+    def test_render_timeline_reports_truncated_share(self):
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        text = trace.render_timeline()
+        assert "storage limit" in text
+        assert str(trace.truncated_events) in text
+
+    def test_export_events_appends_truncation_record(self):
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        records = trace.export_events()
+        assert len(records) == 4  # 3 stored + 1 truncation marker
+        marker = records[-1]
+        assert marker["kind"] == "trace-truncated"
+        assert marker["count"] == trace.truncated_events
+        assert marker["observed"] == trace.observed_counts()
+
+    def test_export_events_clean_when_not_truncated(self):
+        trace = TraceCollector()
+        traced_flood(path_graph(4), 0, trace=trace)
+        records = trace.export_events()
+        assert all(r["kind"] != "trace-truncated" for r in records)
+        assert len(records) == len(trace.events)
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        import json as json_mod
+
+        trace = TraceCollector(limit=3)
+        traced_flood(cycle_graph(10), 0, trace=trace)
+        path = str(tmp_path / "trace.jsonl")
+        count = trace.write_jsonl(path)
+        with open(path) as handle:
+            lines = [json_mod.loads(line) for line in handle]
+        assert len(lines) == count == 4
+        assert lines[-1]["kind"] == "trace-truncated"
