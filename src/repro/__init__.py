@@ -30,7 +30,10 @@ Package map:
 * :mod:`repro.robustness` — chaos campaigns: scenario × protocol
   resilience matrices with invariant checks;
 * :mod:`repro.exec` — the execution engine: deterministic parallel
-  fan-out (``workers=``) and memoized graph construction.
+  fan-out (``workers=``) and memoized graph construction;
+* :mod:`repro.lint` — static determinism & fork-safety analysis: the
+  AST rule set behind ``repro lint`` that keeps the byte-identical
+  reproducibility invariant checkable before anything runs.
 """
 
 from repro.core.existence import build_lhg, exists, regular_exists
@@ -56,6 +59,7 @@ from repro.flooding.experiments import (
 )
 from repro.graphs.generators.harary import harary_graph
 from repro.graphs.graph import Graph
+from repro.lint import LintConfig, run_lint
 from repro.robustness import (
     ChaosCampaign,
     ResilienceMatrix,
@@ -74,6 +78,7 @@ __all__ = [
     "GraphError",
     "InfeasiblePairError",
     "LHGReport",
+    "LintConfig",
     "ReproError",
     "ResilienceMatrix",
     "RunSummary",
@@ -95,6 +100,7 @@ __all__ = [
     "run_experiment",
     "run_flood",
     "run_gossip",
+    "run_lint",
     "run_treecast",
     "standard_protocols",
     "standard_scenarios",

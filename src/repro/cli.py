@@ -16,7 +16,10 @@ Subcommands:
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
 * ``spectral`` — algebraic connectivity vs the Harary baseline;
 * ``trace``    — summarise or convert a ``--telemetry`` JSONL log
-  (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``).
+  (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``);
+* ``lint``     — static determinism & fork-safety analysis
+  (``lint src/repro --baseline lint-baseline.json``); exit code 0 when
+  clean, 1 on findings, 2 on usage/internal errors.
 
 ``build``, ``flood``, ``chaos`` and ``diameter`` accept ``--telemetry
 PATH`` (write the run's JSONL event log to PATH on exit) and
@@ -102,6 +105,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote {count} trace event(s) to {output}")
     print("open https://ui.perfetto.dev (or chrome://tracing) and load it")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        rule_ids,
+        write_baseline,
+    )
+
+    config = LintConfig()
+    if args.select:
+        unknown = sorted(set(args.select) - set(rule_ids()))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {unknown}; known: {', '.join(rule_ids())}"
+            )
+        config = LintConfig(select=tuple(args.select))
+    result = lint_paths(args.paths, config=config)
+    if args.write_baseline:
+        if args.baseline is None:
+            raise ValueError("--write-baseline requires --baseline PATH")
+        count = write_baseline(result.findings, args.baseline)
+        print(f"baseline: {count} finding(s) written to {args.baseline}")
+        return 0
+    if args.baseline is not None:
+        apply_baseline(result, load_baseline(args.baseline))
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code()
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -449,6 +485,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for 'chrome' (default: FILE.trace.json)",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static determinism & fork-safety analysis (AST rules)",
+        description=(
+            "Run the repro.lint rule set (DET001-3, FORK001-2, EXC001, "
+            "API001) over the given files/directories. Exit codes: "
+            "0 clean, 1 findings, 2 usage or internal error."
+        ),
+    )
+    p_lint.add_argument(
+        "paths", nargs="+", help="files or directories to analyse"
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings to subtract "
+        "(e.g. lint-baseline.json)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0 "
+        "(grandfathers everything currently firing)",
+    )
+    p_lint.add_argument(
+        "--select",
+        nargs="*",
+        metavar="RULE",
+        help="restrict to these rule ids (default: all rules)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

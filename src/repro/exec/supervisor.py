@@ -327,7 +327,12 @@ def _child_loop(task_r: int, result_w: int) -> None:
             value = _SUP_FN(_SUP_ITEMS[index])
             seconds = time.perf_counter() - started
             reply = ("ok", index, attempt, value, seconds, obs.capture_finish(token))
-        except BaseException as exc:  # noqa: BLE001 — must report, not die
+        except (KeyboardInterrupt, SystemExit):
+            # die visibly instead of reporting the interrupt as an item
+            # failure: the parent sees EOF on the result pipe, records a
+            # worker death and reassigns the attempt (EXC001)
+            os._exit(1)
+        except BaseException as exc:  # must report, not die
             obs.capture_finish(token)  # roll back; failed attempts ship nothing
             reply = (
                 "err",
@@ -339,6 +344,8 @@ def _child_loop(task_r: int, result_w: int) -> None:
             )
         try:
             _write_msg(result_w, reply)
+        except (KeyboardInterrupt, SystemExit):
+            os._exit(1)  # interrupted mid-write: never retry the write
         except Exception:
             if reply[0] != "ok":
                 os._exit(1)
@@ -355,6 +362,8 @@ def _child_loop(task_r: int, result_w: int) -> None:
                         traceback.format_exc(),
                     ),
                 )
+            except (KeyboardInterrupt, SystemExit):
+                os._exit(1)
             except Exception:
                 os._exit(1)
 
@@ -713,6 +722,11 @@ class SupervisedExecutor:
                         )
                     )
                 value = self.fn(self.items[task.index])
+            except (KeyboardInterrupt, SystemExit):
+                # ^C must abort the serial loop, never enter the retry
+                # path (EXC001); the pool's cleanup reaps any children
+                obs.capture_finish(token)
+                raise
             except Exception as exc:
                 obs.capture_finish(token)  # roll back the failed attempt
                 self._record_failure(

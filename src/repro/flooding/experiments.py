@@ -518,12 +518,14 @@ def _exec_failure_detection(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
 def _exec_view_change(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
     from repro.flooding.protocols.viewchange import ViewChangeProtocol
 
-    crashed_set = set(spec.param("crashed", ()))
+    # insertion-ordered dedup: crash-event order must follow the spec,
+    # not a set's hash order, so traces replay identically everywhere
+    crashed = list(dict.fromkeys(spec.param("crashed", ())))
     crash_time = spec.param("crash_time", 0.0)
-    if spec.source in crashed_set:
+    if spec.source in crashed:
         raise SimulationError("coordinator fail-over is not modelled")
     schedule = FailureSchedule()
-    for victim in crashed_set:
+    for victim in crashed:
         schedule.crash(victim, time=crash_time)
     simulator = Simulator()
     network = _network(spec, simulator, schedule, loss=False, faults=False)
@@ -537,7 +539,7 @@ def _exec_view_change(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
     )
     network.attach(protocol)
     simulator.run(max_events=20_000_000)
-    report = protocol.convergence_report(crashed_set, crash_time)
+    report = protocol.convergence_report(set(crashed), crash_time)
     summary = RunSummary(protocol=spec.protocol, metrics={"report": report})
     return summary, report
 

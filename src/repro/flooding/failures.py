@@ -474,7 +474,8 @@ def _final_down_nodes(schedule: FailureSchedule) -> Set[NodeId]:
 def _final_down_links(schedule: FailureSchedule) -> Set[frozenset]:
     """Links still down once every event of ``schedule`` has fired."""
     down = set()
-    for key in {edge_key(f.u, f.v) for f in schedule.link_failures}:
+    keys = dict.fromkeys(edge_key(f.u, f.v) for f in schedule.link_failures)
+    for key in keys:
         last_fail = max(
             f.time for f in schedule.link_failures if edge_key(f.u, f.v) == key
         )

@@ -309,7 +309,10 @@ class Graph:
         Nodes not present in the graph are ignored, matching the common
         "restriction" semantics used by the connectivity routines.
         """
-        keep = {node for node in nodes if node in self._adj}
+        # insertion-ordered so the subgraph's node order follows the
+        # caller's ``nodes`` order deterministically (a set here would
+        # make node order vary with PYTHONHASHSEED)
+        keep = dict.fromkeys(node for node in nodes if node in self._adj)
         sub = Graph(name=self.name)
         for node in keep:
             sub.add_node(node)

@@ -114,6 +114,7 @@ def edge_expansion_estimate(
                     frontier.append(neighbor)
         boundary = sum(
             1
+            # repro: lint-ignore[DET003] order-insensitive sum over the set
             for u in subset
             for v in graph.neighbors(u)
             if v not in subset

@@ -1,0 +1,82 @@
+"""Static determinism & fork-safety analysis for the repro codebase.
+
+The exec/robustness/telemetry stack rests on one invariant: results are
+byte-identical across ``--workers 1/2/4``, serial vs. supervised, and
+fresh vs. checkpoint-resumed runs.  The dynamic determinism suites
+(``tests/test_parallel_determinism.py``, ``tests/test_telemetry.py``)
+enforce that property *after the fact*; this package enforces its known
+preconditions *statically*, at the AST level, before a slow integration
+test has to catch the regression.
+
+Zero dependencies: the engine is built on the stdlib :mod:`ast` module.
+
+Rule catalog (see :data:`repro.lint.rules.RULES` and DESIGN.md §11):
+
+=========  ========  ====================================================
+rule       severity  hazard
+=========  ========  ====================================================
+DET001     error     unseeded module-level ``random.*`` call (use
+                     ``random.Random(seed)`` / an injected rng)
+DET002     error     wall-clock read (``time.time``/``perf_counter``/
+                     ``monotonic``, ``datetime.now``…) outside the
+                     allowlisted profiling/observability modules
+DET003     warning   iteration over a set without ``sorted()`` — order
+                     can differ across processes (``PYTHONHASHSEED``)
+FORK001    error     thread/lock/pool created at module import time
+                     (state crosses ``fork()`` into workers)
+FORK002    error     file handle or socket opened at module import time
+                     (fd shared with every forked worker)
+EXC001     error     over-broad ``except`` in a worker loop that can
+                     swallow ``KeyboardInterrupt``/``SystemExit``
+API001     error     mutable default argument in a public function
+SUP001     warning   malformed suppression comment (missing reason)
+PARSE001   error     file could not be parsed
+=========  ========  ====================================================
+
+Findings can be silenced two ways:
+
+* inline, with a reason (enforced)::
+
+      value = api_call()  # repro: lint-ignore[DET002] profiling only
+
+* via a committed baseline file of grandfathered fingerprints
+  (``lint-baseline.json``), so new code is held to the bar without a
+  flag-day fix of historical findings.
+
+Entry points: :func:`run_lint` (library), ``repro lint`` (CLI) and
+``tests/test_lint.py`` (tier-1 self-check over ``src/repro``).
+"""
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Severity,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES, rule_ids
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Severity",
+    "apply_baseline",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,107 @@
+"""Baseline file: grandfathered findings that do not gate the build.
+
+The baseline is a committed JSON file mapping finding *fingerprints*
+(content-addressed, line-number independent — see
+:attr:`repro.lint.engine.Finding.fingerprint`) to a short record of
+what was grandfathered and why.  The gate then fails only on findings
+that are neither inline-suppressed nor baselined, so a new rule can
+land with historical findings parked instead of blocking on a flag-day
+cleanup.
+
+Policy (DESIGN.md §11): the baseline may only ever shrink.  New code
+never gets baselined — fix it or suppress it inline with a reason.
+Stale entries (fingerprints that no longer match anything) are reported
+by ``repro lint`` so they can be pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import Finding, LintResult
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, Any]]:
+    """Read a baseline file into ``{fingerprint: entry}``.
+
+    Raises ``ValueError`` on a malformed file — a silently ignored
+    baseline would un-grandfather everything and fail the build in a
+    confusing way.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path!r} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "baseline" not in payload:
+        raise ValueError(
+            f"baseline {path!r} must be an object with a 'baseline' list"
+        )
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path!r} has version {payload.get('version')!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    entries: Dict[str, Dict[str, Any]] = {}
+    for entry in payload["baseline"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(
+                f"baseline {path!r}: every entry needs a 'fingerprint'"
+            )
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def write_baseline(
+    findings: List[Finding], path: str, reason: str = "grandfathered"
+) -> int:
+    """Write ``findings`` as a fresh baseline file; returns the count."""
+    entries = []
+    seen = set()
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    ):
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "reason": reason,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "baseline": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    result: LintResult, baseline: Dict[str, Dict[str, Any]]
+) -> LintResult:
+    """Move baselined findings out of the gating set, in place.
+
+    Also records baseline entries that matched nothing
+    (``result.stale_baseline``) so the file can be pruned as findings
+    get fixed.
+    """
+    kept: List[Finding] = []
+    matched = set()
+    for finding in result.findings:
+        if finding.fingerprint in baseline:
+            matched.add(finding.fingerprint)
+            result.baselined.append(finding)
+        else:
+            kept.append(finding)
+    result.findings = kept
+    result.stale_baseline = sorted(set(baseline) - matched)
+    return result

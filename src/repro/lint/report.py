@@ -1,0 +1,92 @@
+"""Renderers for lint results: human text and machine JSON.
+
+The JSON document is a stable schema (``version`` bumps on breaking
+change) so CI annotations and editor integrations can consume it::
+
+    {
+      "version": 1,
+      "clean": false,
+      "files": 12,
+      "counts": {"DET002": 3},
+      "suppressed": 1,
+      "baselined": 0,
+      "stale_baseline": [],
+      "findings": [
+        {"rule": "DET002", "severity": "error", "path": "...",
+         "line": 7, "col": 11, "message": "...", "snippet": "...",
+         "fingerprint": "6f0c..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.engine import Finding, LintResult
+
+__all__ = ["finding_to_dict", "render_json", "render_text"]
+
+JSON_VERSION = 1
+
+
+def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_VERSION,
+        "clean": result.clean,
+        "files": result.files,
+        "counts": result.counts(),
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline": result.stale_baseline,
+        "findings": [finding_to_dict(f) for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_text(result: LintResult) -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(finding.format())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    tail = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        if result.findings
+        else f"clean: {result.files} file(s), 0 findings"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed inline")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.stale_baseline:
+        extras.append(
+            f"{len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            "(fixed findings — prune them)"
+        )
+    if extras:
+        tail += " (" + ", ".join(extras) + ")"
+    if result.findings:
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in result.counts().items()
+        )
+        lines.append(tail + f" [{counts}]")
+    else:
+        lines.append(tail)
+    return "\n".join(lines)

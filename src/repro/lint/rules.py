@@ -1,0 +1,798 @@
+"""The rule set: determinism, fork-safety and API-hygiene checks.
+
+Each rule is a small class with an ``id``, a ``severity``, a one-line
+``summary`` (rendered into the DESIGN.md §11 catalog) and a ``check``
+method taking the parsed module and a :class:`~repro.lint.engine.
+ModuleContext`.  Rules are pure AST analyses — nothing here imports or
+executes the code under inspection.
+
+Adding a rule:
+
+1. subclass :class:`Rule`, give it the next free id in its family,
+2. append an instance to :data:`RULES`,
+3. drop a ``<rule>_bad.py`` / ``<rule>_good.py`` pair into
+   ``tests/lint_fixtures/`` (the fixture sweep in ``tests/test_lint.py``
+   picks them up by name and will fail until both exist).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding, ModuleContext, Severity
+
+__all__ = ["RULES", "Rule", "rule_ids"]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ImportMap:
+    """Resolves local names back to the dotted things they import.
+
+    ``modules`` maps an alias to a module path (``import random as rnd``
+    → ``{"rnd": "random"}``); ``names`` maps a bare name to its origin
+    (``from random import shuffle`` → ``{"shuffle": "random.shuffle"}``).
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    names: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    imports.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return imports
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        parts.reverse()
+        base = cursor.id
+        if base in self.modules:
+            return ".".join([self.modules[base]] + parts)
+        if base in self.names:
+            return ".".join([self.names[base]] + parts)
+        if not parts:
+            return base  # plain builtin or local name
+        return None
+
+
+class Rule:
+    """Base class: metadata plus the ``check`` hook."""
+
+    id: str = ""
+    severity: str = Severity.ERROR
+    summary: str = ""
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return ctx.finding(self.id, self.severity, node, message)
+
+
+def _walk_skipping_defs(root: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first walk that does not descend into nested functions.
+
+    ``ast.walk`` offers no way to prune a subtree; this one skips
+    ``def``/``async def``/``lambda`` bodies, which is what every scoped
+    analysis here needs.
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _import_time_exprs(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the statements/expressions evaluated at module import.
+
+    Descends through top-level ``if``/``try``/``with``/loops and class
+    bodies (all run at import) but not into function bodies, and skips
+    ``if __name__ == "__main__"`` and ``if TYPE_CHECKING`` blocks.
+    Compound statements contribute their header expressions (``with``
+    items, loop iterables, ``if`` tests); simple statements are yielded
+    whole.
+    """
+
+    def is_main_guard(test: ast.expr) -> bool:
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+        )
+
+    def is_type_checking(test: ast.expr) -> bool:
+        if isinstance(test, ast.Attribute):
+            return test.attr == "TYPE_CHECKING"
+        return isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+
+    def walk(statements: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                if is_main_guard(stmt.test) or is_type_checking(stmt.test):
+                    yield from walk(stmt.orelse)
+                    continue
+                yield stmt.test
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    yield item.context_expr
+                yield from walk(stmt.body)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                yield stmt.iter
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                yield stmt.test
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+            else:
+                yield stmt
+
+    yield from walk(tree.body)
+
+
+def _import_time_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Every Call evaluated at import time, excluding nested defs."""
+    for node in _import_time_exprs(tree):
+        for sub in _walk_skipping_defs(node):
+            if isinstance(sub, ast.Call):
+                yield sub
+
+
+# ----------------------------------------------------------------------
+# DET001 — unseeded module-level random
+# ----------------------------------------------------------------------
+
+_RANDOM_OK = {"Random", "SystemRandom"}
+_RANDOM_BANNED = {
+    "betavariate",
+    "binomialvariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "getstate",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "setstate",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+
+class UnseededRandomRule(Rule):
+    """DET001: module-level ``random.*`` draws from hidden global state."""
+
+    id = "DET001"
+    severity = Severity.ERROR
+    summary = (
+        "unseeded module-level random.* call — route randomness through "
+        "random.Random(seed) / an injected rng"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        imports = ImportMap.of(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _RANDOM_BANNED or alias.name == "*":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"'from random import {alias.name}' pulls the "
+                            "shared global generator into scope; use "
+                            "random.Random(seed) or an injected rng "
+                            "instead",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = imports.resolve(node.func)
+                if (
+                    dotted is not None
+                    and dotted.startswith("random.")
+                    and dotted.split(".", 1)[1] in _RANDOM_BANNED
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() draws from the process-global "
+                        "generator, whose state depends on import order "
+                        "and other callers; use random.Random(seed) or "
+                        "an injected rng (see graphs/generators/"
+                        "random.py for the idiom)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ----------------------------------------------------------------------
+
+_TIME_READS = {
+    "clock_gettime",
+    "clock_gettime_ns",
+    "gmtime",
+    "localtime",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "time",
+    "time_ns",
+}
+_DATETIME_READS = {
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    """DET002: wall-clock reads outside the profiling/obs allowlist."""
+
+    id = "DET002"
+    severity = Severity.ERROR
+    summary = (
+        "wall-clock read (time.*/datetime.now) outside the allowlisted "
+        "profiling/obs modules — deterministic code must use the sim "
+        "clock or an injected clock"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if ctx.config.allows_wallclock(ctx.module):
+            return
+        imports = ImportMap.of(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_READS or alias.name == "*":
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"'from time import {alias.name}' imports "
+                                "a wall-clock read into a non-allowlisted "
+                                "module; use the simulation clock (or add "
+                                "this module to the DET002 allowlist if "
+                                "it is genuinely profiling/obs code)",
+                            )
+            elif isinstance(node, ast.Attribute):
+                dotted = imports.resolve(node)
+                if dotted is None:
+                    continue
+                banned = (
+                    dotted in _DATETIME_READS
+                    or (
+                        dotted.startswith("time.")
+                        and dotted.split(".", 1)[1] in _TIME_READS
+                    )
+                )
+                if banned:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} reads the wall clock; simulation and "
+                        "protocol code must use the sim clock so runs "
+                        "replay byte-identically (allowlisted only in "
+                        "profiling/obs modules)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered set iteration
+# ----------------------------------------------------------------------
+
+
+def _is_set_expr(node: ast.expr, known_sets: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known_sets
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set",
+            "frozenset",
+        ):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+            "copy",
+        ):
+            return _is_set_expr(node.func.value, known_sets)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, known_sets) or _is_set_expr(
+            node.right, known_sets
+        )
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET003: set iteration order varies with PYTHONHASHSEED."""
+
+    id = "DET003"
+    severity = Severity.WARNING
+    summary = (
+        "iteration over a set without sorted() — order differs across "
+        "processes, so anything it feeds (traces, hashes, event order) "
+        "diverges between workers"
+    )
+
+    _MESSAGE = (
+        "iterating a set without sorted(): element order depends on "
+        "PYTHONHASHSEED and can differ between worker processes; wrap "
+        "in sorted(...) (or build an insertion-ordered dict) before "
+        "the order can leak into traces, hashes or emitted events"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        scopes: List[ast.AST] = [tree]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(scope, ctx)
+
+    def _scope_statements(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Nodes belonging to ``scope`` but not to a nested function."""
+        for stmt in getattr(scope, "body", []):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from _walk_skipping_defs(stmt)
+
+    def _check_scope(
+        self, scope: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        known_sets: Set[str] = set()
+        demoted: Set[str] = set()
+        for node in self._scope_statements(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if _is_set_expr(node.value, known_sets):
+                            known_sets.add(target.id)
+                        else:
+                            demoted.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    if _is_set_expr(node.value, known_sets):
+                        known_sets.add(node.target.id)
+                    else:
+                        demoted.add(node.target.id)
+        known_sets -= demoted
+
+        for node in self._scope_statements(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, known_sets):
+                    yield self.finding(ctx, node.iter, self._MESSAGE)
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                # SetComp is deliberately exempt: a set built from a set
+                # carries no iteration order out of the expression.
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter, known_sets):
+                        yield self.finding(ctx, generator.iter, self._MESSAGE)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                    and _is_set_expr(node.args[0], known_sets)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{node.func.id}() over a set materialises an "
+                        "arbitrary, process-dependent order; use "
+                        "sorted(...) instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# FORK001 / FORK002 — import-time state that crosses fork()
+# ----------------------------------------------------------------------
+
+_CONCURRENCY_FACTORIES = {
+    "threading.Barrier",
+    "threading.BoundedSemaphore",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Semaphore",
+    "threading.Thread",
+    "threading.Timer",
+    "threading.local",
+    "multiprocessing.Array",
+    "multiprocessing.Barrier",
+    "multiprocessing.BoundedSemaphore",
+    "multiprocessing.Condition",
+    "multiprocessing.Event",
+    "multiprocessing.Lock",
+    "multiprocessing.Manager",
+    "multiprocessing.Pool",
+    "multiprocessing.Process",
+    "multiprocessing.Queue",
+    "multiprocessing.RLock",
+    "multiprocessing.Semaphore",
+    "multiprocessing.SimpleQueue",
+    "multiprocessing.Value",
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+}
+
+_RESOURCE_FACTORIES = {
+    "open",
+    "io.FileIO",
+    "io.open",
+    "io.open_code",
+    "os.fdopen",
+    "os.open",
+    "os.pipe",
+    "socket.create_connection",
+    "socket.create_server",
+    "socket.socket",
+    "socket.socketpair",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.SpooledTemporaryFile",
+    "tempfile.TemporaryFile",
+    "tempfile.mkstemp",
+}
+
+
+class ImportTimeConcurrencyRule(Rule):
+    """FORK001: locks/threads/pools created when the module is imported."""
+
+    id = "FORK001"
+    severity = Severity.ERROR
+    summary = (
+        "thread/lock/pool created at module import time — the object is "
+        "duplicated into every forked worker (a held lock stays held "
+        "forever in the child)"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        imports = ImportMap.of(tree)
+        for call in _import_time_calls(tree):
+            dotted = imports.resolve(call.func)
+            if dotted in _CONCURRENCY_FACTORIES:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{dotted}() at import time crosses fork() into "
+                    "exec.pool/exec.supervisor workers in undefined "
+                    "state; create it lazily inside the function or "
+                    "process that owns it",
+                )
+
+
+class ImportTimeResourceRule(Rule):
+    """FORK002: file handles / sockets opened when the module is imported."""
+
+    id = "FORK002"
+    severity = Severity.ERROR
+    summary = (
+        "file handle or socket opened at module import time — the fd is "
+        "shared with every forked worker, interleaving writes and "
+        "corrupting offsets"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        imports = ImportMap.of(tree)
+        for call in _import_time_calls(tree):
+            dotted = imports.resolve(call.func)
+            if dotted in _RESOURCE_FACTORIES:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{dotted}(...) at import time leaves the descriptor "
+                    "open in every forked worker (shared offsets, "
+                    "interleaved writes); open it lazily in the code "
+                    "path that uses it",
+                )
+
+
+# ----------------------------------------------------------------------
+# EXC001 — interrupt-swallowing exception handlers
+# ----------------------------------------------------------------------
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Set[str]:
+    if handler.type is None:
+        return {"*"}
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: Set[str] = set()
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or hard-exits.
+
+    Accepted escapes: a bare ``raise``, re-raising the bound name, or a
+    call to ``os._exit`` (the only correct way for a forked worker to
+    die without running inherited cleanup).
+    """
+    for node in _walk_skipping_defs(handler):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True
+            if (
+                isinstance(node.exc, ast.Name)
+                and handler.name is not None
+                and node.exc.id == handler.name
+            ):
+                return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if (
+                node.func.attr == "_exit"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "os"
+            ):
+                return True
+    return False
+
+
+class InterruptSwallowRule(Rule):
+    """EXC001: broad handlers that can eat KeyboardInterrupt/SystemExit."""
+
+    id = "EXC001"
+    severity = Severity.ERROR
+    summary = (
+        "bare except / except BaseException without re-raise, or "
+        "except Exception in a worker loop without an explicit "
+        "KeyboardInterrupt/SystemExit escape — ^C turns into a hang"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        in_worker = ctx.config.is_worker_module(ctx.module)
+        yield from self._visit(tree.body, ctx, in_worker, loop_depth=0)
+
+    def _visit(
+        self,
+        statements: Sequence[ast.stmt],
+        ctx: ModuleContext,
+        in_worker: bool,
+        loop_depth: int,
+    ) -> Iterator[Finding]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._visit(stmt.body, ctx, in_worker, 0)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                yield from self._visit(
+                    stmt.body, ctx, in_worker, loop_depth + 1
+                )
+                yield from self._visit(stmt.orelse, ctx, in_worker, loop_depth)
+            elif isinstance(stmt, ast.Try):
+                yield from self._check_try(stmt, ctx, in_worker, loop_depth)
+                yield from self._visit(stmt.body, ctx, in_worker, loop_depth)
+                for handler in stmt.handlers:
+                    yield from self._visit(
+                        handler.body, ctx, in_worker, loop_depth
+                    )
+                yield from self._visit(stmt.orelse, ctx, in_worker, loop_depth)
+                yield from self._visit(
+                    stmt.finalbody, ctx, in_worker, loop_depth
+                )
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._visit(stmt.body, ctx, in_worker, loop_depth)
+            elif isinstance(stmt, ast.If):
+                yield from self._visit(stmt.body, ctx, in_worker, loop_depth)
+                yield from self._visit(stmt.orelse, ctx, in_worker, loop_depth)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._visit(stmt.body, ctx, in_worker, loop_depth)
+
+    def _check_try(
+        self,
+        node: ast.Try,
+        ctx: ModuleContext,
+        in_worker: bool,
+        loop_depth: int,
+    ) -> Iterator[Finding]:
+        interrupts_escape = False  # an earlier arm already handles KI/SE
+        for handler in node.handlers:
+            caught = _caught_names(handler)
+            safe = _handler_reraises(handler)
+            if caught & {"KeyboardInterrupt", "SystemExit"} and safe:
+                interrupts_escape = True
+                continue
+            broad = bool(caught & {"*", "BaseException"})
+            if broad and not safe and not interrupts_escape:
+                label = (
+                    "bare 'except:'"
+                    if "*" in caught
+                    else "'except BaseException'"
+                )
+                yield self.finding(
+                    ctx,
+                    handler,
+                    f"{label} swallows KeyboardInterrupt/SystemExit; "
+                    "re-raise them (or os._exit in a forked child) "
+                    "before handling the rest, e.g. a preceding "
+                    "'except (KeyboardInterrupt, SystemExit): raise'",
+                )
+            elif (
+                in_worker
+                and loop_depth > 0
+                and "Exception" in caught
+                and not safe
+                and not interrupts_escape
+            ):
+                yield self.finding(
+                    ctx,
+                    handler,
+                    "'except Exception' in a worker loop: give "
+                    "KeyboardInterrupt/SystemExit an explicit escape "
+                    "arm ('except (KeyboardInterrupt, SystemExit): "
+                    "raise' — os._exit in a forked child) so a ^C or "
+                    "injected exit cannot be absorbed into the retry "
+                    "path",
+                )
+            # a safe broad arm also escapes interrupts ('except
+            # BaseException: ... raise'); a safe 'except Exception' does
+            # not — KeyboardInterrupt/SystemExit bypass it entirely and
+            # can still land in a later, broader arm
+            if caught & {"*", "BaseException"} and safe:
+                interrupts_escape = True
+
+
+# ----------------------------------------------------------------------
+# API001 — mutable default arguments
+# ----------------------------------------------------------------------
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """API001: mutable defaults are shared across every call."""
+
+    id = "API001"
+    severity = Severity.ERROR
+    summary = (
+        "mutable default argument in a public function — the default is "
+        "evaluated once and shared by every caller"
+    )
+
+    def check(
+        self, tree: ast.Module, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in public function "
+                        f"{node.name}(): the object is created once at "
+                        "def time and mutated state leaks between "
+                        "calls; default to None and create it inside",
+                    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    WallClockRule(),
+    SetIterationRule(),
+    ImportTimeConcurrencyRule(),
+    ImportTimeResourceRule(),
+    InterruptSwallowRule(),
+    MutableDefaultRule(),
+)
+
+# Engine-level diagnostics that are not AST rules but share the id space.
+ENGINE_RULE_SUMMARIES: Dict[str, str] = {
+    "SUP001": "suppression comment missing its mandatory reason",
+    "PARSE001": "file could not be parsed",
+}
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """Every valid rule id, AST rules plus engine diagnostics."""
+    return tuple(rule.id for rule in RULES) + tuple(
+        sorted(ENGINE_RULE_SUMMARIES)
+    )

@@ -1,0 +1,15 @@
+"""API001 bad fixture: mutable defaults in public functions."""
+
+
+def collect(item, bucket=[]):  # API001: shared across calls
+    bucket.append(item)
+    return bucket
+
+
+def configure(name, options={}):  # API001
+    options.setdefault("name", name)
+    return options
+
+
+def tag(values=set()):  # API001: set() call as default
+    return values

@@ -1,0 +1,17 @@
+"""DET001 bad fixture: module-level random calls (never imported)."""
+
+import random
+from random import shuffle
+
+
+def pick(items):
+    return random.choice(items)  # DET001: global generator
+
+
+def jitter():
+    return random.random() * 0.5  # DET001
+
+
+def scramble(items):
+    shuffle(items)  # imported from random at module level (DET001 on import)
+    return items

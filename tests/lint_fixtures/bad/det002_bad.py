@@ -1,0 +1,22 @@
+"""DET002 bad fixture: wall-clock reads in a non-allowlisted module."""
+
+import datetime
+import time
+from time import perf_counter  # DET002 on the import itself
+
+
+def timestamp():
+    return time.time()  # DET002
+
+
+def measure():
+    start = time.monotonic()  # DET002
+    return time.monotonic() - start  # DET002
+
+
+def today():
+    return datetime.datetime.now()  # DET002
+
+
+def default_clock(clock=time.perf_counter):  # DET002: reference, not call
+    return clock()

@@ -1,0 +1,22 @@
+"""DET003 bad fixture: set iteration order leaking into ordered output."""
+
+
+def emit_events(emit):
+    pending = {"a", "b", "c"}
+    for name in pending:  # DET003: emission order varies per process
+        emit(name)
+
+
+def trace_lines(nodes):
+    reached = set(nodes)
+    return [f"visited {node}" for node in reached]  # DET003
+
+
+def as_list(nodes):
+    return list(set(nodes))  # DET003: materialises arbitrary order
+
+
+def union_walk(extra, visit):
+    base = {"x", "y"}
+    for node in base | extra:  # DET003: union with a known set
+        visit(node)

@@ -1,0 +1,17 @@
+"""EXC001 bad fixture: handlers that swallow interrupts."""
+
+
+def drain(queue, handle):
+    while True:
+        item = queue.get()
+        try:
+            handle(item)
+        except:  # noqa: E722 — EXC001: bare except eats KeyboardInterrupt
+            continue
+
+
+def run_once(task):
+    try:
+        return task()
+    except BaseException:  # EXC001: no re-raise, ^C becomes a return value
+        return None

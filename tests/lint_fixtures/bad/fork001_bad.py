@@ -1,0 +1,16 @@
+"""FORK001 bad fixture: concurrency primitives built at import time."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_LOCK = threading.Lock()  # FORK001: crosses fork() held or not
+_POOL = ThreadPoolExecutor(max_workers=2)  # FORK001
+
+
+class Registry:
+    guard = threading.RLock()  # FORK001: class bodies run at import
+
+
+def locked(fn):
+    with _LOCK:
+        return fn()

@@ -1,0 +1,17 @@
+"""FORK002 bad fixture: file handles and sockets opened at import time."""
+
+import socket
+import tempfile
+
+_LOG = open("/tmp/fork002-fixture.log", "a")  # FORK002
+_SOCK = socket.socket()  # FORK002
+_SCRATCH = tempfile.NamedTemporaryFile()  # FORK002
+
+try:
+    _AUDIT = open("/tmp/fork002-audit.log", "a")  # FORK002: try body runs too
+except OSError:
+    _AUDIT = None
+
+
+def log(message):
+    _LOG.write(message + "\n")

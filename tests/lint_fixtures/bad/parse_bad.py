@@ -1,0 +1,5 @@
+"""PARSE001 bad fixture: deliberately unparsable (never imported)."""
+
+
+def broken(:
+    return None

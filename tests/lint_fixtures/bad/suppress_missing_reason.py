@@ -1,0 +1,12 @@
+"""SUP001 bad fixture: suppression comments without the mandatory reason."""
+
+import time
+
+
+def timestamp():
+    return time.time()  # repro: lint-ignore[DET002]
+
+
+def measure():
+    # repro: lint-ignore[DET002]
+    return time.monotonic()

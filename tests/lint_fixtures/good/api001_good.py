@@ -1,0 +1,18 @@
+"""API001 good fixture: defaults are immutable or None-then-create."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def configure(name, options=()):  # immutable default is fine
+    merged = dict(options)
+    merged.setdefault("name", name)
+    return merged
+
+
+def _internal(scratch=[]):  # private helper: deliberate memo, not public API
+    return scratch

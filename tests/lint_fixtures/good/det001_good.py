@@ -1,0 +1,17 @@
+"""DET001 good fixture: all randomness flows through a seeded rng."""
+
+import random
+
+
+def pick(items, seed):
+    rng = random.Random(seed)
+    return rng.choice(items)
+
+
+def scramble(items, rng):
+    rng.shuffle(items)  # injected rng — the established idiom
+    return items
+
+
+def secure_token():
+    return random.SystemRandom().random()  # explicitly non-deterministic

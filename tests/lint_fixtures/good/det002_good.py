@@ -1,0 +1,16 @@
+"""DET002 good fixture: time comes from the simulator or an injected clock."""
+
+import time
+
+
+def timestamp(simulator):
+    return simulator.now  # the sim clock, not the wall clock
+
+
+def measure(clock):
+    start = clock()  # injected clock — the caller decides what time is
+    return clock() - start
+
+
+def pause():
+    time.sleep(0.01)  # sleeping is not *reading* the clock

@@ -1,0 +1,25 @@
+"""DET003 good fixture: set order is neutralised before it can leak."""
+
+
+def emit_events(emit):
+    pending = {"a", "b", "c"}
+    for name in sorted(pending):  # deterministic order
+        emit(name)
+
+
+def trace_lines(nodes):
+    reached = set(nodes)
+    return [f"visited {node}" for node in sorted(reached)]
+
+
+def as_list(nodes):
+    return sorted(set(nodes))
+
+
+def membership(nodes, probe):
+    reached = set(nodes)
+    return probe in reached  # membership tests are order-free
+
+
+def renamed(nodes):
+    return {str(node) for node in set(nodes)}  # set -> set keeps no order

@@ -1,0 +1,32 @@
+"""EXC001 good fixture: interrupts always have an escape hatch."""
+
+import os
+
+
+def drain(queue, handle):
+    while True:
+        item = queue.get()
+        try:
+            handle(item)
+        except (KeyboardInterrupt, SystemExit):
+            raise  # interrupts escape the retry loop
+        except Exception:
+            continue
+
+
+def child_loop(work):
+    while True:
+        try:
+            work()
+        except (KeyboardInterrupt, SystemExit):
+            os._exit(1)  # a forked child dies visibly instead
+        except BaseException:
+            continue
+
+
+def report_everything(task, report):
+    try:
+        return task()
+    except BaseException as exc:
+        report(exc)
+        raise  # re-raised: nothing is swallowed

@@ -1,0 +1,16 @@
+"""FORK001 good fixture: concurrency primitives created lazily."""
+
+import threading
+
+
+def make_worker(target):
+    return threading.Thread(target=target)  # created by the owner, post-fork
+
+
+class Registry:
+    def __init__(self):
+        self._guard = threading.Lock()  # per-instance, not import-time
+
+    def locked(self, fn):
+        with self._guard:
+            return fn()

@@ -1,0 +1,16 @@
+"""FORK002 good fixture: descriptors opened by the code path that uses them."""
+
+
+def log(path, message):
+    with open(path, "a") as handle:  # opened lazily, closed deterministically
+        handle.write(message + "\n")
+
+
+def connect(host, port):
+    import socket
+
+    return socket.create_connection((host, port))
+
+
+if __name__ == "__main__":
+    _DEMO = open("/tmp/fork002-demo.log", "a")  # main-guard: not import time

@@ -1,0 +1,14 @@
+"""Suppression good fixture: reasoned ignores silence their findings."""
+
+import time
+
+
+def profile(fn):
+    start = time.perf_counter()  # repro: lint-ignore[DET002] profiling only
+    fn()
+    return time.perf_counter() - start  # repro: lint-ignore[DET002] profiling only
+
+
+def boundary(subset):
+    # repro: lint-ignore[DET003] order-insensitive sum over the set
+    return sum(1 for u in subset & {0, 1, 2})

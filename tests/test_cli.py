@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -208,3 +209,51 @@ class TestTelemetry:
     def test_trace_missing_file_is_a_clean_error(self, capsys):
         assert main(["trace", "summary", "/nonexistent/run.jsonl"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage/internal error."""
+
+    SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src", "repro")
+    FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", os.path.join(self.FIXTURES, "good")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", os.path.join(self.FIXTURES, "bad")]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "FORK002" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/code"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", self.SRC, "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_write_baseline_without_path_exits_two(self, capsys):
+        assert main(["lint", self.SRC, "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_json_format_is_machine_readable(self, capsys):
+        bad = os.path.join(self.FIXTURES, "bad", "api001_bad.py")
+        assert main(["lint", bad, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["API001"] == 3
+
+    def test_src_repro_ships_clean_with_committed_baseline(self, capsys):
+        baseline = os.path.join(
+            os.path.dirname(os.path.dirname(__file__)), "lint-baseline.json"
+        )
+        assert main(["lint", self.SRC, "--baseline", baseline]) == 0
+
+    def test_baseline_round_trip_via_cli(self, tmp_path, capsys):
+        bad = os.path.join(self.FIXTURES, "bad")
+        baseline = str(tmp_path / "bl.json")
+        assert main(["lint", bad, "--baseline", baseline, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", bad, "--baseline", baseline]) == 0
+        assert "baselined" in capsys.readouterr().out

@@ -1,0 +1,316 @@
+"""Tests for ``repro.lint``: the determinism & fork-safety analyzer.
+
+Three layers:
+
+* **fixture sweep** — every rule must fire on its ``bad`` fixture and
+  stay silent on its ``good`` fixture (the corpus under
+  ``tests/lint_fixtures/``);
+* **engine mechanics** — suppression comments, baseline round-trips,
+  fingerprint stability, JSON schema;
+* **self-check** — ``src/repro`` itself must be clean against the
+  committed baseline, which makes the analyzer part of tier-1: a
+  regression that reintroduces an unseeded random call or a wall-clock
+  read in simulation code fails this file, not just a slow integration
+  suite.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintConfig,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_ids,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.engine import module_name_for_path, parse_suppressions
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+BAD = os.path.join(FIXTURES, "bad")
+GOOD = os.path.join(FIXTURES, "good")
+REPO_ROOT = os.path.dirname(HERE)
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+BASELINE = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+AST_RULES = ["DET001", "DET002", "DET003", "FORK001", "FORK002", "EXC001", "API001"]
+
+
+def rules_fired(result):
+    return {finding.rule for finding in result.findings}
+
+
+# ----------------------------------------------------------------------
+# Fixture sweep: each rule fires on bad, stays silent on good
+# ----------------------------------------------------------------------
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule", AST_RULES)
+    def test_rule_fires_on_bad_fixture(self, rule):
+        path = os.path.join(BAD, f"{rule.lower()}_bad.py")
+        assert os.path.exists(path), f"missing bad fixture for {rule}"
+        result = lint_paths([path])
+        fired = rules_fired(result)
+        assert rule in fired, f"{rule} did not fire on {path}: {fired}"
+
+    @pytest.mark.parametrize("rule", AST_RULES)
+    def test_rule_silent_on_good_fixture(self, rule):
+        path = os.path.join(GOOD, f"{rule.lower()}_good.py")
+        assert os.path.exists(path), f"missing good fixture for {rule}"
+        result = lint_paths([path])
+        assert rule not in rules_fired(result), (
+            f"{rule} false-positive on {path}:\n" + render_text(result)
+        )
+
+    def test_every_good_fixture_is_fully_clean(self):
+        result = lint_paths([GOOD])
+        assert result.clean, render_text(result)
+
+    def test_bad_corpus_trips_the_gate(self):
+        result = lint_paths([BAD])
+        assert result.exit_code() == 1
+        # every bad fixture contributes at least one finding
+        flagged_files = {f.path for f in result.findings}
+        for name in sorted(os.listdir(BAD)):
+            if name.endswith(".py"):
+                assert any(name in path for path in flagged_files), name
+
+    def test_parse_error_reported_as_finding(self):
+        result = lint_paths([os.path.join(BAD, "parse_bad.py")])
+        assert rules_fired(result) == {"PARSE001"}
+        assert result.findings[0].severity == "error"
+
+    def test_missing_reason_suppression_reports_sup001(self):
+        result = lint_paths([os.path.join(BAD, "suppress_missing_reason.py")])
+        fired = rules_fired(result)
+        assert "SUP001" in fired
+        # and the unsuppressed findings still gate
+        assert "DET002" in fired
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_same_line_suppression(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repro: lint-ignore[DET002] profiling\n"
+        )
+        result = lint_source(source, path="fake.py")
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["DET002"]
+
+    def test_standalone_suppression_covers_next_line(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    # repro: lint-ignore[DET002] profiling\n"
+            "    return time.time()\n"
+        )
+        result = lint_source(source, path="fake.py")
+        assert result.clean
+
+    def test_suppression_is_rule_specific(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repro: lint-ignore[DET001] wrong rule\n"
+        )
+        result = lint_source(source, path="fake.py")
+        assert rules_fired(result) == {"DET002"}
+
+    def test_multi_code_suppression(self):
+        source = (
+            "import time, random\n"
+            "def f():\n"
+            "    # repro: lint-ignore[DET001,DET002] demo of both\n"
+            "    return time.time() + random.random()\n"
+        )
+        result = lint_source(source, path="fake.py")
+        assert result.clean
+        assert len(result.suppressed) == 2
+
+    def test_parse_suppressions_flags_missing_reason(self):
+        suppressions, malformed = parse_suppressions(
+            ["x = 1  # repro: lint-ignore[DET001]"]
+        )
+        assert suppressions == []
+        assert malformed == [1]
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_everything(self, tmp_path):
+        baseline_path = str(tmp_path / "baseline.json")
+        before = lint_paths([BAD])
+        assert not before.clean
+        count = write_baseline(before.findings, baseline_path)
+        assert count == len({f.fingerprint for f in before.findings})
+
+        after = run_lint([BAD], baseline_path=baseline_path)
+        assert after.clean, render_text(after)
+        assert after.exit_code() == 0
+        assert len(after.baselined) == len(before.findings)
+        assert after.stale_baseline == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        baseline_path = str(tmp_path / "baseline.json")
+        fake = Finding(
+            rule="DET001",
+            severity="error",
+            path="src/nowhere.py",
+            line=1,
+            col=0,
+            message="gone",
+            snippet="random.random()",
+        )
+        write_baseline([fake], baseline_path)
+        result = run_lint([GOOD], baseline_path=baseline_path)
+        assert result.stale_baseline == [fake.fingerprint]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline(str(bad))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"version": 99, "baseline": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(wrong))
+
+    def test_fingerprint_survives_line_renumbering(self):
+        source = "import time\ndef f():\n    return time.time()\n"
+        shifted = "import time\n\n\n\ndef f():\n    return time.time()\n"
+        first = lint_source(source, path="same.py").findings
+        second = lint_source(shifted, path="same.py").findings
+        assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
+        assert first[0].line != second[0].line
+
+
+class TestJsonOutput:
+    def test_schema(self):
+        result = lint_paths([os.path.join(BAD, "det001_bad.py")])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["files"] == 1
+        assert isinstance(payload["counts"], dict)
+        assert payload["counts"]["DET001"] >= 3
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule",
+                "severity",
+                "path",
+                "line",
+                "col",
+                "message",
+                "snippet",
+                "fingerprint",
+            }
+            assert finding["severity"] in ("error", "warning")
+            assert finding["line"] >= 1
+            assert len(finding["fingerprint"]) == 16
+
+
+class TestConfig:
+    def test_wallclock_allowlist_silences_det002(self):
+        source = "import time\ndef f():\n    return time.time()\n"
+        config = LintConfig(wallclock_allowlist=("myobs",))
+        result = lint_source(source, path="x.py", config=config, module="myobs")
+        assert result.clean
+
+    def test_allowlist_matches_dotted_prefix(self):
+        config = LintConfig(wallclock_allowlist=("repro.obs",))
+        assert config.allows_wallclock("repro.obs.spans")
+        assert not config.allows_wallclock("repro.observer")
+
+    def test_worker_loop_except_exception_needs_escape(self):
+        source = (
+            "def loop(q, f):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            f(q)\n"
+            "        except Exception:\n"
+            "            continue\n"
+        )
+        config = LintConfig(worker_modules=("fake.worker",))
+        flagged = lint_source(
+            source, path="w.py", config=config, module="fake.worker"
+        )
+        assert rules_fired(flagged) == {"EXC001"}
+        # same code outside a worker module is allowed
+        relaxed = lint_source(
+            source, path="w.py", config=config, module="fake.other"
+        )
+        assert relaxed.clean
+
+    def test_select_restricts_rules(self):
+        result = lint_paths(
+            [BAD], config=LintConfig(select=("DET001",))
+        )
+        assert rules_fired(result) == {"DET001"}
+
+    def test_module_name_derivation(self):
+        assert (
+            module_name_for_path("/x/src/repro/exec/pool.py")
+            == "repro.exec.pool"
+        )
+        assert (
+            module_name_for_path("repo/src/repro/obs/__init__.py")
+            == "repro.obs"
+        )
+        assert module_name_for_path("lint_fixtures/bad/det001_bad.py") == (
+            "det001_bad"
+        )
+
+    def test_rule_ids_are_unique(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids))
+        assert {"DET001", "EXC001", "SUP001", "PARSE001"} <= set(ids)
+
+
+# ----------------------------------------------------------------------
+# Tier-1 self-check: the shipped tree is clean
+# ----------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_repro_is_clean_against_committed_baseline(self):
+        result = run_lint([SRC], baseline_path=BASELINE)
+        assert result.clean, (
+            "new lint findings in src/repro — fix them, suppress inline "
+            "with a reason, or (for pre-existing debt only) add them to "
+            "lint-baseline.json:\n" + render_text(result)
+        )
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        result = run_lint([SRC], baseline_path=BASELINE)
+        assert result.stale_baseline == [], (
+            "lint-baseline.json contains entries that no longer match "
+            "any finding; prune them: " + ", ".join(result.stale_baseline)
+        )
+
+    def test_inline_suppressions_in_src_carry_reasons(self):
+        # every suppression that fires in src must have parsed (reasoned);
+        # malformed ones surface as SUP001 findings and fail the gate above,
+        # so here we just document how many reasoned suppressions exist
+        result = run_lint([SRC], baseline_path=BASELINE)
+        assert all(f.rule for f in result.suppressed)
+
+    def test_apply_baseline_is_exported(self):
+        # the public surface used by CI scripts
+        assert callable(apply_baseline)
+        assert callable(run_lint)
