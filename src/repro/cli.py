@@ -15,13 +15,18 @@ Subcommands:
 * ``diameter`` — compare Harary vs LHG diameters over an n sweep;
 * ``paths``    — show the k node-disjoint Menger paths between two nodes;
 * ``spectral`` — algebraic connectivity vs the Harary baseline;
+* ``soak``     — run the overlay as a long-lived service under Poisson
+  churn and a Zipf broadcast workload, with online repair, graceful
+  degradation and SLO tracking (``--checkpoint`` / ``--resume`` make a
+  killed soak resumable with a byte-identical report); exit code 0 when
+  SLOs hold, 1 on an SLO violation, 2 on usage errors;
 * ``trace``    — summarise or convert a ``--telemetry`` JSONL log
   (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``);
 * ``lint``     — static determinism & fork-safety analysis
   (``lint src/repro --baseline lint-baseline.json``); exit code 0 when
   clean, 1 on findings, 2 on usage/internal errors.
 
-``build``, ``flood``, ``chaos`` and ``diameter`` accept ``--telemetry
+``build``, ``flood``, ``chaos``, ``soak`` and ``diameter`` accept ``--telemetry
 PATH`` (write the run's JSONL event log to PATH on exit) and
 ``--log-json`` (stream events to stderr as they happen).  Telemetry is
 passive: enabling it changes no computed result, only what is recorded.
@@ -230,6 +235,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if green else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.service import SoakConfig, run_soak
+
+    bursts = []
+    for spec in args.burst or []:
+        tick_str, sep, size_str = spec.partition(":")
+        if not sep or not tick_str.lstrip("-").isdigit() or not size_str.lstrip("-").isdigit():
+            raise ValueError(f"--burst expects TICK:SIZE (integers), got {spec!r}")
+        bursts.append((int(tick_str), int(size_str)))
+    config = SoakConfig(
+        population=args.n,
+        k=args.k,
+        rule=args.rule,
+        duration=args.duration,
+        churn_rate=args.churn_rate,
+        flood_rate=args.flood_rate,
+        zipf_exponent=args.zipf,
+        flood_budget=args.flood_budget,
+        verify_every=args.verify_every,
+        repair_edge_budget=args.repair_budget,
+        bursts=tuple(bursts),
+        seed=args.seed,
+        max_wall=args.max_wall,
+    )
+    report = run_soak(config, checkpoint=args.checkpoint, resume=args.resume)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    problems = report.violations(p99_hops=args.slo_p99)
+    for problem in problems:
+        print(f"SLO violation: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_coverage(args: argparse.Namespace) -> int:
     rows = coverage_table(args.k, args.max_n)
     print(
@@ -432,6 +472,113 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_tolerance(p_chaos)
     add_telemetry(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="run the overlay as a long-lived service with SLO tracking",
+        description=(
+            "Run the LHG overlay as a steady-state service on a "
+            "virtual-time tick loop: Zipf-source Poisson broadcast "
+            "workload, Poisson membership churn, online repair with "
+            "graceful degradation, and invariant re-verification on a "
+            "cadence. Exit codes: 0 SLOs met, 1 SLO violated (the run "
+            "ended degraded, an invariant check failed, or p99 latency "
+            "exceeded --slo-p99), 2 usage or configuration error."
+        ),
+    )
+    add_pair(p_soak)
+    p_soak.add_argument(
+        "--duration",
+        type=int,
+        default=120,
+        metavar="TICKS",
+        help="soak length in virtual ticks (default: 120)",
+    )
+    p_soak.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.4,
+        metavar="RATE",
+        help="Poisson mean membership events per tick (default: 0.4)",
+    )
+    p_soak.add_argument(
+        "--flood-rate",
+        type=float,
+        default=2.0,
+        metavar="RATE",
+        help="Poisson mean new floods per tick (default: 2.0)",
+    )
+    p_soak.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="Zipf exponent for flood-source popularity (default: 1.1)",
+    )
+    p_soak.add_argument(
+        "--flood-budget",
+        type=int,
+        default=48,
+        metavar="N",
+        help="in-flight flood cap before admission control sheds "
+        "arrivals; halved while degraded (default: 48)",
+    )
+    p_soak.add_argument(
+        "--verify-every",
+        type=int,
+        default=20,
+        metavar="TICKS",
+        help="invariant-check cadence for Properties 1-4 (default: 20)",
+    )
+    p_soak.add_argument(
+        "--repair-budget",
+        type=int,
+        default=24,
+        metavar="EDGES",
+        help="edge operations a repair may perform per tick (default: 24)",
+    )
+    p_soak.add_argument(
+        "--burst",
+        action="append",
+        metavar="TICK:SIZE",
+        help="force a crash burst of SIZE members at TICK (repeatable); "
+        "a burst beyond k-1 drives the service DEGRADED",
+    )
+    p_soak.add_argument("--seed", type=int, default=0, help="base seed")
+    p_soak.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="HOPS",
+        help="fail (exit 1) when p99 flood latency exceeds this many hops",
+    )
+    p_soak.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock safety valve: stop cleanly (report marked "
+        "truncated) after this many seconds (default: unlimited)",
+    )
+    p_soak.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full SLO report as deterministic JSON",
+    )
+    p_soak.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed ticks to this JSONL file so a killed "
+        "soak can be resumed with --resume (byte-identical report)",
+    )
+    p_soak.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay ticks already recorded in the --checkpoint journal",
+    )
+    add_telemetry(p_soak)
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_cov = sub.add_parser("coverage", help="per-rule existence table")
     p_cov.add_argument("k", type=int)

@@ -94,13 +94,17 @@ def _norm_path(path: str) -> str:
 # exec pool and supervisor read the clock for *observed* quantities
 # (per-item wall time, timeout deadlines, retry backoff) that never feed
 # a simulated result; profiling and span timing are measurement by
-# definition.  Everything else — simulation, protocol, graph and
-# analysis code — must use the sim clock or an injected clock.
+# definition.  The soak service runs on virtual ticks and reads the
+# clock only for its ``max_wall`` safety valve, which truncates the
+# loop without changing any completed tick's result.  Everything else —
+# simulation, protocol, graph and analysis code — must use the sim
+# clock or an injected clock.
 DEFAULT_WALLCLOCK_ALLOWLIST: Tuple[str, ...] = (
     "repro.exec.pool",
     "repro.exec.profiling",
     "repro.exec.supervisor",
     "repro.obs.spans",
+    "repro.service.soak",
 )
 
 # Modules whose code runs inside worker processes' task loops, where a

@@ -17,6 +17,15 @@ The crash-then-repair-then-crash-again cycle is experiment F7's
 workload: an overlay that repairs after each burst survives an
 *unbounded* number of total failures, as long as no single burst
 exceeds k−1 — the operational content of the paper's resilience claim.
+
+Bursts **beyond** k−1 void that guarantee but must still have a
+graceful path: the damaged topology may partition, and the repair then
+degrades to a best-effort survivor rebuild.  :func:`execute_repair`
+never raises for an oversized burst — it returns a *degraded*
+:class:`RepairReport` recording the survivor components the burst left
+behind (``components_before``), which the soak service
+(:mod:`repro.service`) uses to enter its explicit ``DEGRADED`` state
+instead of crashing.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from typing import FrozenSet, Hashable, Iterable, List, Set, Tuple
 from repro.errors import ReproError
 from repro.graphs.connectivity import node_connectivity
 from repro.graphs.graph import Graph, edge_key
+from repro.graphs.traversal import connected_components
 from repro.overlay.membership import LHGOverlay, MembershipError
 
 MemberId = Hashable
@@ -54,15 +64,55 @@ class RepairPlan:
 
 @dataclass(frozen=True)
 class RepairReport:
-    """Outcome of an executed repair."""
+    """Outcome of an executed repair.
+
+    ``k`` is the overlay's target connectivity and
+    ``components_before`` the survivor component sizes of the *damaged*
+    topology (descending) — a single entry when the burst left the
+    survivors connected, several when it partitioned them.  ``k`` may
+    be 0 for reports built by legacy callers that never recorded it.
+    """
 
     plan: RepairPlan
     connectivity_before: int
     connectivity_after: int
+    k: int = 0
+    components_before: Tuple[int, ...] = ()
+
+    @property
+    def burst_size(self) -> int:
+        """How many members crashed in this burst."""
+        return len(self.plan.crashed)
+
+    @property
+    def partitioned(self) -> bool:
+        """True when the burst split the survivors into components."""
+        return len(self.components_before) > 1
+
+    @property
+    def degraded(self) -> bool:
+        """True when the burst voided the paper's k−1 guarantee.
+
+        Either the burst exceeded k−1 crashes (so Properties 1–2 no
+        longer promise anything) or it actually partitioned the
+        survivors.  A degraded report is data, not an error: the repair
+        still rebuilt a full-strength survivor LHG best-effort.
+        """
+        if self.partitioned:
+            return True
+        return self.k > 0 and self.burst_size > self.k - 1
 
     @property
     def restored(self) -> bool:
-        """True when the post-repair topology reached full strength."""
+        """True when the post-repair topology reached full strength.
+
+        Full strength is k-connectivity when the survivor count allows
+        it (n′ ≥ k + 1), else the complete-graph bound n′ − 1.  Reports
+        without a recorded ``k`` fall back to "connected again".
+        """
+        if self.k > 0:
+            target = min(self.k, max(0, len(self.plan.survivors) - 1))
+            return self.connectivity_after >= target
         return self.connectivity_after >= self.connectivity_before or (
             self.connectivity_after > 0
         )
@@ -118,15 +168,27 @@ def execute_repair(
     survivor count allows it (n' ≥ 2k; below that the complete-graph
     bootstrap gives n'−1 ≥ k connectivity until membership recovers).
 
+    Bursts exceeding k−1 do **not** raise: the survivors may be
+    partitioned, in which case the report comes back with
+    ``degraded=True`` and the component sizes in ``components_before``,
+    and the rebuild proceeds best-effort over all survivors.
+
     Raises
     ------
     MembershipError
-        Propagated from :func:`plan_repair` on invalid inputs.
+        Propagated from :func:`plan_repair` on invalid inputs (unknown
+        members, or a burst that leaves no survivors at all).
     """
     crashed_set = frozenset(crashed)
     plan = plan_repair(overlay, crashed_set)
     damaged = overlay.topology().without_nodes(crashed_set)
     connectivity_before = node_connectivity(damaged) if len(damaged) > 1 else 0
+    components = tuple(
+        sorted(
+            (len(component) for component in connected_components(damaged)),
+            reverse=True,
+        )
+    )
     for member in sorted(crashed_set, key=repr):
         overlay.leave(member)
     repaired = overlay.topology()
@@ -135,6 +197,8 @@ def execute_repair(
         plan=plan,
         connectivity_before=connectivity_before,
         connectivity_after=connectivity_after,
+        k=overlay.k,
+        components_before=components,
     )
 
 

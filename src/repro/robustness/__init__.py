@@ -25,6 +25,7 @@ from repro.robustness.invariants import (
     check_quiescence,
     check_retransmission_budget,
     check_survivor_coverage,
+    check_topology_invariants,
 )
 from repro.robustness.scenarios import (
     Scenario,
@@ -54,6 +55,7 @@ __all__ = [
     "check_quiescence",
     "check_retransmission_budget",
     "check_survivor_coverage",
+    "check_topology_invariants",
     "crash_recover",
     "duplicate_reorder",
     "flapping",

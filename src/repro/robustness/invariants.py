@@ -15,6 +15,14 @@ resilience matrix:
   targets a node inside one of its down windows;
 * **retransmission-budget** — the protocol's retransmission counter
   respects its declared per-frame retry budget.
+
+The long-running service (:mod:`repro.service`) checks a second kind
+of invariant on a cadence: not one run's *record* but the overlay's
+current *topology* — Properties 1–4 of the paper's LHG definition.
+:func:`check_topology_invariants` bridges
+:func:`repro.core.properties.check_lhg` into the same
+:class:`InvariantViolation` vocabulary so campaign cells and the soak
+loop report failures through one channel.
 """
 
 from __future__ import annotations
@@ -22,11 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Set
 
+from repro.core.properties import check_lhg
 from repro.flooding.failures import FailureSchedule
 from repro.flooding.metrics import FloodResult
 from repro.flooding.network import Network, Protocol
 from repro.flooding.simulator import Simulator
 from repro.flooding.trace import TraceCollector
+from repro.graphs.connectivity import node_connectivity
 from repro.graphs.graph import Graph
 
 NodeId = Hashable
@@ -130,6 +140,53 @@ def check_retransmission_budget(record: RunRecord) -> Optional[InvariantViolatio
             f"{retransmissions} retransmissions exceed the budget of {budget}",
         )
     return None
+
+
+def check_topology_invariants(
+    graph: Graph, k: int, expect_lhg: bool = True
+) -> List[InvariantViolation]:
+    """Check the overlay topology against Properties 1–4 (see module doc).
+
+    With ``expect_lhg=True`` the graph must satisfy the full LHG bundle
+    for ``k`` — P1 k-node connectivity, P2 k-link connectivity, P3 link
+    minimality, P4 logarithmic diameter — each failing property becomes
+    one violation.  With ``expect_lhg=False`` (the bootstrap regime
+    below n = 2k, where no LHG exists) only the complete-graph bound is
+    enforced: node connectivity ≥ min(n − 1, k).
+
+    Returns the violations — an empty list means the topology is sound.
+    """
+    n = graph.number_of_nodes()
+    if n <= 1:
+        return []
+    if not expect_lhg:
+        target = min(n - 1, k)
+        connectivity = node_connectivity(graph)
+        if connectivity < target:
+            return [
+                InvariantViolation(
+                    "bootstrap-connectivity",
+                    f"κ={connectivity} below the bootstrap bound {target} "
+                    f"at n={n}",
+                )
+            ]
+        return []
+    report = check_lhg(graph, k)
+    violations = []
+    for name, ok, detail in (
+        ("P1-node-connectivity", report.node_connected, f"κ < {k}"),
+        ("P2-link-connectivity", report.link_connected, f"λ < {k}"),
+        ("P3-link-minimality", report.link_minimal, "a removable link exists"),
+        (
+            "P4-log-diameter",
+            report.log_diameter,
+            f"diameter {report.diameter} exceeds budget "
+            f"{report.diameter_budget}",
+        ),
+    ):
+        if not ok:
+            violations.append(InvariantViolation(name, f"{detail} at n={n}"))
+    return violations
 
 
 _ALWAYS = (

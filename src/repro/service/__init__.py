@@ -1,0 +1,68 @@
+"""Long-running LHG overlay service: the steady-state soak harness.
+
+Everything else in this repository measures the paper's claims with
+*batch* experiments — build a topology, flood it once, tabulate.  The
+claim that actually matters operationally is continuous: an overlay
+that repairs itself after every failure burst survives an *unbounded*
+number of crashes as long as no single burst exceeds k − 1.  This
+package turns the :mod:`repro.overlay` primitives into that service:
+
+* :class:`~repro.service.soak.SoakService` — an eternal experiment: a
+  virtual-time tick loop driving an
+  :class:`~repro.overlay.membership.LHGOverlay` under sustained
+  Zipf-distributed multi-source broadcast traffic and Poisson
+  join/crash churn, with an online repair controller that keeps
+  Properties 1–4 invariant-checked on a cadence;
+* **graceful degradation** — a burst beyond k − 1 (or a repair that
+  cannot finish before the next burst) moves the service into an
+  explicit ``DEGRADED`` state instead of crashing it: floods route
+  over the survivor component, admission control sheds load beyond the
+  in-flight budget, and repair retries with bounded exponential
+  backoff; recovery is *proven* by re-verifying the invariants;
+* :class:`~repro.service.slo.SLOTracker` — p50/p99/p999 flood latency,
+  repair convergence and message amplification over
+  :class:`~repro.obs.metrics.Histogram` instruments, rendered into a
+  deterministic :class:`~repro.service.soak.SoakReport`;
+* **checkpoint/resume** — every completed tick is journaled through
+  :class:`~repro.exec.checkpoint.CheckpointJournal`; a SIGKILL'd soak
+  resumes and produces a report byte-identical to an uninterrupted run
+  with the same seed.
+
+Exposed on the command line as ``python -m repro soak``.
+"""
+
+from repro.service.slo import (
+    AMPLIFICATION_BUCKETS,
+    CONVERGENCE_BUCKETS,
+    LATENCY_BUCKETS,
+    SLOTracker,
+    percentile,
+)
+from repro.service.soak import (
+    DEGRADED,
+    HEALTHY,
+    DegradationWindow,
+    SoakConfig,
+    SoakReport,
+    SoakService,
+    run_soak,
+)
+from repro.service.workload import poisson_draw, zipf_pick, zipf_weights
+
+__all__ = [
+    "AMPLIFICATION_BUCKETS",
+    "CONVERGENCE_BUCKETS",
+    "DEGRADED",
+    "DegradationWindow",
+    "HEALTHY",
+    "LATENCY_BUCKETS",
+    "SLOTracker",
+    "SoakConfig",
+    "SoakReport",
+    "SoakService",
+    "percentile",
+    "poisson_draw",
+    "run_soak",
+    "zipf_pick",
+    "zipf_weights",
+]

@@ -1,0 +1,91 @@
+"""Deterministic workload primitives for the soak service.
+
+The service's traffic model is the "millions of users" shape scaled to
+a simulated overlay: broadcast *sources* are Zipf-distributed (a few
+members originate most of the traffic, a long tail originates the
+rest), and both flood arrivals and membership churn are Poisson
+processes.  Every draw here goes through an injected
+:class:`random.Random`, so a tick's workload is a pure function of the
+service seed and the tick index — the property checkpoint-resume and
+the parallel-determinism suites rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+#: Safety valve: a single Poisson draw never exceeds this, so a
+#: misconfigured rate cannot wedge one tick forever.
+MAX_EVENTS_PER_DRAW = 10_000
+
+
+def poisson_draw(rng: random.Random, rate: float) -> int:
+    """One Poisson(``rate``) sample via Knuth's product method.
+
+    Rates ≤ 0 yield 0.  The draw consumes a variable number of uniform
+    deviates but in an order fixed by the algorithm, so identical
+    ``rng`` states yield identical samples.
+
+    Raises
+    ------
+    ReproError
+        If ``rate`` is not finite.
+    """
+    if not math.isfinite(rate):
+        raise ReproError(f"Poisson rate must be finite, got {rate!r}")
+    if rate <= 0:
+        return 0
+    threshold = math.exp(-rate)
+    count = 0
+    product = rng.random()
+    while product > threshold and count < MAX_EVENTS_PER_DRAW:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def zipf_weights(count: int, s: float) -> List[float]:
+    """Unnormalized Zipf weights ``1 / rank**s`` for ranks 1..count.
+
+    Raises
+    ------
+    ReproError
+        If ``count`` is negative or ``s`` is negative.
+    """
+    if count < 0:
+        raise ReproError(f"weight count must be >= 0, got {count}")
+    if s < 0:
+        raise ReproError(f"Zipf exponent must be >= 0, got {s}")
+    return [1.0 / (rank**s) for rank in range(1, count + 1)]
+
+
+def zipf_pick(rng: random.Random, items: Sequence[T], s: float = 1.1) -> T:
+    """Pick one item with Zipf(``s``) probability over its *position*.
+
+    The first item is the hottest source; an exponent of 0 degrades to
+    a uniform pick.  Items are ranked by their order in ``items`` —
+    callers pass an ordered sequence (e.g. members in join order), so
+    the draw is independent of any set-iteration order.
+
+    Raises
+    ------
+    ReproError
+        If ``items`` is empty.
+    """
+    if not items:
+        raise ReproError("cannot Zipf-pick from an empty sequence")
+    weights = zipf_weights(len(items), s)
+    total = sum(weights)
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if point <= cumulative:
+            return item
+    return items[-1]

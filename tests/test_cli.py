@@ -65,6 +65,59 @@ class TestChaos:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestSoak:
+    """Exit-code contract: 0 SLOs met, 1 SLO violated, 2 usage error."""
+
+    ARGS = ["soak", "14", "3", "--duration", "25", "--seed", "7"]
+
+    def test_clean_soak_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "final state healthy" in out
+        assert "latency" in out and "degraded" in out
+
+    def test_forced_burst_recovers_and_exits_zero(self, capsys):
+        assert main(self.ARGS + ["--burst", "10:3"]) == 0
+        out = capsys.readouterr().out
+        assert "1 window(s)" in out  # degradation happened and closed
+
+    def test_json_report_is_machine_readable(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "soak"
+        assert payload["final_state"] == "healthy"
+        assert payload["latency"]["p99"] >= payload["latency"]["p50"] > 0
+
+    def test_slo_violation_exits_one(self, capsys):
+        assert main(self.ARGS + ["--slo-p99", "0.5"]) == 1
+        assert "SLO violation" in capsys.readouterr().err
+
+    def test_bad_burst_spec_exits_two(self, capsys):
+        assert main(self.ARGS + ["--burst", "oops"]) == 2
+        assert "TICK:SIZE" in capsys.readouterr().err
+
+    def test_infeasible_population_exits_two(self, capsys):
+        assert main(["soak", "5", "3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_two(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "soak.jsonl"
+        assert main(self.ARGS + ["--json", "--checkpoint", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert (
+            main(
+                self.ARGS
+                + ["--json", "--checkpoint", str(journal), "--resume"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == first
+
+
 class TestTables:
     def test_coverage_table(self, capsys):
         assert main(["coverage", "3", "--max-n", "10"]) == 0

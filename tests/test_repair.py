@@ -108,3 +108,44 @@ class TestCycle:
             assert report.connectivity_after == k
         assert overlay.size == 16
         assert node_connectivity(overlay.topology()) == k
+
+
+class TestDegradedBurst:
+    """Bursts beyond k-1 degrade gracefully instead of raising."""
+
+    def test_k_sized_burst_reports_degraded(self):
+        k = 3
+        overlay = populated_overlay(k=k, size=16)
+        report = execute_repair(overlay, ["p1", "p4", "p9"])  # k > k-1
+        assert report.k == k
+        assert report.burst_size == k
+        assert report.degraded  # guarantee voided, recorded as data
+        # rebuild is still best-effort full strength over the survivors
+        assert report.restored
+        assert report.connectivity_after == k
+
+    def test_partitioning_burst_records_components(self):
+        k = 3
+        overlay = populated_overlay(k=k, size=16)
+        # isolate one member by crashing its entire neighborhood
+        topology = overlay.topology()
+        victim = min(
+            overlay.members, key=lambda m: (len(topology.neighbors(m)), m)
+        )
+        burst = sorted(topology.neighbors(victim))
+        report = execute_repair(overlay, burst)  # must NOT raise
+        assert report.partitioned
+        assert report.degraded
+        assert len(report.components_before) > 1
+        assert 1 in report.components_before  # the isolated victim
+        assert sum(report.components_before) == 16 - len(burst)
+        # the repair reconnected and restored the survivors regardless
+        assert report.restored
+        assert node_connectivity(overlay.topology()) == k
+
+    def test_within_contract_burst_is_not_degraded(self):
+        overlay = populated_overlay(k=3, size=16)
+        report = execute_repair(overlay, ["p2", "p11"])  # k-1 crashes
+        assert not report.degraded
+        assert not report.partitioned
+        assert report.components_before == (14,)

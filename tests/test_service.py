@@ -1,0 +1,385 @@
+"""Tests for the soak service: workload, SLOs, degradation, resume.
+
+The acceptance bar mirrors the service's two headline claims:
+
+* a crash burst of **k** members drives the service into the explicit
+  ``DEGRADED`` state (never an exception) and it returns to ``HEALTHY``
+  only after re-verifying Properties 1–4 on the repaired topology;
+* a checkpointed soak that is SIGKILL'd partway through and resumed
+  produces an SLO report **byte-identical** to an uninterrupted run
+  with the same seed — including through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.existence import build_lhg
+from repro.errors import ReproError
+from repro.robustness import check_topology_invariants
+from repro.service import (
+    DEGRADED,
+    HEALTHY,
+    SoakConfig,
+    SoakService,
+    poisson_draw,
+    run_soak,
+    zipf_pick,
+    zipf_weights,
+)
+from repro.service.slo import LATENCY_BUCKETS, SLOTracker, percentile
+
+
+class TestWorkload:
+    def test_poisson_draw_deterministic(self):
+        a = [poisson_draw(random.Random(7), 2.0) for _ in range(5)]
+        b = [poisson_draw(random.Random(7), 2.0) for _ in range(5)]
+        assert a == b
+
+    def test_poisson_mean_tracks_rate(self):
+        rng = random.Random(3)
+        draws = [poisson_draw(rng, 2.5) for _ in range(4000)]
+        assert 2.3 < sum(draws) / len(draws) < 2.7
+
+    def test_poisson_zero_rate_is_zero(self):
+        assert poisson_draw(random.Random(0), 0.0) == 0
+        assert poisson_draw(random.Random(0), -1.0) == 0
+
+    def test_poisson_rejects_non_finite(self):
+        with pytest.raises(ReproError):
+            poisson_draw(random.Random(0), float("nan"))
+
+    def test_zipf_weights_decay(self):
+        weights = zipf_weights(5, 1.0)
+        assert weights == [1.0, 0.5, 1 / 3, 0.25, 0.2]
+
+    def test_zipf_pick_prefers_early_ranks(self):
+        rng = random.Random(11)
+        items = list("abcdefgh")
+        picks = [zipf_pick(rng, items, 1.2) for _ in range(2000)]
+        assert picks.count("a") > picks.count("h") * 3
+
+    def test_zipf_pick_empty_errors(self):
+        with pytest.raises(ReproError):
+            zipf_pick(random.Random(0), [])
+
+
+class TestPercentile:
+    def _snap(self, values):
+        tracker = SLOTracker()
+        for value in values:
+            tracker.flood_completed(value, messages=1, covered=1, reachable=1)
+        return tracker.registry.histograms["soak.flood.latency"].snapshot()
+
+    def test_empty_histogram_is_zero(self):
+        tracker = SLOTracker()
+        assert tracker.latency_percentiles() == {
+            "p50": 0.0,
+            "p99": 0.0,
+            "p999": 0.0,
+        }
+
+    def test_median_of_uniform_fill(self):
+        snap = self._snap([1, 2, 3, 4])
+        assert percentile(snap, 0.5) == 2.0
+        assert percentile(snap, 1.0) == 4.0
+
+    def test_overflow_reports_recorded_max(self):
+        snap = self._snap([999.0])
+        assert percentile(snap, 0.99) == 999.0
+
+    def test_bad_quantile_rejected(self):
+        snap = self._snap([1])
+        with pytest.raises(ReproError):
+            percentile(snap, 0.0)
+        with pytest.raises(ReproError):
+            percentile(snap, 1.5)
+
+    def test_buckets_cover_lhg_diameters(self):
+        # p999 resolution needs single-hop granularity where floods live
+        assert LATENCY_BUCKETS[0] == 1.0
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestTopologyInvariants:
+    def test_clean_lhg_has_no_violations(self):
+        graph, _ = build_lhg(14, 3)
+        assert check_topology_invariants(graph, 3) == []
+
+    def test_damaged_graph_names_failed_properties(self):
+        graph, _ = build_lhg(14, 3)
+        node = graph.nodes()[0]
+        for neighbor in sorted(graph.neighbors(node), key=repr)[:2]:
+            graph.remove_edge(node, neighbor)
+        names = {v.invariant for v in check_topology_invariants(graph, 3)}
+        assert "P1-node-connectivity" in names
+
+    def test_bootstrap_regime_uses_complete_graph_bound(self):
+        from repro.graphs.generators.classic import complete_graph
+
+        graph = complete_graph(4)  # n < 2k for k=3: no LHG exists
+        assert check_topology_invariants(graph, 3, expect_lhg=False) == []
+
+    def test_bootstrap_violation_detected(self):
+        from repro.graphs.generators.classic import path_graph
+
+        graph = path_graph(4)
+        violations = check_topology_invariants(graph, 3, expect_lhg=False)
+        assert [v.invariant for v in violations] == ["bootstrap-connectivity"]
+
+    def test_trivial_graphs_vacuously_pass(self):
+        from repro.graphs.graph import Graph
+
+        empty = Graph()
+        assert check_topology_invariants(empty, 3) == []
+
+
+class TestSoakConfig:
+    def test_rejects_sub_lhg_population(self):
+        with pytest.raises(ReproError):
+            SoakConfig(population=5, k=3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ReproError):
+            SoakConfig(k=1)
+        with pytest.raises(ReproError):
+            SoakConfig(duration=0)
+        with pytest.raises(ReproError):
+            SoakConfig(backoff_base=4, backoff_cap=2)
+        with pytest.raises(ReproError):
+            SoakConfig(bursts=((3, 0),))
+        with pytest.raises(ReproError):
+            SoakConfig(max_wall=0.0)
+
+    def test_digest_stable_and_seed_sensitive(self):
+        a = SoakConfig(seed=1)
+        assert a.digest() == SoakConfig(seed=1).digest()
+        assert a.digest() != SoakConfig(seed=2).digest()
+
+    def test_digest_ignores_wall_budget(self):
+        # a journal written under a wall budget must resume without one
+        assert SoakConfig(max_wall=5.0).digest() == SoakConfig().digest()
+
+
+CFG = dict(
+    population=14,
+    k=3,
+    duration=40,
+    churn_rate=0.5,
+    flood_rate=1.5,
+    verify_every=10,
+    seed=7,
+)
+
+
+class TestSoakRun:
+    def test_steady_state_stays_healthy(self):
+        report = run_soak(SoakConfig(**CFG))
+        assert report["final_state"] == HEALTHY
+        assert report.violations() == []
+        assert report["floods"]["completed"] > 0
+        assert report["verify"]["runs"] >= 4
+        assert report["verify"]["failures"] == 0
+
+    def test_report_is_deterministic(self):
+        config = SoakConfig(**CFG)
+        assert run_soak(config).to_json() == run_soak(config).to_json()
+
+    def test_seed_changes_the_run(self):
+        a = run_soak(SoakConfig(**{**CFG, "seed": 1}))
+        b = run_soak(SoakConfig(**{**CFG, "seed": 2}))
+        assert a.to_json() != b.to_json()
+
+    def test_k_burst_degrades_then_recovers(self):
+        """The acceptance criterion: k crashes -> DEGRADED -> re-verify."""
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        report = run_soak(config)  # burst of k=3 > k-1: guarantee voided
+        windows = report["degradation"]["windows"]
+        assert len(windows) >= 1
+        first = windows[0]
+        assert first["start"] == 12
+        assert first["cause"] in ("burst", "partition")
+        assert first["end"] is not None  # recovery happened...
+        assert report["final_state"] == HEALTHY
+        # ...and was *proven*: the post-repair verify battery passed
+        assert report["verify"]["runs"] > 0
+        assert report["verify"]["failures"] == 0
+        assert report["repair"]["convergence"]["count"] >= 1
+
+    def test_oversized_burst_never_raises(self):
+        config = SoakConfig(**{**CFG, "bursts": ((8, 6), (20, 5))})
+        report = run_soak(config)  # 2k bursts: far past the paper's model
+        assert report["degradation"]["count"] >= 2
+        assert report["final_state"] == HEALTHY
+
+    def test_admission_control_sheds_over_budget(self):
+        config = SoakConfig(
+            **{**CFG, "flood_rate": 6.0, "flood_budget": 2, "duration": 20}
+        )
+        report = run_soak(config)
+        assert report["floods"]["shed"] > 0
+        shed_total = report["floods"]["shed"] + report["floods"]["completed"]
+        assert report["floods"]["shed_fraction"] == pytest.approx(
+            report["floods"]["shed"] / shed_total
+        )
+
+    def test_wall_budget_truncates_cleanly(self):
+        config = SoakConfig(**{**CFG, "duration": 10_000, "max_wall": 0.05})
+        report = run_soak(config)
+        assert report["truncated"] is True
+        assert 0 < report["ticks"] < 10_000
+
+    def test_degraded_state_halves_admission_budget(self):
+        # a long repair backlog: every tick a forced burst restarts it
+        config = SoakConfig(
+            **{
+                **CFG,
+                "duration": 16,
+                "flood_rate": 5.0,
+                "flood_budget": 4,
+                "repair_edge_budget": 1,
+                "bursts": tuple((t, 2) for t in range(4, 10)),
+            }
+        )
+        report = run_soak(config)
+        assert report["degradation"]["count"] >= 1
+        assert report["repair"]["restarts"] >= 1
+
+    def test_emergency_rebuild_bounds_the_backlog(self):
+        config = SoakConfig(
+            **{
+                **CFG,
+                "duration": 30,
+                "repair_edge_budget": 1,  # glacial repair
+                "repair_retries": 1,  # ...with almost no patience
+                "bursts": tuple((t, 2) for t in range(5, 17, 2)),
+            }
+        )
+        report = run_soak(config)
+        assert report["repair"]["emergency"] >= 1
+        assert report["final_state"] == HEALTHY
+
+
+class TestSoakCheckpoint:
+    def test_journaled_run_matches_plain(self, tmp_path):
+        config = SoakConfig(**CFG)
+        plain = run_soak(config).to_json()
+        journaled = run_soak(
+            config, checkpoint=tmp_path / "soak.jsonl"
+        ).to_json()
+        assert journaled == plain
+
+    def test_truncated_journal_resumes_byte_identical(self, tmp_path):
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        plain = run_soak(config).to_json()
+        journal = tmp_path / "soak.jsonl"
+        run_soak(config, checkpoint=journal)
+        # simulate a crash: drop everything after the meta + 14 ticks
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:15]))
+        resumed = run_soak(config, checkpoint=journal, resume=True)
+        assert resumed.to_json() == plain
+        # the resumed run appended the missing ticks, not a second copy
+        assert len(journal.read_text().splitlines()) == len(lines)
+
+    def test_resume_refuses_config_mismatch(self, tmp_path):
+        journal = tmp_path / "soak.jsonl"
+        run_soak(SoakConfig(**CFG), checkpoint=journal)
+        with pytest.raises(ReproError, match="different configuration"):
+            run_soak(
+                SoakConfig(**{**CFG, "seed": 99}),
+                checkpoint=journal,
+                resume=True,
+            )
+
+    def test_existing_journal_without_resume_refused(self, tmp_path):
+        journal = tmp_path / "soak.jsonl"
+        run_soak(SoakConfig(**CFG), checkpoint=journal)
+        with pytest.raises(ValueError, match="already exists"):
+            run_soak(SoakConfig(**CFG), checkpoint=journal)
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            run_soak(SoakConfig(**CFG), resume=True)
+
+    def test_divergent_journal_fails_loudly(self, tmp_path):
+        config = SoakConfig(**CFG)
+        journal = tmp_path / "soak.jsonl"
+        run_soak(config, checkpoint=journal)
+        # corrupt one journaled tick's flood latency in place
+        lines = journal.read_text().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            payload = record["payload"]
+            if isinstance(payload, dict) and payload.get("floods"):
+                for flood in payload["floods"]:
+                    if not flood.get("shed"):
+                        flood["latency"] = flood["latency"] + 17.0
+            doctored.append(json.dumps(record, sort_keys=True))
+        journal.write_text("\n".join(doctored) + "\n")
+        with pytest.raises(ReproError, match="diverged"):
+            SoakService(config, checkpoint=journal, resume=True).run()
+
+
+def _cli(args, env, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+class TestKillResumeSelfTest:
+    """Crash-injection self-test: SIGKILL a soak mid-run and resume it."""
+
+    def test_sigkilled_soak_resumes_byte_identical(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        args = [
+            "soak", "14", "3",
+            "--duration", "300",
+            "--seed", "7",
+            "--burst", "40:3",
+            "--json",
+        ]
+        journal = tmp_path / "soak.jsonl"
+
+        uninterrupted = _cli(args, env)
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args, "--checkpoint", str(journal)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        # hard-kill as soon as a batch of ticks is journaled (mid-run)
+        deadline = time.time() + 60
+        while time.time() < deadline and victim.poll() is None:
+            if journal.exists() and journal.read_text().count("\n") >= 10:
+                victim.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.005)
+        victim.wait(timeout=60)
+
+        completed = journal.read_text().count("\n") if journal.exists() else 0
+        resumed = _cli(
+            args + ["--checkpoint", str(journal), "--resume"], env
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == uninterrupted.stdout  # byte-identical
+        # the journal was continued, not restarted: meta + one line per tick
+        total = journal.read_text().count("\n")
+        assert total == 301
+        assert total >= completed
