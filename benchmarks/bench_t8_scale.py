@@ -1,0 +1,125 @@
+"""Experiment T8 — million-node LHGs under a 1 GB memory ceiling.
+
+The paper's constructions are *for* large groups, but every earlier
+experiment tops out in the thousands because the dict-of-sets graph and
+the Dinic-backed property checkers are priced for exactness, not scale.
+This experiment exercises the scale substrate end to end at n = 10⁶:
+
+1. build the Jenkins–Demers LHG as an :class:`ImplicitJDOracle` —
+   O(1) state, neighbours by arithmetic, the graph never materialises;
+2. certify Properties 1–4 by **structural certificate**
+   (:meth:`structural_proofs`) — every witness must be conclusive and
+   hold (the certificates themselves are pinned against the exact
+   Dinic checkers over the full small-(n, k) census in
+   ``tests/test_structural_certificates.py``);
+3. compile the oracle to a :class:`CSRGraph` — flat ``array('q')``
+   adjacency, no label table (ids are dense ints);
+4. flood from node 0 in synchronous rounds (:func:`round_flood`) and
+   require full coverage with the P4 round bound.
+
+Shape assertions: every certificate conclusive and holding; flood
+covers all 10⁶ nodes within the logarithmic diameter budget; peak RSS
+stays under 1 GB.  The scorecard lands in
+``results/BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.properties import logarithmic_diameter_bound
+from repro.flooding.rounds import round_flood
+from repro.graphs.csr import CSRGraph
+from repro.graphs.implicit import ImplicitJDOracle
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N = 1_000_000
+K = 3
+RSS_CEILING_BYTES = 1 << 30  # 1 GB
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def test_t8_scale(benchmark, report):
+    t0 = time.perf_counter()
+    oracle = ImplicitJDOracle(N, K)
+    build_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    proofs = oracle.structural_proofs()
+    certify_seconds = time.perf_counter() - t0
+    assert proofs.conclusive, proofs.summary()
+    assert proofs.all_hold, proofs.summary()
+
+    t0 = time.perf_counter()
+    csr = CSRGraph.from_oracle(oracle, name=oracle.name)
+    compile_seconds = time.perf_counter() - t0
+    assert csr.dense_labels
+    assert csr.num_nodes() == N
+    assert csr.number_of_edges() == oracle.number_of_edges()
+
+    t0 = time.perf_counter()
+    flood = round_flood(csr, 0)
+    flood_seconds = time.perf_counter() - t0
+    assert flood.covered == N
+    assert flood.rounds <= logarithmic_diameter_bound(N, K)
+
+    peak_rss = _peak_rss_bytes()
+    assert peak_rss < RSS_CEILING_BYTES, f"peak RSS {peak_rss} >= 1 GB"
+
+    # benchmark the hot per-query path: one arithmetic neighbourhood
+    benchmark(lambda: oracle.neighbors(N // 2))
+
+    payload = {
+        "experiment": "t8_scale",
+        "topology": {"n": N, "k": K, "rule": oracle.rule},
+        "edges": oracle.number_of_edges(),
+        "height": oracle.height(),
+        "properties": {
+            w.property_id: {"holds": w.holds, "conclusive": w.conclusive}
+            for w in proofs.witnesses
+        },
+        "flood": {
+            "source": 0,
+            "covered": flood.covered,
+            "messages": flood.messages,
+            "rounds": flood.rounds,
+            "diameter_budget": logarithmic_diameter_bound(N, K),
+        },
+        "csr_bytes": csr.nbytes(),
+        "peak_rss_bytes": peak_rss,
+        "rss_ceiling_bytes": RSS_CEILING_BYTES,
+        "seconds": {
+            "build": round(build_seconds, 4),
+            "certify": round(certify_seconds, 4),
+            "csr_compile": round(compile_seconds, 4),
+            "flood": round(flood_seconds, 4),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scale.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"T8: million-node scale — JD LHG(n={N}, k={K}), "
+        f"{oracle.number_of_edges()} edges, height {oracle.height()}",
+        f"  certificates: {proofs.summary()}",
+        f"  CSR: {csr.nbytes() / 1e6:.1f} MB "
+        f"(compile {compile_seconds:.2f}s)",
+        f"  flood: covered {flood.covered}/{N} in {flood.rounds} rounds "
+        f"(budget {logarithmic_diameter_bound(N, K)}), "
+        f"{flood.messages} messages, {flood_seconds:.2f}s",
+        f"  peak RSS: {peak_rss / 1e6:.1f} MB (ceiling 1073.7 MB)",
+    ]
+    report("t8_scale", "\n".join(lines))

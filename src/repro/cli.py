@@ -20,6 +20,11 @@ Subcommands:
   degradation and SLO tracking (``--checkpoint`` / ``--resume`` make a
   killed soak resumable with a byte-identical report); exit code 0 when
   SLOs hold, 1 on an SLO violation, 2 on usage errors;
+* ``scale``    — build the (n, k) LHG as an *implicit* oracle (no
+  materialised graph), certify Properties 1–4 by structural
+  certificate, optionally compile to CSR and flood in synchronous
+  rounds; reports peak RSS, so ``scale 1000000 3 --flood`` is the
+  million-node smoke test;
 * ``trace``    — summarise or convert a ``--telemetry`` JSONL log
   (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``);
 * ``lint``     — static determinism & fork-safety analysis
@@ -360,6 +365,67 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _peak_rss_bytes() -> int:
+    """Peak RSS of this process in bytes (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.implicit import ImplicitJDOracle
+
+    oracle = ImplicitJDOracle(args.n, args.k)
+    proofs = oracle.structural_proofs()
+    report = {
+        "n": args.n,
+        "k": args.k,
+        "rule": oracle.rule,
+        "edges": oracle.number_of_edges(),
+        "height": oracle.height(),
+        "properties": {
+            w.property_id: {"holds": w.holds, "conclusive": w.conclusive}
+            for w in proofs.witnesses
+        },
+    }
+    if args.csr or args.flood:
+        csr = CSRGraph.from_oracle(oracle, name=oracle.name)
+        report["csr_bytes"] = csr.nbytes()
+    if args.flood:
+        from repro.flooding.rounds import round_flood
+
+        flood = round_flood(csr, 0)
+        report["flood"] = {
+            "covered": flood.covered,
+            "messages": flood.messages,
+            "rounds": flood.rounds,
+        }
+    report["peak_rss_bytes"] = _peak_rss_bytes()
+    if args.json:
+        print(_json.dumps(report, sort_keys=False))
+    else:
+        print(f"{oracle.name}: {args.n} nodes, {report['edges']} edges, "
+              f"height {report['height']}")
+        print(f"  certificates: {proofs.summary()}")
+        if "csr_bytes" in report:
+            print(f"  CSR size: {report['csr_bytes'] / 1e6:.1f} MB")
+        if "flood" in report:
+            f = report["flood"]
+            print(
+                f"  flood from node 0: covered {f['covered']}/{args.n} in "
+                f"{f['rounds']} rounds, {f['messages']} messages"
+            )
+        print(f"  peak RSS: {report['peak_rss_bytes'] / 1e6:.1f} MB")
+    return 0 if proofs.all_hold and proofs.conclusive else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -613,6 +679,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--latency-budget", type=int, default=None, help="max hops allowed"
     )
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="million-node build + certificate verification (implicit oracle)",
+    )
+    p_scale.add_argument("n", type=int, help="number of nodes")
+    p_scale.add_argument("k", type=int, help="connectivity level")
+    p_scale.add_argument(
+        "--csr",
+        action="store_true",
+        help="also compile the oracle to a CSR adjacency and report its size",
+    )
+    p_scale.add_argument(
+        "--flood",
+        action="store_true",
+        help="also flood from node 0 in synchronous rounds (implies --csr)",
+    )
+    p_scale.add_argument("--json", action="store_true", help="emit a JSON report")
+    p_scale.set_defaults(func=_cmd_scale)
 
     p_trace = sub.add_parser(
         "trace", help="inspect or convert a --telemetry JSONL log"

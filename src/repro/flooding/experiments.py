@@ -52,9 +52,11 @@ NodeId = Hashable
 _EVENT_BUDGET_FACTOR = 50
 
 
-def _event_budget(graph: Graph) -> int:
+def _event_budget(graph) -> int:
+    from repro.graphs.oracle import oracle_num_edges
+
     return _EVENT_BUDGET_FACTOR * (
-        graph.number_of_nodes() + graph.number_of_edges() + 100
+        graph.num_nodes() + oracle_num_edges(graph) + 100
     )
 
 
@@ -216,7 +218,7 @@ def _execute(spec: ExperimentSpec) -> Tuple[RunSummary, Any]:
     with obs.span(
         "protocol-run",
         protocol=spec.protocol,
-        n=spec.graph.number_of_nodes(),
+        n=spec.graph.num_nodes(),
         seed=spec.seed,
     ):
         return handler(spec)

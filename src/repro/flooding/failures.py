@@ -500,6 +500,12 @@ def survivors(graph: Graph, schedule: FailureSchedule) -> Graph:
     leaves the node (link) in the survivor graph.  This is the ground
     truth the metrics layer uses to compute *reachable* coverage.
     """
+    if not hasattr(graph, "without_nodes"):
+        # read-only NeighborOracle backends (CSR, implicit) have no
+        # mutation surface; materialise a dict-of-sets copy to cut from
+        from repro.graphs.oracle import materialize
+
+        graph = materialize(graph)
     down_nodes = _final_down_nodes(schedule)
     remaining = graph.without_nodes(down_nodes & set(graph.nodes()))
     for key in _final_down_links(schedule):

@@ -13,7 +13,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set
 
-from repro.graphs.graph import Graph
+from repro.graphs.oracle import NeighborOracle, oracle_has_node
 from repro.graphs.traversal import bfs_levels
 
 NodeId = Hashable
@@ -88,12 +88,13 @@ class FloodResult:
         return statistics.fmean(self.delivery_times.values())
 
 
-def reachable_from(graph: Graph, source: NodeId) -> Set[NodeId]:
+def reachable_from(graph: NeighborOracle, source: NodeId) -> Set[NodeId]:
     """Nodes reachable from ``source`` in ``graph`` (source included).
 
-    Returns the empty set when the source itself is gone.
+    Accepts any :class:`~repro.graphs.oracle.NeighborOracle`.  Returns
+    the empty set when the source itself is gone.
     """
-    if not graph.has_node(source):
+    if not oracle_has_node(graph, source):
         return set()
     return set(bfs_levels(graph, source))
 

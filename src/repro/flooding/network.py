@@ -36,7 +36,8 @@ from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 from repro.errors import ProtocolError, SimulationError
 from repro.flooding.faults import FaultModel
 from repro.flooding.simulator import Simulator
-from repro.graphs.graph import Graph, edge_key
+from repro.graphs.graph import edge_key
+from repro.graphs.oracle import NeighborOracle, oracle_has_edge, oracle_nodes
 
 NodeId = Hashable
 
@@ -238,8 +239,10 @@ class Network:
     Parameters
     ----------
     graph:
-        The (static) topology.  Failures hide nodes/links dynamically
-        without mutating the graph.
+        The (static) topology — any
+        :class:`~repro.graphs.oracle.NeighborOracle` (a dict-of-sets
+        ``Graph``, a compact ``CSRGraph``, or the implicit JD oracle).
+        Failures hide nodes/links dynamically without mutating it.
     simulator:
         The event engine driving the run.
     latency:
@@ -253,7 +256,7 @@ class Network:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: NeighborOracle,
         simulator: Simulator,
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
@@ -379,7 +382,7 @@ class Network:
         if self._protocol is not None:
             raise SimulationError("a protocol is already attached to this network")
         self._protocol = protocol
-        targets = start_nodes if start_nodes is not None else self.graph.nodes()
+        targets = start_nodes if start_nodes is not None else oracle_nodes(self.graph)
         for node in targets:
             self._apis[node] = NodeApi(self, node)
             self.simulator.schedule(
@@ -412,7 +415,7 @@ class Network:
         ProtocolError
             If ``receiver`` is not adjacent to ``sender`` in the topology.
         """
-        if not self.graph.has_edge(sender, receiver):
+        if not oracle_has_edge(self.graph, sender, receiver):
             raise ProtocolError(
                 f"{sender!r} tried to send to non-neighbour {receiver!r}"
             )

@@ -3,7 +3,15 @@
 Everything the LHG constructions and the flooding simulator need from
 graph theory lives here, implemented from scratch on the stdlib:
 
-* :mod:`repro.graphs.graph` — the :class:`Graph` data structure;
+* :mod:`repro.graphs.graph` — the mutable :class:`Graph` data
+  structure (dict-of-sets);
+* :mod:`repro.graphs.oracle` — the :class:`NeighborOracle` read
+  protocol every algorithm here is generic over;
+* :mod:`repro.graphs.csr` — :class:`CSRGraph`, the compact read-only
+  CSR backend with a one-shot compiler from any oracle;
+* :mod:`repro.graphs.implicit` — :class:`ImplicitJDOracle`, the
+  Jenkins–Demers construction as pure neighbour arithmetic (million-node
+  graphs without adjacency);
 * :mod:`repro.graphs.traversal` — BFS/DFS, components, distances,
   diameter;
 * :mod:`repro.graphs.maxflow` — Dinic max-flow on unit networks;
@@ -23,7 +31,17 @@ from repro.graphs.decomposition import (
     bridges,
     is_biconnected,
 )
+from repro.graphs.csr import CSRGraph
 from repro.graphs.graph import Graph, edge_key
+from repro.graphs.implicit import ImplicitJDOracle
+from repro.graphs.oracle import (
+    NeighborOracle,
+    materialize,
+    oracle_has_edge,
+    oracle_has_node,
+    oracle_nodes,
+    oracle_num_edges,
+)
 from repro.graphs.weighted import (
     dijkstra,
     link_weights_from_seed,
@@ -74,8 +92,11 @@ from repro.graphs.properties import (
 )
 
 __all__ = [
+    "CSRGraph",
     "DegreeStats",
     "Graph",
+    "ImplicitJDOracle",
+    "NeighborOracle",
     "articulation_points",
     "average_clustering",
     "average_path_length",
@@ -104,11 +125,16 @@ __all__ = [
     "local_edge_connectivity",
     "local_node_connectivity",
     "logarithmic_diameter_bound",
+    "materialize",
     "minimality_report",
     "minimum_edge_cut",
     "minimum_node_cut",
     "node_connectivity",
     "node_disjoint_paths",
+    "oracle_has_edge",
+    "oracle_has_node",
+    "oracle_nodes",
+    "oracle_num_edges",
     "radius",
     "redundant_edges",
     "shortest_path",

@@ -18,6 +18,8 @@ the test suite.
 
 from __future__ import annotations
 
+import warnings
+from types import MappingProxyType
 from typing import (
     Dict,
     FrozenSet,
@@ -25,6 +27,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Set,
     Tuple,
@@ -254,8 +257,31 @@ class Graph:
         return set(self._adj[node])
 
     def adjacency(self) -> Dict[Node, Set[Node]]:
-        """Return a deep copy of the adjacency map."""
+        """Return a deep copy of the adjacency map.
+
+        .. deprecated::
+            The deep copy is O(n + m) per call and surprised every
+            caller that only wanted to *read* the structure.  Use
+            :meth:`adjacency_view` for zero-copy reads, or build the
+            copy explicitly when mutation is intended.
+        """
+        warnings.warn(
+            "Graph.adjacency() deep-copies the adjacency map; use "
+            "adjacency_view() for zero-copy reads",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {node: set(nbrs) for node, nbrs in self._adj.items()}
+
+    def adjacency_view(self) -> Mapping[Node, Set[Node]]:
+        """Return a read-only, zero-copy view of the adjacency map.
+
+        The view tracks the live graph: mutations through the Graph API
+        are visible in it immediately.  The mapping itself rejects item
+        assignment; the neighbour sets are the internal ones, so treat
+        them as read-only.
+        """
+        return MappingProxyType(self._adj)
 
     def degree(self, node: Node) -> int:
         """Return the degree of ``node``.
@@ -292,6 +318,18 @@ class Graph:
     def number_of_edges(self) -> int:
         """Return the number of edges."""
         return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    # ------------------------------------------------------------------
+    # NeighborOracle surface (see repro.graphs.oracle)
+    # ------------------------------------------------------------------
+
+    def num_nodes(self) -> int:
+        """Return the number of nodes (``NeighborOracle`` spelling)."""
+        return len(self._adj)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes in insertion order."""
+        return iter(self._adj)
 
     # ------------------------------------------------------------------
     # Derived graphs

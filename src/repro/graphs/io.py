@@ -1,4 +1,4 @@
-"""Serialisation for :class:`~repro.graphs.graph.Graph`.
+"""Serialisation for graph backends (any ``NeighborOracle``).
 
 Three formats, chosen for the workflows the repo actually has:
 
@@ -10,7 +10,12 @@ Three formats, chosen for the workflows the repo actually has:
 Node labels survive JSON round-trips when they are JSON-representable
 scalars or (nested) lists/tuples; tuples are restored as tuples, which
 covers every construction in this library (LHG nodes are tuples like
-``("copy", 2, 5)``).
+``("copy", 2, 5)``).  Int labels stay ints — a graph compiled to
+:class:`~repro.graphs.csr.CSRGraph` (dense int ids), serialised, and
+read back compiles to an identical CSR structure; nothing is ever
+stringified.  The writers accept any
+:class:`~repro.graphs.oracle.NeighborOracle`; readers return a mutable
+:class:`Graph`.
 """
 
 from __future__ import annotations
@@ -20,15 +25,16 @@ from typing import Any, List, TextIO
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import oracle_edges, oracle_nodes
 
 
-def write_edge_list(graph: Graph, stream: TextIO) -> None:
+def write_edge_list(graph, stream: TextIO) -> None:
     """Write one ``u<TAB>v`` line per edge (labels via ``repr``).
 
     Lossy for non-string labels and isolated nodes; meant for human
     inspection and diffing, not round-trips.  Use JSON for fidelity.
     """
-    for u, v in sorted(graph.iter_edges(), key=lambda e: (repr(e[0]), repr(e[1]))):
+    for u, v in sorted(oracle_edges(graph), key=lambda e: (repr(e[0]), repr(e[1]))):
         stream.write(f"{u!r}\t{v!r}\n")
 
 
@@ -78,13 +84,17 @@ def _decode_label(value: Any) -> Any:
     return value
 
 
-def to_json(graph: Graph) -> str:
-    """Serialise the graph (name, nodes, edges) to a JSON string."""
+def to_json(graph) -> str:
+    """Serialise a graph or oracle (name, nodes, edges) to a JSON string.
+
+    ``array('q')`` neighbour ids from a CSR backend surface as plain
+    Python ints, so dense int node ids round-trip as ints.
+    """
     payload = {
-        "name": graph.name,
-        "nodes": [_encode_label(v) for v in graph.nodes()],
+        "name": getattr(graph, "name", ""),
+        "nodes": [_encode_label(v) for v in oracle_nodes(graph)],
         "edges": [
-            [_encode_label(u), _encode_label(v)] for u, v in graph.iter_edges()
+            [_encode_label(u), _encode_label(v)] for u, v in oracle_edges(graph)
         ],
     }
     return json.dumps(payload, sort_keys=False)
@@ -114,7 +124,7 @@ def from_json(text: str) -> Graph:
     return graph
 
 
-def to_dot(graph: Graph, highlight: List[Any] = ()) -> str:
+def to_dot(graph, highlight: List[Any] = ()) -> str:
     """Render the graph in Graphviz DOT (undirected).
 
     Parameters
@@ -124,12 +134,13 @@ def to_dot(graph: Graph, highlight: List[Any] = ()) -> str:
     """
     marked = set(highlight)
     lines = ["graph G {"]
-    if graph.name:
-        lines.append(f'  label="{graph.name}";')
-    for node in graph.nodes():
+    name = getattr(graph, "name", "")
+    if name:
+        lines.append(f'  label="{name}";')
+    for node in oracle_nodes(graph):
         attrs = ' [style=filled, fillcolor=lightblue]' if node in marked else ""
         lines.append(f'  "{node!r}"{attrs};')
-    for u, v in graph.iter_edges():
+    for u, v in oracle_edges(graph):
         lines.append(f'  "{u!r}" -- "{v!r}";')
     lines.append("}")
     return "\n".join(lines)

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import oracle_edges, oracle_nodes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import networkx
@@ -30,12 +31,17 @@ def _networkx():
     return networkx
 
 
-def to_networkx(graph: Graph) -> "networkx.Graph":
-    """Convert to a :class:`networkx.Graph` (labels preserved)."""
+def to_networkx(graph) -> "networkx.Graph":
+    """Convert any ``NeighborOracle`` to networkx (labels preserved).
+
+    Dense int ids from a CSR or implicit backend arrive as Python ints,
+    never strings — the round trip back through :func:`from_networkx`
+    and CSR compilation reproduces the identical structure.
+    """
     nx = _networkx()
-    out = nx.Graph(name=graph.name)
-    out.add_nodes_from(graph.nodes())
-    out.add_edges_from(graph.iter_edges())
+    out = nx.Graph(name=getattr(graph, "name", ""))
+    out.add_nodes_from(oracle_nodes(graph))
+    out.add_edges_from(oracle_edges(graph))
     return out
 
 

@@ -1,0 +1,173 @@
+"""The ``NeighborOracle`` protocol: the minimal read surface of a graph.
+
+Every hot read path in this library — traversal, connectivity
+reachability, diameter estimation, the flooding simulator's topology
+access — needs exactly four things from a topology:
+
+* ``num_nodes()`` — how many nodes there are,
+* ``degree(v)`` — how many neighbours ``v`` has,
+* ``neighbors(v)`` — an iterable of those neighbours,
+* ``iter_nodes()`` — an iterator over all nodes in a stable order.
+
+:class:`NeighborOracle` names that surface.  Anything providing it can
+be traversed, flooded and measured without ever materialising an
+adjacency map, which is what unlocks million-node LHGs: the
+Jenkins–Demers construction rule is regular enough that ``neighbors(v)``
+is *computable arithmetically* (:mod:`repro.graphs.implicit`), and a
+materialised graph can be compacted into a few integer arrays
+(:mod:`repro.graphs.csr`) instead of a dict of sets.
+
+Three backends ship with the library:
+
+* :class:`~repro.graphs.graph.Graph` — the mutable dict-of-sets
+  substrate (satisfies the protocol as-is);
+* :class:`~repro.graphs.csr.CSRGraph` — a compact, read-only
+  CSR-style backend over ``array('q')`` buffers with dense int ids;
+* :class:`~repro.graphs.implicit.ImplicitJDOracle` — the implicit
+  Jenkins–Demers oracle, O(1) memory for any n.
+
+The helpers below bridge the gap between the four required methods and
+the conveniences richer backends offer (``has_node`` / ``has_edge`` /
+``nodes``): they use the backend's native method when present and fall
+back to a protocol-only implementation otherwise, so algorithm code can
+stay generic without every oracle having to implement the long tail.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List
+
+try:  # Protocol is stdlib from 3.8; keep a fallback for exotic setups
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+Node = Hashable
+
+
+@runtime_checkable
+class NeighborOracle(Protocol):
+    """Minimal read-only surface every graph backend provides.
+
+    The contract every implementation must honour:
+
+    * ``iter_nodes`` yields each node exactly once, in a *stable,
+      deterministic* order (two iterations agree; the order is the one
+      CSR compilation assigns dense ids in);
+    * ``neighbors(v)`` yields each neighbour exactly once (no
+      self-loops, no parallel edges — simple graphs only) and is
+      consistent with ``degree(v)``;
+    * adjacency is symmetric: ``u in neighbors(v)`` iff
+      ``v in neighbors(u)``.
+    """
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        ...
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of ``node``."""
+        ...
+
+    def neighbors(self, node: Node) -> Iterable[Node]:
+        """The neighbours of ``node`` (any iterable, each exactly once)."""
+        ...
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes in a stable order."""
+        ...
+
+
+def oracle_has_node(oracle: NeighborOracle, node: Node) -> bool:
+    """``node in oracle``, using the backend's fast path when it has one.
+
+    Falls back to probing ``degree`` — the protocol guarantees it
+    raises (or that the caller treats any exception as absence) for
+    unknown nodes.
+    """
+    probe = getattr(oracle, "has_node", None)
+    if probe is not None:
+        return bool(probe(node))
+    try:
+        oracle.degree(node)
+    except Exception:
+        return False
+    return True
+
+
+def oracle_has_edge(oracle: NeighborOracle, u: Node, v: Node) -> bool:
+    """Whether the undirected edge (u, v) exists.
+
+    Uses the backend's ``has_edge`` when present, otherwise scans
+    ``neighbors(u)`` — O(degree), which is O(k) on the bounded-degree
+    graphs this library builds.
+    """
+    probe = getattr(oracle, "has_edge", None)
+    if probe is not None:
+        return bool(probe(u, v))
+    if not oracle_has_node(oracle, u):
+        return False
+    for neighbor in oracle.neighbors(u):
+        if neighbor == v:
+            return True
+    return False
+
+
+def oracle_nodes(oracle: NeighborOracle) -> List[Node]:
+    """All nodes as a list, via ``nodes()`` when the backend has it."""
+    probe = getattr(oracle, "nodes", None)
+    if probe is not None:
+        return list(probe())
+    return list(oracle.iter_nodes())
+
+
+def oracle_num_edges(oracle: NeighborOracle) -> int:
+    """Edge count, via ``number_of_edges()`` or the degree sum."""
+    probe = getattr(oracle, "number_of_edges", None)
+    if probe is not None:
+        return int(probe())
+    return sum(oracle.degree(node) for node in oracle.iter_nodes()) // 2
+
+
+def oracle_edges(oracle: NeighborOracle) -> Iterator[tuple]:
+    """Yield every undirected edge exactly once.
+
+    Uses ``iter_edges()`` when the backend has it; otherwise reports
+    each adjacency pair once from the lower-id endpoint when nodes are
+    comparable, falling back to a seen-set for mixed label types.
+    """
+    probe = getattr(oracle, "iter_edges", None)
+    if probe is not None:
+        yield from probe()
+        return
+    seen = set()
+    for u in oracle.iter_nodes():
+        for v in oracle.neighbors(u):
+            key = frozenset((u, v))
+            if key not in seen:
+                seen.add(key)
+                yield (u, v)
+
+
+def materialize(oracle: NeighborOracle, name: str = ""):
+    """Build a mutable dict-of-sets :class:`Graph` from any oracle.
+
+    The inverse of CSR compilation — useful when an algorithm that
+    needs mutation (max-flow residuals, repair planning) must run on a
+    topology that lives behind a read-only backend.  O(n + m) time and
+    memory; at million-node scale prefer the certificate-based
+    verifiers instead.
+    """
+    from repro.graphs.graph import Graph
+
+    graph = Graph(name=name or getattr(oracle, "name", ""))
+    for node in oracle.iter_nodes():
+        graph.add_node(node)
+        for neighbor in oracle.neighbors(node):
+            if not graph.has_edge(node, neighbor):
+                graph.add_edge(node, neighbor)
+    return graph

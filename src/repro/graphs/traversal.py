@@ -1,4 +1,4 @@
-"""Traversal and distance algorithms on :class:`~repro.graphs.graph.Graph`.
+"""Traversal and distance algorithms over any ``NeighborOracle``.
 
 These routines back the LHG property verifiers (connectivity and the
 logarithmic-diameter check, Properties 1–4) and the flooding analysis:
@@ -11,6 +11,14 @@ logarithmic-diameter check, Properties 1–4) and the flooding analysis:
 
 All distances are **hop counts** (unweighted); the flooding simulator
 handles weighted latencies itself.
+
+Every routine reads the topology exclusively through the
+:class:`~repro.graphs.oracle.NeighborOracle` surface (``num_nodes`` /
+``degree`` / ``neighbors`` / ``iter_nodes``), so it runs unchanged on a
+dict-of-sets :class:`~repro.graphs.graph.Graph`, a compact
+:class:`~repro.graphs.csr.CSRGraph`, or the arithmetic
+:class:`~repro.graphs.implicit.ImplicitJDOracle` — the ``graph``
+parameter name is kept for backward compatibility.
 """
 
 from __future__ import annotations
@@ -20,10 +28,16 @@ from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DisconnectedGraphError, NodeNotFoundError
-from repro.graphs.graph import Graph, Node
+from repro.graphs.graph import Node
+from repro.graphs.oracle import (
+    NeighborOracle,
+    oracle_has_edge,
+    oracle_has_node,
+    oracle_nodes,
+)
 
 
-def bfs_order(graph: Graph, source: Node) -> List[Node]:
+def bfs_order(graph: NeighborOracle, source: Node) -> List[Node]:
     """Return nodes in breadth-first order from ``source``.
 
     Raises
@@ -31,7 +45,7 @@ def bfs_order(graph: Graph, source: Node) -> List[Node]:
     NodeNotFoundError
         If ``source`` is not in the graph.
     """
-    if source not in graph:
+    if not oracle_has_node(graph, source):
         raise NodeNotFoundError(source)
     visited: Set[Node] = {source}
     order: List[Node] = [source]
@@ -46,13 +60,13 @@ def bfs_order(graph: Graph, source: Node) -> List[Node]:
     return order
 
 
-def bfs_levels(graph: Graph, source: Node) -> Dict[Node, int]:
+def bfs_levels(graph: NeighborOracle, source: Node) -> Dict[Node, int]:
     """Return hop distances from ``source`` to every reachable node.
 
     The returned mapping includes ``source`` itself at distance 0 and
     omits unreachable nodes.
     """
-    if source not in graph:
+    if not oracle_has_node(graph, source):
         raise NodeNotFoundError(source)
     dist: Dict[Node, int] = {source: 0}
     queue: deque = deque([source])
@@ -66,9 +80,9 @@ def bfs_levels(graph: Graph, source: Node) -> Dict[Node, int]:
     return dist
 
 
-def bfs_parents(graph: Graph, source: Node) -> Dict[Node, Optional[Node]]:
+def bfs_parents(graph: NeighborOracle, source: Node) -> Dict[Node, Optional[Node]]:
     """Return a BFS tree as a child → parent map (source maps to ``None``)."""
-    if source not in graph:
+    if not oracle_has_node(graph, source):
         raise NodeNotFoundError(source)
     parents: Dict[Node, Optional[Node]] = {source: None}
     queue: deque = deque([source])
@@ -81,9 +95,9 @@ def bfs_parents(graph: Graph, source: Node) -> Dict[Node, Optional[Node]]:
     return parents
 
 
-def dfs_order(graph: Graph, source: Node) -> List[Node]:
+def dfs_order(graph: NeighborOracle, source: Node) -> List[Node]:
     """Return nodes in (iterative) depth-first preorder from ``source``."""
-    if source not in graph:
+    if not oracle_has_node(graph, source):
         raise NodeNotFoundError(source)
     visited: Set[Node] = set()
     order: List[Node] = []
@@ -106,15 +120,15 @@ def dfs_order(graph: Graph, source: Node) -> List[Node]:
     return order
 
 
-def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Node]]:
+def shortest_path(graph: NeighborOracle, source: Node, target: Node) -> Optional[List[Node]]:
     """Return one shortest ``source`` → ``target`` path, or ``None``.
 
     The path is returned as a node list including both endpoints; a
     trivial ``[source]`` is returned when ``source == target``.
     """
-    if source not in graph:
+    if not oracle_has_node(graph, source):
         raise NodeNotFoundError(source)
-    if target not in graph:
+    if not oracle_has_node(graph, target):
         raise NodeNotFoundError(target)
     if source == target:
         return [source]
@@ -131,7 +145,7 @@ def shortest_path(graph: Graph, source: Node, target: Node) -> Optional[List[Nod
 
 
 def _bfs_parents_until(
-    graph: Graph, source: Node, target: Node
+    graph: NeighborOracle, source: Node, target: Node
 ) -> Dict[Node, Optional[Node]]:
     """BFS parent map that stops as soon as ``target`` is reached."""
     parents: Dict[Node, Optional[Node]] = {source: None}
@@ -147,7 +161,7 @@ def _bfs_parents_until(
     return parents
 
 
-def shortest_path_length(graph: Graph, source: Node, target: Node) -> int:
+def shortest_path_length(graph: NeighborOracle, source: Node, target: Node) -> int:
     """Return the hop distance from ``source`` to ``target``.
 
     Raises
@@ -163,11 +177,11 @@ def shortest_path_length(graph: Graph, source: Node, target: Node) -> int:
     return len(path) - 1
 
 
-def connected_components(graph: Graph) -> List[Set[Node]]:
+def connected_components(graph: NeighborOracle) -> List[Set[Node]]:
     """Return the connected components as a list of node sets."""
     seen: Set[Node] = set()
     components: List[Set[Node]] = []
-    for node in graph:
+    for node in graph.iter_nodes():
         if node in seen:
             continue
         component = set(bfs_order(graph, node))
@@ -176,21 +190,21 @@ def connected_components(graph: Graph) -> List[Set[Node]]:
     return components
 
 
-def is_connected(graph: Graph) -> bool:
+def is_connected(graph: NeighborOracle) -> bool:
     """Return ``True`` if the graph is connected.
 
     Follows the paper's convention that connectivity is defined for
     graphs with more than one node; the empty and single-node graphs are
     reported as connected for convenience.
     """
-    n = graph.number_of_nodes()
+    n = graph.num_nodes()
     if n <= 1:
         return True
-    start = next(iter(graph))
+    start = next(graph.iter_nodes())
     return len(bfs_order(graph, start)) == n
 
 
-def eccentricity(graph: Graph, node: Node) -> int:
+def eccentricity(graph: NeighborOracle, node: Node) -> int:
     """Return the eccentricity of ``node`` (max hop distance to any node).
 
     Raises
@@ -199,14 +213,14 @@ def eccentricity(graph: Graph, node: Node) -> int:
         If some node is unreachable from ``node``.
     """
     dist = bfs_levels(graph, node)
-    if len(dist) != graph.number_of_nodes():
+    if len(dist) != graph.num_nodes():
         raise DisconnectedGraphError(
             f"graph is disconnected; eccentricity of {node!r} is infinite"
         )
     return max(dist.values())
 
 
-def diameter(graph: Graph) -> int:
+def diameter(graph: NeighborOracle) -> int:
     """Return the exact diameter (max eccentricity over all nodes).
 
     Runs a full BFS from every node — O(n · (n + m)).  For large graphs
@@ -217,20 +231,20 @@ def diameter(graph: Graph) -> int:
     DisconnectedGraphError
         If the graph is disconnected.
     """
-    if graph.number_of_nodes() == 0:
+    if graph.num_nodes() == 0:
         return 0
-    return max(eccentricity(graph, node) for node in graph)
+    return max(eccentricity(graph, node) for node in graph.iter_nodes())
 
 
-def radius(graph: Graph) -> int:
+def radius(graph: NeighborOracle) -> int:
     """Return the radius (min eccentricity over all nodes)."""
-    if graph.number_of_nodes() == 0:
+    if graph.num_nodes() == 0:
         return 0
-    return min(eccentricity(graph, node) for node in graph)
+    return min(eccentricity(graph, node) for node in graph.iter_nodes())
 
 
 def approximate_diameter(
-    graph: Graph, samples: int = 16, seed: int = 0
+    graph: NeighborOracle, samples: int = 16, seed: int = 0
 ) -> int:
     """Return a lower bound on the diameter via double-sweep sampling.
 
@@ -245,12 +259,12 @@ def approximate_diameter(
     DisconnectedGraphError
         If the graph is disconnected.
     """
-    nodes = graph.nodes()
+    nodes = oracle_nodes(graph)
     if not nodes:
         return 0
     rng = random.Random(seed)
     best = 0
-    n = graph.number_of_nodes()
+    n = graph.num_nodes()
     for _ in range(max(1, samples)):
         start = rng.choice(nodes)
         dist = bfs_levels(graph, start)
@@ -262,7 +276,7 @@ def approximate_diameter(
     return best
 
 
-def average_path_length(graph: Graph) -> float:
+def average_path_length(graph: NeighborOracle) -> float:
     """Return the mean hop distance over all ordered node pairs.
 
     Raises
@@ -272,11 +286,11 @@ def average_path_length(graph: Graph) -> float:
     ValueError
         If the graph has fewer than two nodes.
     """
-    n = graph.number_of_nodes()
+    n = graph.num_nodes()
     if n < 2:
         raise ValueError("average path length needs at least two nodes")
     total = 0
-    for node in graph:
+    for node in graph.iter_nodes():
         dist = bfs_levels(graph, node)
         if len(dist) != n:
             raise DisconnectedGraphError("graph is disconnected")
@@ -284,9 +298,9 @@ def average_path_length(graph: Graph) -> float:
     return total / (n * (n - 1))
 
 
-def all_pairs_distances(graph: Graph) -> Dict[Node, Dict[Node, int]]:
+def all_pairs_distances(graph: NeighborOracle) -> Dict[Node, Dict[Node, int]]:
     """Return hop distances between all pairs (BFS from every node)."""
-    return {node: bfs_levels(graph, node) for node in graph}
+    return {node: bfs_levels(graph, node) for node in graph.iter_nodes()}
 
 
 def paths_edge_disjoint(paths: Iterable[List[Node]]) -> bool:
@@ -322,16 +336,16 @@ def paths_internally_disjoint(paths: List[List[Node]]) -> bool:
     return True
 
 
-def is_simple_path(graph: Graph, path: List[Node]) -> bool:
+def is_simple_path(graph: NeighborOracle, path: List[Node]) -> bool:
     """Return ``True`` if ``path`` is a duplicate-free walk along edges."""
     if not path:
         return False
     if len(set(path)) != len(path):
         return False
-    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+    return all(oracle_has_edge(graph, u, v) for u, v in zip(path, path[1:]))
 
 
-def iter_bfs_edges(graph: Graph, source: Node) -> Iterator[Tuple[Node, Node]]:
+def iter_bfs_edges(graph: NeighborOracle, source: Node) -> Iterator[Tuple[Node, Node]]:
     """Yield the edges of a BFS tree rooted at ``source``."""
     parents = bfs_parents(graph, source)
     for child, parent in parents.items():

@@ -38,6 +38,7 @@ from repro.flooding.simulator import Simulator
 from repro.flooding.trace import TraceCollector
 from repro.graphs.connectivity import node_connectivity
 from repro.graphs.graph import Graph
+from repro.graphs.oracle import NeighborOracle, materialize
 
 NodeId = Hashable
 
@@ -142,8 +143,40 @@ def check_retransmission_budget(record: RunRecord) -> Optional[InvariantViolatio
     return None
 
 
+_PROPERTY_VIOLATIONS = {
+    "P1": ("P1-node-connectivity", "κ < {k}"),
+    "P2": ("P2-link-connectivity", "λ < {k}"),
+    "P3": ("P3-link-minimality", "a removable link exists"),
+    "P4": ("P4-log-diameter", "diameter exceeds the logarithmic budget"),
+}
+
+
+def _certificate_violations(proofs, n: int, k: int) -> List[InvariantViolation]:
+    """Map a :class:`StructuralProofs` verdict onto violation records."""
+    violations = []
+    for witness in proofs.witnesses:
+        name, detail = _PROPERTY_VIOLATIONS[witness.property_id]
+        if not witness.conclusive:
+            violations.append(
+                InvariantViolation(
+                    name,
+                    f"structural certificate inconclusive at n={n}: "
+                    f"{witness.details}",
+                )
+            )
+        elif not witness.holds:
+            violations.append(
+                InvariantViolation(name, f"{detail.format(k=k)} at n={n}")
+            )
+    return violations
+
+
 def check_topology_invariants(
-    graph: Graph, k: int, expect_lhg: bool = True
+    graph: NeighborOracle,
+    k: int,
+    expect_lhg: bool = True,
+    certificate=None,
+    exact_limit: int = 512,
 ) -> List[InvariantViolation]:
     """Check the overlay topology against Properties 1–4 (see module doc).
 
@@ -154,11 +187,33 @@ def check_topology_invariants(
     below n = 2k, where no LHG exists) only the complete-graph bound is
     enforced: node connectivity ≥ min(n − 1, k).
 
+    ``graph`` may be any :class:`~repro.graphs.oracle.NeighborOracle`.
+    Up to ``exact_limit`` nodes the exact Dinic-backed checkers run
+    (read-only backends are materialised first), so the soak loop and
+    chaos campaigns gate exactly as before.  Beyond it the check
+    switches to **structural certificates**: the oracle's own
+    :meth:`structural_proofs` when it has one (the implicit JD oracle),
+    else proofs derived from the ``certificate`` argument (a
+    :class:`~repro.core.certificates.ConstructionCertificate`).  With
+    neither available the exact path runs regardless of size — correct,
+    but O(k·n·m); pass the certificate at scale.
+
     Returns the violations — an empty list means the topology is sound.
     """
-    n = graph.number_of_nodes()
+    n = graph.num_nodes()
     if n <= 1:
         return []
+    use_certificates = expect_lhg and n > exact_limit
+    if use_certificates:
+        prove = getattr(graph, "structural_proofs", None)
+        if prove is not None:
+            return _certificate_violations(prove(), n, k)
+        if certificate is not None:
+            from repro.core.certificates import structural_proofs
+
+            return _certificate_violations(structural_proofs(certificate), n, k)
+    if not isinstance(graph, Graph):
+        graph = materialize(graph)
     if not expect_lhg:
         target = min(n - 1, k)
         connectivity = node_connectivity(graph)

@@ -111,9 +111,24 @@ class TestQueries:
 
     def test_adjacency_deep_copy(self):
         g = Graph(edges=[(0, 1)])
-        adj = g.adjacency()
+        with pytest.warns(DeprecationWarning):
+            adj = g.adjacency()
         adj[0].add(7)
         assert not g.has_edge(0, 7)
+
+    def test_adjacency_view_zero_copy_read_only(self):
+        g = Graph(edges=[(0, 1)])
+        view = g.adjacency_view()
+        assert view[0] == {1}
+        with pytest.raises(TypeError):
+            view[2] = set()
+        g.add_edge(0, 7)
+        assert 7 in view[0]  # live view, not a snapshot
+
+    def test_oracle_surface(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert g.num_nodes() == 3
+        assert list(g.iter_nodes()) == [0, 1, 2]
 
 
 class TestDerivedGraphs:

@@ -1,0 +1,201 @@
+"""Oracle equivalence: CSR, implicit JD, and dict Graph answer alike.
+
+The ``NeighborOracle`` protocol only earns its keep if every backend
+gives byte-identical answers to every structural question.  These tests
+pin the three backends to each other over the small-(n, k) census:
+neighbourhoods and degrees through the label bijection, BFS layerings,
+diameters, edge counts, and the synchronous-round flood against the
+event-driven simulator.
+"""
+
+import pytest
+
+from repro.core.jenkins_demers import jd_feasibility, jenkins_demers_graph
+from repro.errors import GraphError, NodeNotFoundError
+from repro.flooding.experiments import run_flood
+from repro.flooding.rounds import round_flood
+from repro.graphs import (
+    CSRGraph,
+    Graph,
+    ImplicitJDOracle,
+    NeighborOracle,
+    materialize,
+    oracle_has_edge,
+    oracle_has_node,
+    oracle_nodes,
+    oracle_num_edges,
+)
+from repro.graphs.io import from_json, to_json
+from repro.graphs.traversal import bfs_levels, diameter, eccentricity
+
+# every JD-feasible pair with k in 2..5 and n within 3 growth rounds
+CENSUS = [
+    (n, k)
+    for k in range(2, 6)
+    for n in range(2 * k, 2 * k + 20)
+    if jd_feasibility(n, k) is not None
+]
+
+SPOT = [(4, 2), (10, 3), (22, 3), (16, 4), (26, 5)]
+
+
+class TestProtocol:
+    def test_backends_satisfy_protocol(self):
+        assert isinstance(Graph(edges=[(0, 1)]), NeighborOracle)
+        assert isinstance(ImplicitJDOracle(10, 3), NeighborOracle)
+        assert isinstance(CSRGraph.from_oracle(Graph(nodes=[0])), NeighborOracle)
+
+    def test_helpers_on_minimal_oracle(self):
+        class Bare:
+            def num_nodes(self):
+                return 2
+
+            def degree(self, v):
+                if v not in (0, 1):
+                    raise NodeNotFoundError(v)
+                return 1
+
+            def neighbors(self, v):
+                return [1 - v]
+
+            def iter_nodes(self):
+                return iter((0, 1))
+
+        bare = Bare()
+        assert oracle_has_node(bare, 0)
+        assert not oracle_has_node(bare, 9)
+        assert oracle_has_edge(bare, 0, 1)
+        assert not oracle_has_edge(bare, 0, 0)
+        assert oracle_nodes(bare) == [0, 1]
+        assert oracle_num_edges(bare) == 1
+        assert materialize(bare) == Graph(edges=[(0, 1)])
+
+
+class TestImplicitEquivalence:
+    @pytest.mark.parametrize("n,k", CENSUS)
+    def test_matches_materialised_construction(self, n, k):
+        graph, _ = jenkins_demers_graph(n, k)
+        oracle = ImplicitJDOracle(n, k)
+        assert oracle.num_nodes() == graph.number_of_nodes() == n
+        assert oracle.number_of_edges() == graph.number_of_edges()
+        for node_id in oracle.iter_nodes():
+            label = oracle.label_of(node_id)
+            assert oracle.id_of(label) == node_id
+            expected = {oracle.id_of(v) for v in graph.neighbors(label)}
+            assert set(oracle.neighbors(node_id)) == expected
+            assert oracle.degree(node_id) == graph.degree(label)
+
+    @pytest.mark.parametrize("n,k", SPOT)
+    def test_bfs_and_diameter_agree(self, n, k):
+        graph, _ = jenkins_demers_graph(n, k)
+        oracle = ImplicitJDOracle(n, k)
+        root = oracle.id_of(("T", 0, 0))
+        levels = bfs_levels(oracle, root)
+        expected = bfs_levels(graph, ("T", 0, 0))
+        assert levels == {
+            oracle.id_of(label): d for label, d in expected.items()
+        }
+        assert diameter(oracle) == diameter(graph)
+
+    def test_unknown_nodes_rejected(self):
+        oracle = ImplicitJDOracle(10, 3)
+        with pytest.raises(NodeNotFoundError):
+            oracle.neighbors(10)
+        with pytest.raises(NodeNotFoundError):
+            oracle.degree(-1)
+        with pytest.raises(NodeNotFoundError):
+            oracle.id_of(("T", 3, 0))
+        assert not oracle.has_node(True)  # bools are not node ids
+
+
+class TestCSR:
+    @pytest.mark.parametrize("n,k", SPOT)
+    def test_csr_matches_source_oracle(self, n, k):
+        oracle = ImplicitJDOracle(n, k)
+        csr = CSRGraph.from_oracle(oracle)
+        assert csr.dense_labels
+        assert csr.num_nodes() == n
+        assert csr.number_of_edges() == oracle.number_of_edges()
+        for v in oracle.iter_nodes():
+            assert list(csr.neighbors(v)) == sorted(oracle.neighbors(v))
+            assert csr.degree(v) == oracle.degree(v)
+        assert eccentricity(csr, 0) == eccentricity(oracle, 0)
+
+    def test_csr_preserves_arbitrary_labels(self):
+        g = Graph(edges=[("a", "b"), ("b", ("T", 0, 1))], name="labels")
+        csr = CSRGraph.from_oracle(g)
+        assert not csr.dense_labels
+        assert set(csr.nodes()) == set(g.nodes())
+        assert sorted(csr.neighbors("b"), key=repr) == sorted(
+            g.neighbors("b"), key=repr
+        )
+        assert csr.to_graph() == g
+
+    def test_csr_round_trip_keeps_int_ids(self):
+        """Dense int ids survive CSR → Graph → JSON → Graph → CSR."""
+        original = CSRGraph.from_oracle(ImplicitJDOracle(22, 3))
+        revived = from_json(to_json(original.to_graph()))
+        assert all(isinstance(v, int) for v in revived.nodes())
+        recompiled = CSRGraph.from_oracle(revived)
+        assert recompiled.dense_labels
+        assert recompiled.number_of_edges() == original.number_of_edges()
+        for v in range(22):
+            assert list(recompiled.neighbors(v)) == list(original.neighbors(v))
+
+    def test_csr_serialises_directly(self):
+        """to_json accepts the CSR backend itself, ints intact."""
+        csr = CSRGraph.from_oracle(ImplicitJDOracle(10, 3), name="jd")
+        revived = from_json(to_json(csr))
+        assert revived.name == "jd"
+        assert all(isinstance(v, int) for v in revived.nodes())
+        assert revived == csr.to_graph()
+
+    def test_subgraph_keeps_int_ids(self):
+        g = CSRGraph.from_oracle(ImplicitJDOracle(10, 3)).to_graph()
+        sub = g.subgraph(range(5))
+        assert all(isinstance(v, int) for v in sub.nodes())
+
+    def test_duplicate_nodes_rejected(self):
+        class Dup:
+            def num_nodes(self):
+                return 2
+
+            def degree(self, v):
+                return 0
+
+            def neighbors(self, v):
+                return []
+
+            def iter_nodes(self):
+                return iter((0, 0))
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_oracle(Dup())
+
+    def test_has_edge_and_iter_edges(self):
+        oracle = ImplicitJDOracle(10, 3)
+        csr = CSRGraph.from_oracle(oracle)
+        edges = set(csr.iter_edges())
+        assert len(edges) == csr.number_of_edges()
+        for u, v in edges:
+            assert u < v
+            assert csr.has_edge(u, v) and csr.has_edge(v, u)
+        assert not csr.has_edge(0, 0)
+
+
+class TestRoundFlood:
+    @pytest.mark.parametrize("n,k", SPOT)
+    def test_parity_with_event_driven_flood(self, n, k):
+        oracle = ImplicitJDOracle(n, k)
+        graph = materialize(oracle)
+        event = run_flood(graph, 0)
+        for backend in (oracle, CSRGraph.from_oracle(oracle), graph):
+            rounds = round_flood(backend, 0)
+            assert rounds.covered == event.covered == n
+            assert rounds.messages == event.messages
+            assert rounds.completion_time == event.completion_time
+            assert rounds.rounds == eccentricity(oracle, 0)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            round_flood(ImplicitJDOracle(10, 3), 99)

@@ -54,3 +54,50 @@ class TestScale:
         result = run_flood(graph, source)
         assert result.fully_covered
         assert result.completion_time <= 14  # ~log_3(4000) * 2
+
+
+# beyond the dict-graph comfort zone: the implicit oracle + CSR + the
+# certificate verification path, at sizes where Dinic is off the table
+ORACLE_PAIRS = [(100_000, 3), (50_000, 4)]
+
+
+class TestScaleOracle:
+    @pytest.mark.parametrize("n,k", ORACLE_PAIRS)
+    def test_structural_proofs_at_scale(self, n, k):
+        from repro.graphs.implicit import ImplicitJDOracle
+
+        proofs = ImplicitJDOracle(n, k).structural_proofs()
+        assert proofs.conclusive and proofs.all_hold, proofs.summary()
+
+    @pytest.mark.parametrize("n,k", ORACLE_PAIRS)
+    def test_round_flood_covers_everything(self, n, k):
+        from repro.core.properties import logarithmic_diameter_bound
+        from repro.flooding.rounds import round_flood
+        from repro.graphs.csr import CSRGraph
+        from repro.graphs.implicit import ImplicitJDOracle
+
+        csr = CSRGraph.from_oracle(ImplicitJDOracle(n, k))
+        assert csr.dense_labels
+        result = round_flood(csr, 0)
+        assert result.covered == n
+        assert result.rounds <= logarithmic_diameter_bound(n, k)
+
+    def test_topology_invariants_use_certificates_at_scale(self):
+        from repro.graphs.implicit import ImplicitJDOracle
+        from repro.robustness import check_topology_invariants
+
+        oracle = ImplicitJDOracle(100_000, 3)
+        assert check_topology_invariants(oracle, 3) == []
+
+    def test_implicit_matches_materialised_at_two_thousand(self):
+        from repro.core.jenkins_demers import jenkins_demers_graph
+        from repro.graphs.implicit import ImplicitJDOracle
+
+        n, k = 2002, 3
+        graph, _ = jenkins_demers_graph(n, k)
+        oracle = ImplicitJDOracle(n, k)
+        assert oracle.number_of_edges() == graph.number_of_edges()
+        for node_id in range(0, n, 97):
+            label = oracle.label_of(node_id)
+            expected = {oracle.id_of(v) for v in graph.neighbors(label)}
+            assert set(oracle.neighbors(node_id)) == expected
