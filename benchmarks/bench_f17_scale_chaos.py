@@ -1,0 +1,151 @@
+"""Experiment F17 — million-node chaos: targeted k−1 attacks, certified.
+
+T8 proved the pristine construction scales; F17 proves its *tolerance
+claim* scales.  Every targeted attack within the paper's k−1 budget —
+derived arithmetically from the JD pasting structure by
+:func:`~repro.robustness.attacks.targeted_cut_attacks` (leaf
+isolation, attachment-link cuts, mixed damage, root-copy crashes,
+single-failure probes) — is replayed against the million-node implicit
+oracle, and for each one:
+
+1. the failure-aware synchronous-round flood
+   (:func:`~repro.flooding.rounds.round_flood` with the plan's
+   schedule) must cover **100 % of the reachable survivors** from a
+   surviving source;
+2. the survivor component — a lazy
+   :class:`~repro.graphs.faultview.FaultView`, never materialised —
+   must recertify conclusively clean under
+   :func:`~repro.robustness.invariants.recertify_survivors`
+   (BFS connectivity witness, damage-frontier degree floors, sampled
+   local-cut Dinic witnesses);
+3. the flood's survivor arithmetic must agree with the view's
+   (``alive`` = n − crashes, ``reachable`` = component size).
+
+Shape assertions: full survivor coverage and a clean certification for
+*every* plan; peak RSS under 1 GB for the whole campaign.  The
+scorecard lands in ``results/BENCH_scale_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.properties import logarithmic_diameter_bound
+from repro.flooding.rounds import round_flood
+from repro.graphs.faultview import component_size
+from repro.flooding.failures import survivors
+from repro.graphs.faultview import FaultView
+from repro.graphs.implicit import ImplicitJDOracle
+from repro.robustness.attacks import targeted_cut_attacks
+from repro.robustness.invariants import recertify_survivors
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+N = 1_000_000
+K = 3
+RSS_CEILING_BYTES = 1 << 30  # 1 GB
+
+
+def _peak_rss_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def test_f17_scale_chaos(benchmark, report):
+    t0 = time.perf_counter()
+    oracle = ImplicitJDOracle(N, K)
+    plans = targeted_cut_attacks(oracle)
+    derive_seconds = time.perf_counter() - t0
+    assert plans, "no attack plans derived"
+
+    rows = []
+    for plan in plans:
+        schedule = plan.schedule()
+        source = plan.surviving_source(oracle)
+
+        t0 = time.perf_counter()
+        flood = round_flood(oracle, source, schedule=schedule)
+        flood_seconds = time.perf_counter() - t0
+
+        view = survivors(oracle, schedule)
+        assert isinstance(view, FaultView), type(view)
+        assert view.damage == plan.damage
+
+        # survivor arithmetic agrees between flood and view
+        assert flood.alive == view.num_nodes() == N - len(plan.crashes)
+        assert flood.reachable == component_size(view, source)
+
+        # the tolerance claim: damage < k leaves one component, and the
+        # failure-aware flood covers every reachable survivor
+        assert flood.reachable == flood.alive, plan.name
+        assert flood.fully_covered, plan.name
+        assert flood.covered == flood.alive, plan.name
+        assert flood.rounds <= logarithmic_diameter_bound(N, K) + plan.damage
+
+        t0 = time.perf_counter()
+        violations = recertify_survivors(view, K)
+        certify_seconds = time.perf_counter() - t0
+        assert violations == [], (plan.name, [str(v) for v in violations])
+
+        rows.append(
+            {
+                "attack": plan.name,
+                "description": plan.description,
+                "crashes": len(plan.crashes),
+                "link_kills": len(plan.link_kills),
+                "source": source,
+                "alive": flood.alive,
+                "reachable": flood.reachable,
+                "covered": flood.covered,
+                "coverage": flood.covered / flood.alive,
+                "messages": flood.messages,
+                "rounds": flood.rounds,
+                "flood_seconds": round(flood_seconds, 4),
+                "recertify_seconds": round(certify_seconds, 4),
+            }
+        )
+
+    peak_rss = _peak_rss_bytes()
+    assert peak_rss < RSS_CEILING_BYTES, f"peak RSS {peak_rss} >= 1 GB"
+    assert all(row["coverage"] == 1.0 for row in rows)
+
+    # benchmark the hot attack-derivation path (arithmetic, O(k) per plan)
+    benchmark(lambda: targeted_cut_attacks(oracle))
+
+    payload = {
+        "experiment": "f17_scale_chaos",
+        "topology": {"n": N, "k": K, "rule": oracle.rule},
+        "edges": oracle.number_of_edges(),
+        "attack_budget": K - 1,
+        "plans": len(plans),
+        "survivor_coverage": 1.0,
+        "attacks": rows,
+        "peak_rss_bytes": peak_rss,
+        "rss_ceiling_bytes": RSS_CEILING_BYTES,
+        "derive_seconds": round(derive_seconds, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scale_chaos.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    worst_rounds = max(row["rounds"] for row in rows)
+    total_flood = sum(row["flood_seconds"] for row in rows)
+    total_cert = sum(row["recertify_seconds"] for row in rows)
+    lines = [
+        f"F17: million-node chaos — JD LHG(n={N}, k={K}), "
+        f"{len(plans)} targeted k−1 attacks",
+        f"  coverage: 100% of survivors under every plan "
+        f"(worst completion {worst_rounds} rounds)",
+        f"  recertification: all plans conclusive and clean "
+        f"({total_cert:.2f}s total)",
+        f"  floods: {total_flood:.2f}s total across plans",
+        f"  peak RSS: {peak_rss / 1e6:.1f} MB (ceiling 1073.7 MB)",
+    ]
+    report("f17_scale_chaos", "\n".join(lines))

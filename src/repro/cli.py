@@ -195,11 +195,29 @@ def _cmd_flood(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.exec import build_lhg_cached
-    from repro.robustness import ChaosCampaign, standard_scenarios
+    from repro.exec import TopologySpec, build_lhg_cached
+    from repro.robustness import (
+        ChaosCampaign,
+        round_flood_protocol,
+        standard_scenarios,
+    )
 
-    graph, certificate = build_lhg_cached(args.n, args.k, rule=args.rule)
     scenarios = standard_scenarios(loss_rates=tuple(args.loss))
+    if args.scale:
+        # oracle-backed spec + the rounds engine: no materialization, so
+        # the same grid runs at sizes the event simulator cannot price.
+        # dup-reorder needs the event simulator's channel model; the
+        # rounds engine refuses it, so drop it from the default grid.
+        scenarios = [s for s in scenarios if s.name != "dup-reorder"]
+        spec = TopologySpec(args.n, args.k, backend="implicit")
+        topologies = [(spec.label, spec)]
+        protocols = [round_flood_protocol()]
+        title_name, title_rule = spec.label, "implicit-jd"
+    else:
+        graph, certificate = build_lhg_cached(args.n, args.k, rule=args.rule)
+        topologies = [(graph.name, graph)]
+        protocols = None
+        title_name, title_rule = graph.name, certificate.rule
     if args.scenarios:
         wanted = set(args.scenarios)
         unknown = wanted - {s.name for s in scenarios}
@@ -212,7 +230,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return 2
         scenarios = [s for s in scenarios if s.name in wanted]
     campaign = ChaosCampaign(
-        [(graph.name, graph)],
+        topologies,
+        protocols=protocols,
         scenarios=scenarios,
         seeds=range(args.seed, args.seed + args.repeats),
     )
@@ -226,7 +245,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         matrix.render(
             title=(
-                f"Chaos campaign on {graph.name} ({certificate.rule}), "
+                f"Chaos campaign on {title_name} ({title_rule}), "
                 f"{args.repeats} seed(s)"
             )
         )
@@ -407,6 +426,35 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             "messages": flood.messages,
             "rounds": flood.rounds,
         }
+    attacks_green = True
+    if args.attack:
+        from repro.flooding.failures import survivors
+        from repro.flooding.rounds import round_flood
+        from repro.robustness.attacks import targeted_cut_attacks
+        from repro.robustness.invariants import recertify_survivors
+
+        attacks = []
+        for plan in targeted_cut_attacks(oracle):
+            schedule = plan.schedule()
+            source = plan.surviving_source(oracle)
+            flood = round_flood(oracle, source, schedule=schedule)
+            view = survivors(oracle, schedule)
+            violations = [str(v) for v in recertify_survivors(view, args.k)]
+            certified = flood.fully_covered and not violations
+            attacks_green = attacks_green and certified
+            attacks.append(
+                {
+                    "attack": plan.name,
+                    "damage": plan.damage,
+                    "alive": flood.alive,
+                    "covered": flood.covered,
+                    "reachable": flood.reachable,
+                    "rounds": flood.rounds,
+                    "messages": flood.messages,
+                    "violations": violations,
+                }
+            )
+        report["attacks"] = attacks
     report["peak_rss_bytes"] = _peak_rss_bytes()
     if args.json:
         print(_json.dumps(report, sort_keys=False))
@@ -422,8 +470,19 @@ def _cmd_scale(args: argparse.Namespace) -> int:
                 f"  flood from node 0: covered {f['covered']}/{args.n} in "
                 f"{f['rounds']} rounds, {f['messages']} messages"
             )
+        for row in report.get("attacks", []):
+            verdict = (
+                "certified"
+                if row["covered"] >= row["reachable"] and not row["violations"]
+                else "VIOLATED " + "; ".join(row["violations"])
+            )
+            print(
+                f"  attack {row['attack']}: damage {row['damage']}, "
+                f"covered {row['covered']}/{row['alive']} survivors in "
+                f"{row['rounds']} rounds — {verdict}"
+            )
         print(f"  peak RSS: {report['peak_rss_bytes'] / 1e6:.1f} MB")
-    return 0 if proofs.all_hold and proofs.conclusive else 1
+    return 0 if proofs.all_hold and proofs.conclusive and attacks_green else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -528,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--seed", type=int, default=0, help="base seed")
     p_chaos.add_argument(
         "--repeats", type=int, default=1, help="grid passes (seeds seed..seed+r-1)"
+    )
+    p_chaos.add_argument(
+        "--scale",
+        action="store_true",
+        help="oracle-backed topology + synchronous-round flooding: no "
+        "materialization, so the grid runs at million-node sizes "
+        "(drops the dup-reorder scenario, which needs the event engine)",
     )
     p_chaos.add_argument(
         "--workers",
@@ -695,6 +761,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--flood",
         action="store_true",
         help="also flood from node 0 in synchronous rounds (implies --csr)",
+    )
+    p_scale.add_argument(
+        "--attack",
+        action="store_true",
+        help="replay every targeted k-1 cut attack (derived from the JD "
+        "pasting arithmetic), flood the survivors and recertify the "
+        "damaged topology; exit 1 unless every attack is certified",
     )
     p_scale.add_argument("--json", action="store_true", help="emit a JSON report")
     p_scale.set_defaults(func=_cmd_scale)

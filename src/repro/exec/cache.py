@@ -28,16 +28,28 @@ class TopologySpec:
     Campaigns may list topologies as specs instead of pre-built graphs;
     the engine resolves each spec through :data:`GRAPH_CACHE` so
     repeated campaigns (and repeated cells) share one construction.
+
+    ``backend`` selects the resolved representation: ``"dict"`` (the
+    default) builds the mutable :class:`~repro.graphs.graph.Graph` with
+    its construction certificate; ``"implicit"`` resolves to the
+    O(1)-memory :class:`~repro.graphs.implicit.ImplicitJDOracle`;
+    ``"csr"`` compiles that oracle into a
+    :class:`~repro.graphs.csr.CSRGraph`.  The oracle backends carry no
+    certificate (their structure *is* the proof) and require the JD
+    rule, so ``rule`` must stay ``"auto"`` for them.
     """
 
     n: int
     k: int
     rule: str = "auto"
+    backend: str = "dict"
 
     @property
     def label(self) -> str:
         """Default row label for this topology."""
         suffix = "" if self.rule == "auto" else f"-{self.rule}"
+        if self.backend != "dict":
+            suffix += f"@{self.backend}"
         return f"lhg-n{self.n}-k{self.k}{suffix}"
 
 
@@ -111,8 +123,50 @@ class GraphCache(KeyedCache):
         return self.get_or_build(key, lambda: build_lhg(n, k, rule=rule))
 
     def resolve(self, topology: "TopologySpec") -> Tuple[Any, Any]:
-        """Resolve a :class:`TopologySpec` to ``(graph, certificate)``."""
-        return self.lhg(topology.n, topology.k, rule=topology.rule)
+        """Resolve a :class:`TopologySpec` to ``(graph, certificate)``.
+
+        Oracle backends (``"implicit"``/``"csr"``) return ``None`` for
+        the certificate — there is no construction transcript; their
+        guarantees are recertified structurally on demand.
+
+        Raises
+        ------
+        ValueError
+            For an unknown backend, or a non-``"auto"`` rule on an
+            oracle backend (the oracles implement the JD rule only).
+        """
+        backend = getattr(topology, "backend", "dict")
+        if backend == "dict":
+            return self.lhg(topology.n, topology.k, rule=topology.rule)
+        if topology.rule != "auto":
+            raise ValueError(
+                f"backend {backend!r} implements the JD rule only, "
+                f"got rule={topology.rule!r}"
+            )
+        if backend == "implicit":
+            from repro.graphs.implicit import ImplicitJDOracle
+
+            key = ("implicit", int(topology.n), int(topology.k))
+            oracle = self.get_or_build(
+                key, lambda: ImplicitJDOracle(topology.n, topology.k)
+            )
+            return oracle, None
+        if backend == "csr":
+            from repro.graphs.csr import CSRGraph
+            from repro.graphs.implicit import ImplicitJDOracle
+
+            key = ("csr", int(topology.n), int(topology.k))
+            graph = self.get_or_build(
+                key,
+                lambda: CSRGraph.from_oracle(
+                    ImplicitJDOracle(topology.n, topology.k)
+                ),
+            )
+            return graph, None
+        raise ValueError(
+            f"unknown topology backend {backend!r}; "
+            "expected 'dict', 'implicit' or 'csr'"
+        )
 
 
 #: Shared process-wide construction cache (see module docstring).

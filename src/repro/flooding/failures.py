@@ -375,13 +375,16 @@ def partition(
                 raise SimulationError(f"node {node!r} appears in two groups")
             group_of[node] = index
     schedule = FailureSchedule()
-    for u, v in graph.edges():
-        side_u, side_v = group_of.get(u), group_of.get(v)
-        if side_u is None or side_v is None or side_u == side_v:
-            continue
-        schedule.fail_link(u, v, time=at)
-        if heal_at is not None:
-            schedule.restore_link(u, v, time=heal_at)
+    # walk the listed nodes' neighbourhoods instead of enumerating all
+    # edges: works on any NeighborOracle and touches only the groups
+    for u, side_u in group_of.items():
+        for v in graph.neighbors(u):
+            side_v = group_of.get(v)
+            if side_v is None or side_u == side_v:
+                continue
+            schedule.fail_link(u, v, time=at)
+            if heal_at is not None:
+                schedule.restore_link(u, v, time=heal_at)
     return schedule
 
 
@@ -492,23 +495,28 @@ def _final_down_links(schedule: FailureSchedule) -> Set[frozenset]:
     return down
 
 
-def survivors(graph: Graph, schedule: FailureSchedule) -> Graph:
+def survivors(graph, schedule: FailureSchedule):
     """The topology as seen after all of ``schedule`` has struck.
 
     Removes nodes and links that are down *in the schedule's final
     state* — a crash (or link failure) followed by a later recovery
     leaves the node (link) in the survivor graph.  This is the ground
     truth the metrics layer uses to compute *reachable* coverage.
-    """
-    if not hasattr(graph, "without_nodes"):
-        # read-only NeighborOracle backends (CSR, implicit) have no
-        # mutation surface; materialise a dict-of-sets copy to cut from
-        from repro.graphs.oracle import materialize
 
-        graph = materialize(graph)
+    Mutable dict-of-sets :class:`Graph` inputs return a cut-down
+    ``Graph`` copy, as always.  Read-only oracle backends (CSR,
+    implicit JD, another view) return a lazy
+    :class:`~repro.graphs.faultview.FaultView` instead — O(#failures)
+    state, so million-node survivor topologies cost nothing to build.
+    """
     down_nodes = _final_down_nodes(schedule)
+    down_links = _final_down_links(schedule)
+    if not hasattr(graph, "without_nodes"):
+        from repro.graphs.faultview import FaultView
+
+        return FaultView(graph, down_nodes, down_links)
     remaining = graph.without_nodes(down_nodes & set(graph.nodes()))
-    for key in _final_down_links(schedule):
+    for key in down_links:
         endpoints = sorted(key, key=repr)
         if len(endpoints) == 2 and remaining.has_edge(*endpoints):
             remaining.remove_edge(*endpoints)

@@ -109,6 +109,7 @@ class RandomFaultModel(FaultModel):
             edge_key(u, v): link_profile
             for (u, v), link_profile in (per_link or {}).items()
         }
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def profile_for(self, u: NodeId, v: NodeId) -> LinkFaultProfile:

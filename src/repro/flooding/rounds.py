@@ -3,13 +3,13 @@
 The discrete-event simulator (:mod:`repro.flooding.simulator`) prices
 every message as a scheduled closure — perfect for latency models,
 faults and chaos, but at n = 10⁶ a single flood would hold millions of
-in-flight events at once.  Under **unit latency and no failures** the
-event semantics collapse to synchronous rounds: every node first
-covered in round r forwards in round r + 1, so a frontier-by-frontier
-sweep reproduces the exact coverage, message count and completion time
-of :class:`~repro.flooding.protocols.flood.FloodProtocol` on the
-default network — which the test suite pins — while holding only the
-current frontier.
+in-flight events at once.  Under **unit latency** the event semantics
+collapse to synchronous rounds: every node first covered in round r
+forwards in round r + 1, so a frontier-by-frontier sweep reproduces
+the exact coverage, message count and completion time of
+:class:`~repro.flooding.protocols.flood.FloodProtocol` on the default
+network — which the test suite pins — while holding only the current
+frontier.
 
 Message accounting matches the protocol exactly:
 
@@ -18,21 +18,53 @@ Message accounting matches the protocol exactly:
   neighbour except the sender (``deg(v) − 1``);
 * duplicate receipts trigger nothing.
 
-Completion time (in hops) equals the number of rounds — the source's
-eccentricity in its component.
+With no failures, completion time (in hops) equals the number of
+rounds — the source's eccentricity in its component.
+
+**Failure schedules.**  :func:`round_flood` also takes a
+:class:`~repro.flooding.failures.FailureSchedule`, replayed with the
+event simulator's exact tie-breaking (at one instant: failures, then
+recoveries, then deliveries — see ``FAILURE_PRIORITY``):
+
+* a send at round r is silently dropped (never counted) when the link
+  is already down at r — the sender cannot use a link it has lost;
+* a counted message dies in flight when its receiver is down or its
+  link is down at delivery time r + 1;
+* crashed-then-recovered nodes miss everything sent while they were
+  down but can be covered by a later frontier.
+
+The result's ``covered``/``completion_time`` count only nodes alive in
+the schedule's *final* state and ``alive``/``reachable`` come from the
+survivor topology (a lazy :class:`~repro.graphs.faultview.FaultView`)
+— byte-identical to the event simulator's
+:class:`~repro.flooding.metrics.FloodResult` under the same schedule,
+which ``tests/test_faultview.py`` pins over the small census.
+
+**Loss.**  ``loss_rate`` applies seed-stable *per-round batched*
+Bernoulli sampling: round r draws from
+``random.Random(derive_seed(loss_seed, "round-flood-loss", r))`` in
+deterministic frontier order.  Lost messages are counted as sent and
+die in flight, matching the event simulator's cost model — but the
+draw *order* is round-batched rather than event-interleaved, so loss
+runs are reproducible against this engine, not against the event
+simulator.
 
 Dense-int oracles (a label-free :class:`~repro.graphs.csr.CSRGraph`,
-the :class:`~repro.graphs.implicit.ImplicitJDOracle`) take a flat
+the :class:`~repro.graphs.implicit.ImplicitJDOracle`, a
+:class:`~repro.graphs.faultview.FaultView` over either) take a flat
 ``bytearray``-seen fast path: ~1 byte per node of working state beyond
 the frontier lists.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
-from repro.errors import NodeNotFoundError
+from repro.errors import NodeNotFoundError, SimulationError
+from repro.graphs.faultview import FaultView, component_size, id_bound
+from repro.graphs.graph import edge_key
 from repro.graphs.oracle import NeighborOracle, oracle_has_node
 
 NodeId = Hashable
@@ -42,9 +74,12 @@ NodeId = Hashable
 class RoundFloodResult:
     """Outcome of one synchronous-round flood.
 
-    ``messages`` and ``rounds`` equal the event-driven flood's message
-    count and completion time under unit latency with no failures;
-    ``covered == reachable`` always (flooding fills its component).
+    ``messages``, ``covered`` and ``completion_time`` equal the
+    event-driven flood's message count, alive coverage and completion
+    time under unit latency with the same failure schedule.  Without
+    failures ``covered == reachable == alive == n`` (flooding fills
+    its component); ``alive`` and ``reachable`` default accordingly so
+    pre-failure constructors are unchanged.
     """
 
     source: NodeId
@@ -53,55 +88,90 @@ class RoundFloodResult:
     messages: int
     rounds: int
     round_sizes: List[int] = field(default_factory=list)
+    alive: Optional[int] = None
+    reachable: Optional[int] = None
 
-    @property
-    def reachable(self) -> int:
-        """Nodes reachable from the source — what flooding covers."""
-        return self.covered
+    def __post_init__(self) -> None:
+        if self.alive is None:
+            object.__setattr__(self, "alive", self.n)
+        if self.reachable is None:
+            object.__setattr__(self, "reachable", self.covered)
 
     @property
     def fully_covered(self) -> bool:
-        """True by construction (kept for FloodResult-shaped consumers)."""
-        return True
+        """True when every reachable survivor got the payload."""
+        return self.covered >= (self.reachable or 0)
 
     @property
     def delivery_ratio(self) -> float:
-        """covered / reachable — 1.0 by construction."""
-        return 1.0
+        """covered / reachable (1.0 when nothing was reachable)."""
+        if not self.reachable:
+            return 1.0
+        return self.covered / self.reachable
 
     @property
-    def completion_time(self) -> float:
-        """Completion time in hops (== rounds)."""
+    def completion_time(self) -> Optional[float]:
+        """Hops to the last surviving delivery (``None`` if none)."""
+        if self.covered == 0:
+            return None
         return float(self.rounds)
 
 
-def _dense_ids(oracle: NeighborOracle) -> bool:
-    """True when the oracle's nodes are known to be the ints 0 … n − 1."""
-    if getattr(oracle, "dense_labels", False):
-        return True
-    from repro.graphs.implicit import ImplicitJDOracle
-
-    return isinstance(oracle, ImplicitJDOracle)
-
-
-def round_flood(oracle: NeighborOracle, source: NodeId) -> RoundFloodResult:
+def round_flood(
+    oracle: NeighborOracle,
+    source: NodeId,
+    schedule=None,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
+) -> RoundFloodResult:
     """Flood ``oracle`` from ``source`` in synchronous rounds.
+
+    Parameters
+    ----------
+    schedule:
+        Optional :class:`~repro.flooding.failures.FailureSchedule`
+        replayed at round granularity (event times are rounds).
+    loss_rate / loss_seed:
+        Per-message Bernoulli loss, sampled seed-stably per round.
 
     Raises
     ------
     NodeNotFoundError
         If ``source`` is not a node of the oracle.
+    SimulationError
+        If the source is crashed at start, or ``loss_rate`` is not a
+        probability.
     """
     if not oracle_has_node(oracle, source):
         raise NodeNotFoundError(source)
-    if _dense_ids(oracle):
-        return _round_flood_dense(oracle, int(source))
-    return _round_flood_generic(oracle, source)
+    if not 0.0 <= loss_rate <= 1.0:
+        raise SimulationError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    faulty = loss_rate > 0.0 or (schedule is not None and _has_events(schedule))
+    if not faulty:
+        bound = id_bound(oracle)
+        if bound is not None:
+            return _round_flood_dense(oracle, int(source), bound)
+        return _round_flood_generic(oracle, source)
+    if schedule is None:
+        from repro.flooding.failures import FailureSchedule
+
+        schedule = FailureSchedule()
+    return _round_flood_faulty(oracle, source, schedule, loss_rate, loss_seed)
 
 
-def _round_flood_dense(oracle: NeighborOracle, source: int) -> RoundFloodResult:
-    n = oracle.num_nodes()
-    seen = bytearray(n)
+def _has_events(schedule) -> bool:
+    return bool(
+        schedule.crashes
+        or schedule.link_failures
+        or schedule.recoveries
+        or schedule.link_recoveries
+    )
+
+
+def _round_flood_dense(
+    oracle: NeighborOracle, source: int, bound: int
+) -> RoundFloodResult:
+    seen = bytearray(bound)
     seen[source] = 1
     neighbors = oracle.neighbors
     frontier = [source]
@@ -129,7 +199,7 @@ def _round_flood_dense(oracle: NeighborOracle, source: int) -> RoundFloodResult:
         frontier = next_frontier
     return RoundFloodResult(
         source=source,
-        n=n,
+        n=oracle.num_nodes(),
         covered=covered,
         messages=messages,
         rounds=rounds,
@@ -168,3 +238,146 @@ def _round_flood_generic(
         rounds=rounds,
         round_sizes=round_sizes,
     )
+
+
+# ----------------------------------------------------------------------
+# The failure engine
+# ----------------------------------------------------------------------
+
+
+def _timeline(schedule) -> List[tuple]:
+    """Schedule events as (time, phase, kind, a, b), simulator-ordered.
+
+    Phase 0 (failures) sorts before phase 1 (recoveries) at equal
+    times — the ``FAILURE_PRIORITY < RECOVERY_PRIORITY`` tie-break, so
+    a same-instant crash+recover pair leaves the node up.
+    """
+    events = []
+    for crash in schedule.crashes:
+        events.append((crash.time, 0, "node", crash.node, None))
+    for failure in schedule.link_failures:
+        events.append((failure.time, 0, "link", failure.u, failure.v))
+    for recovery in schedule.recoveries:
+        events.append((recovery.time, 1, "node-up", recovery.node, None))
+    for restore in schedule.link_recoveries:
+        events.append((restore.time, 1, "link-up", restore.u, restore.v))
+    events.sort(key=lambda event: (event[0], event[1]))
+    return events
+
+
+def _round_flood_faulty(
+    oracle: NeighborOracle,
+    source: NodeId,
+    schedule,
+    loss_rate: float,
+    loss_seed: int,
+) -> RoundFloodResult:
+    from repro.flooding.failures import _final_down_links, _final_down_nodes
+
+    if any(c.node == source and c.time <= 0 for c in schedule.crashes):
+        raise SimulationError("the flood source is crashed at start")
+
+    # the survivor topology (final schedule state) prices alive/reachable
+    view = FaultView(oracle, _final_down_nodes(schedule), _final_down_links(schedule))
+    final_down = view.down_nodes
+    alive = view.num_nodes()
+    reachable = component_size(view, source) if view.has_node(source) else 0
+
+    events = _timeline(schedule)
+    down: set = set()
+    dead_links: set = set()
+    index = 0
+
+    def advance(now: float) -> None:
+        nonlocal index
+        while index < len(events) and events[index][0] <= now:
+            _, _, kind, a, b = events[index]
+            index += 1
+            if kind == "node":
+                down.add(a)
+            elif kind == "node-up":
+                down.discard(a)
+            elif kind == "link":
+                dead_links.add(edge_key(a, b))
+            else:
+                dead_links.discard(edge_key(a, b))
+
+    advance(0)
+    check_links = bool(schedule.link_failures or schedule.link_recoveries)
+    bound = id_bound(oracle)
+    if bound is not None:
+        seen: object = bytearray(bound)
+        seen[source] = 1  # type: ignore[index]
+        is_seen = seen.__getitem__  # type: ignore[attr-defined]
+        mark = lambda v: seen.__setitem__(v, 1)  # type: ignore[attr-defined] # noqa: E731
+    else:
+        seen = {source}
+        is_seen = seen.__contains__  # type: ignore[attr-defined]
+        mark = seen.add  # type: ignore[attr-defined]
+
+    neighbors = oracle.neighbors
+    messages = 0
+    covered = 1 if source not in final_down else 0
+    round_sizes = [covered]
+    frontier = [(source, None)]
+    now = 0
+    while frontier:
+        rng = (
+            random.Random(_loss_round_seed(loss_seed, now))
+            if loss_rate > 0.0
+            else None
+        )
+        pending = []
+        for node, sender in frontier:
+            for target in neighbors(node):
+                if target == sender:
+                    continue  # first receipt suppresses the return copy
+                if check_links and edge_key(node, target) in dead_links:
+                    continue  # link already down at send time: never sent
+                messages += 1
+                if rng is not None and rng.random() < loss_rate:
+                    continue  # counted as sent, lost in flight
+                if not is_seen(target):
+                    pending.append((node, target))
+        if not pending:
+            break
+        advance(now + 1)
+        newly = []
+        survivors_covered = 0
+        for sender, target in pending:
+            if is_seen(target):
+                continue
+            if target in down:
+                continue  # receiver dead at delivery time
+            if check_links and edge_key(sender, target) in dead_links:
+                continue  # link died with the message in flight
+            mark(target)
+            newly.append((target, sender))
+            if target not in final_down:
+                survivors_covered += 1
+        now += 1
+        round_sizes.append(survivors_covered)
+        covered += survivors_covered
+        frontier = newly
+    # doomed nodes keep relaying until the end; completion counts only
+    # deliveries that survive, so trim the trailing doomed-only rounds
+    while len(round_sizes) > 1 and round_sizes[-1] == 0:
+        round_sizes.pop()
+    if covered == 0:
+        round_sizes = [0]
+    return RoundFloodResult(
+        source=source,
+        n=oracle.num_nodes(),
+        covered=covered,
+        messages=messages,
+        rounds=len(round_sizes) - 1,
+        round_sizes=round_sizes,
+        alive=alive,
+        reachable=reachable,
+    )
+
+
+def _loss_round_seed(loss_seed: int, round_index: int) -> int:
+    from repro.exec.seeding import derive_seed
+
+    return derive_seed(loss_seed, "round-flood-loss", round_index)

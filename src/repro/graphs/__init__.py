@@ -12,6 +12,9 @@ graph theory lives here, implemented from scratch on the stdlib:
 * :mod:`repro.graphs.implicit` — :class:`ImplicitJDOracle`, the
   Jenkins–Demers construction as pure neighbour arithmetic (million-node
   graphs without adjacency);
+* :mod:`repro.graphs.faultview` — :class:`FaultView`, a failure
+  overlay (down nodes + killed links) on any oracle in O(#failures)
+  state;
 * :mod:`repro.graphs.traversal` — BFS/DFS, components, distances,
   diameter;
 * :mod:`repro.graphs.maxflow` — Dinic max-flow on unit networks;
@@ -32,6 +35,7 @@ from repro.graphs.decomposition import (
     is_biconnected,
 )
 from repro.graphs.csr import CSRGraph
+from repro.graphs.faultview import FaultView, component_size, id_bound
 from repro.graphs.graph import Graph, edge_key
 from repro.graphs.implicit import ImplicitJDOracle
 from repro.graphs.oracle import (
@@ -94,6 +98,7 @@ from repro.graphs.properties import (
 __all__ = [
     "CSRGraph",
     "DegreeStats",
+    "FaultView",
     "Graph",
     "ImplicitJDOracle",
     "NeighborOracle",
@@ -104,6 +109,7 @@ __all__ = [
     "bfs_order",
     "biconnected_components",
     "bridges",
+    "component_size",
     "connected_components",
     "degree_stats",
     "diameter",
@@ -114,6 +120,7 @@ __all__ = [
     "edge_disjoint_paths",
     "edge_key",
     "has_degree_witness_minimality",
+    "id_bound",
     "is_biconnected",
     "is_connected",
     "is_k_edge_connected",

@@ -10,11 +10,13 @@ Exposed on the command line as ``python -m repro chaos``.
 """
 
 from repro.exec.cache import TopologySpec
+from repro.robustness.attacks import AttackPlan, targeted_cut_attacks
 from repro.robustness.campaign import (
     CellResult,
     ChaosCampaign,
     ProtocolSpec,
     ResilienceMatrix,
+    round_flood_protocol,
     standard_protocols,
 )
 from repro.robustness.invariants import (
@@ -26,6 +28,7 @@ from repro.robustness.invariants import (
     check_retransmission_budget,
     check_survivor_coverage,
     check_topology_invariants,
+    recertify_survivors,
 )
 from repro.robustness.scenarios import (
     Scenario,
@@ -40,6 +43,7 @@ from repro.robustness.scenarios import (
 )
 
 __all__ = [
+    "AttackPlan",
     "CellResult",
     "ChaosCampaign",
     "InvariantViolation",
@@ -61,6 +65,9 @@ __all__ = [
     "flapping",
     "message_loss",
     "partition_heal",
+    "recertify_survivors",
+    "round_flood_protocol",
     "standard_protocols",
     "standard_scenarios",
+    "targeted_cut_attacks",
 ]

@@ -25,14 +25,22 @@ from repro.exec.pool import WorkerPool
 from repro.exec.profiling import ExecutionReport
 from repro.exec.supervisor import ItemFailure, SupervisorConfig
 from repro.flooding.experiments import summarize_run
-from repro.flooding.failures import apply_schedule
+from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
+from repro.flooding.faults import FaultModel, RandomFaultModel
 from repro.flooding.network import Network, Protocol
 from repro.flooding.protocols.arq import ArqProtocol
 from repro.flooding.protocols.reliable import ReliableFloodProtocol
+from repro.flooding.rounds import round_flood
 from repro.flooding.simulator import Simulator
 from repro.flooding.trace import TraceCollector
+from repro.graphs.faultview import FaultView
 from repro.graphs.graph import Graph
-from repro.robustness.invariants import RunRecord, check_invariants
+from repro.robustness.invariants import (
+    InvariantViolation,
+    RunRecord,
+    check_invariants,
+    recertify_survivors,
+)
 from repro.robustness.scenarios import Scenario, standard_scenarios
 
 NodeId = Hashable
@@ -50,18 +58,39 @@ class ProtocolSpec:
         Column label.
     factory:
         ``(network, source) -> Protocol`` building a fresh instance.
+        Required for the event engine; ignored by the rounds engine.
     guarantees_delivery:
         Whether the coverage invariant is *enforced* for this protocol
         (True for the ARQ-wrapped variant, which claims convergence).
     budget_multiplier:
         Scales the per-run event budget (retransmitting protocols need
         more room than one-shot flooding).
+    engine:
+        ``"event"`` runs the protocol through the event-driven
+        :class:`~repro.flooding.simulator.Simulator`; ``"rounds"``
+        runs the synchronous
+        :func:`~repro.flooding.rounds.round_flood` engine directly on
+        the topology's oracle — no materialization, so it is the only
+        arm that scales to oracle-backed million-node specs.
     """
 
     name: str
-    factory: Callable[[Network, NodeId], Protocol]
+    factory: Optional[Callable[[Network, NodeId], Protocol]] = None
     guarantees_delivery: bool = False
     budget_multiplier: int = 1
+    engine: str = "event"
+
+
+def round_flood_protocol(name: str = "round-flood") -> ProtocolSpec:
+    """The synchronous round-flooding column of a campaign grid.
+
+    Round flooding over an oracle delivers to every reachable survivor
+    by construction (coverage is a theorem of the engine, not a retry
+    policy), so the coverage invariant is enforced.
+    """
+    return ProtocolSpec(
+        name=name, factory=None, guarantees_delivery=True, engine="rounds"
+    )
 
 
 def standard_protocols(
@@ -108,6 +137,43 @@ def standard_protocols(
             budget_multiplier=inner_retries + arq_retries + 4,
         ),
     ]
+
+
+def _monotone(schedule: FailureSchedule) -> bool:
+    """True when the schedule only ever removes capacity (no recoveries)."""
+    return not schedule.recoveries and not schedule.link_recoveries
+
+
+def _round_loss(
+    spec: ProtocolSpec,
+    scenario: Scenario,
+    fault_model: Optional[FaultModel],
+    seed: int,
+) -> Tuple[float, int]:
+    """Translate a scenario fault model into round-engine loss knobs.
+
+    The rounds engine models exactly one channel fault: uniform,
+    seed-stable message loss.  A :class:`RandomFaultModel` whose profile
+    is drop-only (no duplication, no reordering, no per-link overrides)
+    maps onto it; any richer adversary raises loudly rather than being
+    silently approximated.
+    """
+    if fault_model is None:
+        return 0.0, seed
+    profile = getattr(fault_model, "profile", None)
+    if (
+        isinstance(fault_model, RandomFaultModel)
+        and profile is not None
+        and profile.duplicate == 0.0
+        and profile.reorder == 0.0
+        and not getattr(fault_model, "_per_link", None)
+    ):
+        return profile.drop, getattr(fault_model, "seed", seed)
+    raise SimulationError(
+        f"scenario {scenario.name!r} uses fault model "
+        f"{type(fault_model).__name__}, which the rounds engine of "
+        f"protocol {spec.name!r} cannot express (uniform loss only)"
+    )
 
 
 @dataclass(frozen=True)
@@ -310,7 +376,7 @@ class ChaosCampaign:
 
     # ------------------------------------------------------------------
 
-    def graph_for(self, topology_name: str) -> Graph:
+    def graph_for(self, topology_name: str):
         """The (possibly cache-resolved) graph behind one topology row.
 
         ``(name, TopologySpec)`` entries are built through the shared
@@ -331,7 +397,7 @@ class ChaosCampaign:
         )
 
     @staticmethod
-    def _resolve(entry: Union[Graph, TopologySpec]) -> Graph:
+    def _resolve(entry: Union[Graph, TopologySpec]):
         if isinstance(entry, TopologySpec):
             graph, _ = GRAPH_CACHE.resolve(entry)
             return graph
@@ -340,7 +406,7 @@ class ChaosCampaign:
     def run_cell(
         self,
         topology_name: str,
-        graph: Optional[Graph],
+        graph,
         spec: ProtocolSpec,
         scenario: Scenario,
         seed: int,
@@ -353,7 +419,19 @@ class ChaosCampaign:
         """
         if graph is None:
             graph = self.graph_for(topology_name)
-        source = self.sources.get(topology_name, graph.nodes()[0])
+        if spec.engine == "rounds":
+            return self._run_round_cell(topology_name, graph, spec, scenario, seed)
+        if spec.engine != "event":
+            raise SimulationError(
+                f"protocol {spec.name!r} names unknown engine {spec.engine!r}"
+            )
+        if spec.factory is None:
+            raise SimulationError(
+                f"protocol {spec.name!r} uses the event engine but has no factory"
+            )
+        source = self.sources.get(
+            topology_name, next(iter(graph.iter_nodes()))
+        )
         with obs.span(
             "scenario-build", scenario=scenario.name, topology=topology_name
         ):
@@ -416,6 +494,94 @@ class ChaosCampaign:
             violations=tuple(str(v) for v in violations),
         )
 
+    def _run_round_cell(
+        self,
+        topology_name: str,
+        graph,
+        spec: ProtocolSpec,
+        scenario: Scenario,
+        seed: int,
+    ) -> CellResult:
+        """One cell on the synchronous rounds engine (oracle-friendly).
+
+        The scenario's failure schedule drives
+        :func:`~repro.flooding.rounds.round_flood` directly on the
+        topology's oracle; its fault model is translated to the engine's
+        uniform loss knob (anything richer is refused loudly — see
+        :func:`_round_loss`).  Afterwards the damaged topology is
+        recertified from its :class:`~repro.graphs.faultview.FaultView`
+        whenever the topology row was given as a spec (so k is known).
+
+        Coverage is enforced only where it is a theorem: zero loss and
+        a monotone schedule (no recoveries).  With recoveries or loss a
+        shortfall is data, exactly as for best-effort event protocols.
+        """
+        source = self.sources.get(
+            topology_name, next(iter(graph.iter_nodes()))
+        )
+        with obs.span(
+            "scenario-build", scenario=scenario.name, topology=topology_name
+        ):
+            setup = scenario.build(graph, source, seed)
+        loss_rate, loss_seed = _round_loss(spec, scenario, setup.fault_model, seed)
+        with obs.span(
+            "protocol-run",
+            protocol=spec.name,
+            scenario=scenario.name,
+            topology=topology_name,
+            seed=seed,
+        ):
+            flood = round_flood(
+                graph,
+                source,
+                schedule=setup.schedule,
+                loss_rate=loss_rate,
+                loss_seed=loss_seed,
+            )
+        violations: List[InvariantViolation] = []
+        enforce_coverage = (
+            spec.guarantees_delivery
+            and loss_rate == 0.0
+            and _monotone(setup.schedule)
+        )
+        if enforce_coverage and not flood.fully_covered:
+            violations.append(
+                InvariantViolation(
+                    "coverage",
+                    f"covered {flood.covered} of {flood.reachable} "
+                    f"reachable survivors",
+                )
+            )
+        topo_spec = self._spec_for(topology_name)
+        if topo_spec is not None:
+            view = survivors(graph, setup.schedule)
+            if isinstance(view, FaultView):
+                with obs.span("invariant-check"):
+                    violations.extend(recertify_survivors(view, topo_spec.k))
+        obs.counter("campaign.cells")
+        if violations:
+            obs.counter("campaign.violations", len(violations))
+        return CellResult(
+            topology=topology_name,
+            scenario=scenario.name,
+            protocol=spec.name,
+            seed=seed,
+            covered=flood.covered,
+            reachable=flood.reachable,
+            delivery_ratio=flood.delivery_ratio,
+            messages=flood.messages,
+            retransmissions=0,
+            completion_time=flood.completion_time,
+            violations=tuple(str(v) for v in violations),
+        )
+
+    def _spec_for(self, topology_name: str) -> Optional[TopologySpec]:
+        """The :class:`TopologySpec` behind a topology row, if it has one."""
+        for name, entry in self.topologies:
+            if name == topology_name and isinstance(entry, TopologySpec):
+                return entry
+        return None
+
     def cell_key(
         self, topology_name: str, scenario_name: str, protocol_name: str, seed: int
     ) -> str:
@@ -432,7 +598,11 @@ class ChaosCampaign:
         for name, entry in self.topologies:
             if name == topology_name:
                 if isinstance(entry, TopologySpec):
+                    # the dict backend keeps its pre-backend identity so
+                    # existing checkpoint journals still resume cleanly
                     identity: Tuple = ("spec", entry.n, entry.k, entry.rule)
+                    if entry.backend != "dict":
+                        identity += (entry.backend,)
                 else:
                     identity = (
                         "graph",

@@ -60,9 +60,18 @@ class TestWorkerPool:
         serial = WorkerPool(workers=1).map(_square, items)
         pool = WorkerPool(workers=workers)
         assert pool.map(_square, items) == serial
-        if fork_available():
+        if fork_available() and (os.cpu_count() or 1) > 1:
             assert pool.last_report.mode == "fork-pool"
             assert pool.last_report.workers == min(workers, len(items))
+        else:
+            # single-core (or fork-less) boxes degrade to in-process
+            assert pool.last_report.mode == "serial"
+
+    def test_single_core_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        pool = WorkerPool(workers=4)
+        assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert pool.last_report.mode == "serial"
 
     def test_closures_are_mappable(self):
         # the fork-based design ships indices, not pickled callables,
@@ -99,10 +108,12 @@ class TestWorkerPool:
             WorkerPool(workers=1).map(boom, [1])
 
     @pytest.mark.skipif(not fork_available(), reason="requires fork")
-    def test_worker_exception_keeps_remote_traceback(self):
+    def test_worker_exception_keeps_remote_traceback(self, monkeypatch):
         def boom(x):
             raise ValueError(f"bad cell {x}")
 
+        # pretend to be multicore so the fork path runs even on 1-CPU CI
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
         with pytest.raises(ValueError, match="bad cell") as excinfo:
             WorkerPool(workers=2).map(boom, [1, 2, 3])
         exc = excinfo.value

@@ -182,6 +182,44 @@ class TestCSR:
             assert csr.has_edge(u, v) and csr.has_edge(v, u)
         assert not csr.has_edge(0, 0)
 
+    def test_has_edge_bisect_row_boundaries(self):
+        # a star: the hub's row spans the whole index array, every leaf
+        # row holds a single entry — first/last-neighbour bisect probes
+        star = Graph(edges=[(0, i) for i in range(1, 6)])
+        csr = CSRGraph.from_oracle(star)
+        row = list(csr.neighbors(0))
+        assert csr.has_edge(0, row[0])  # first slot of the row
+        assert csr.has_edge(0, row[-1])  # last slot of the row
+        assert csr.has_edge(row[0], 0) and csr.has_edge(row[-1], 0)
+        # absent id falling between present neighbours, and past the end
+        assert not csr.has_edge(1, 2)
+        assert not csr.has_edge(0, 6)
+
+    def test_has_edge_empty_row(self):
+        # an isolated node has an empty CSR row: start == end, so the
+        # bisect window is empty and must not read a neighbouring row
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        csr = CSRGraph.from_oracle(g)
+        assert csr.degree(2) == 0
+        assert not csr.has_edge(2, 0)
+        assert not csr.has_edge(0, 2)
+        assert not csr.has_edge(2, 2)
+
+    def test_has_edge_absent_ids_are_false_not_errors(self):
+        csr = CSRGraph.from_oracle(ImplicitJDOracle(10, 3))
+        assert not csr.has_edge(0, 999)
+        assert not csr.has_edge(999, 0)
+        assert not csr.has_edge(-1, 0)
+        assert not csr.has_edge(0, "label")
+        assert not csr.has_edge(True, 0)  # bools are not dense ids
+
+    def test_has_edge_labelled_backend(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        csr = CSRGraph.from_oracle(g)
+        assert csr.has_edge("a", "b") and csr.has_edge("b", "a")
+        assert not csr.has_edge("a", "c")
+        assert not csr.has_edge("a", "missing")
+
 
 class TestRoundFlood:
     @pytest.mark.parametrize("n,k", SPOT)
