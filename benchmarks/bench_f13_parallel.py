@@ -16,11 +16,11 @@ workers, and measures two things:
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
 from repro.exec import GRAPH_CACHE, TopologySpec, fork_available
+from repro.perf import emit_bench
 from repro.robustness import ChaosCampaign
 
 N, K = 256, 4
@@ -82,7 +82,6 @@ def test_f13_parallel_engine(benchmark, report):
         )
 
     payload = {
-        "experiment": "f13_parallel",
         "topology": {"n": N, "k": K},
         "grid": {
             "scenarios": 7,
@@ -101,8 +100,11 @@ def test_f13_parallel_engine(benchmark, report):
         ],
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_parallel.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        RESULTS_DIR / "BENCH_parallel.json",
+        "f13_parallel",
+        {"serial_wall_seconds": [serial_wall]},
+        payload=payload,
     )
 
     # throughput shape — only meaningful when the hardware can fan out

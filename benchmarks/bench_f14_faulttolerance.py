@@ -21,10 +21,10 @@ the experiment.
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
+from repro.perf import emit_bench
 from repro.exec import (
     GRAPH_CACHE,
     CrashInjector,
@@ -115,7 +115,6 @@ def test_f14_fault_tolerance(benchmark, report, tmp_path):
     resume_ok = journal.read_text().count("\n") == cells
 
     payload = {
-        "experiment": "f14_faulttolerance",
         "topology": {"n": N, "k": K},
         "grid": {"seeds": len(SEEDS), "cells": cells},
         "cpu_count": os.cpu_count(),
@@ -129,8 +128,14 @@ def test_f14_fault_tolerance(benchmark, report, tmp_path):
         "curve": curve,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_faulttolerance.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        RESULTS_DIR / "BENCH_faulttolerance.json",
+        "f14_faulttolerance",
+        {
+            "bare_wall_seconds": [bare_wall],
+            "supervised_wall_seconds": [curve[0]["wall_seconds"]],
+        },
+        payload=payload,
     )
 
     lines = [

@@ -20,13 +20,13 @@ flake the harness while a real regression still fails it).
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
 
 from repro import obs
 from repro.exec import GRAPH_CACHE, TopologySpec
+from repro.perf import emit_bench
 from repro.robustness import ChaosCampaign
 
 N, K = 64, 4
@@ -97,14 +97,10 @@ def test_f15_telemetry_overhead(benchmark, report):
     inert_nanos = _inert_span_nanos()
 
     payload = {
-        "experiment": "f15_telemetry",
         "topology": {"n": N, "k": K},
         "grid": {"seeds": len(SEEDS), "cells": cells},
         "cpu_count": os.cpu_count(),
         "repeats": REPEATS,
-        "plain_wall_seconds": round(min(plain_walls), 4),
-        "traced_wall_seconds": round(min(traced_walls), 4),
-        "overhead_fraction": round(overhead, 4),
         "target_overhead_fraction": TARGET_OVERHEAD,
         "within_target": overhead < TARGET_OVERHEAD,
         "inert_span_nanos": round(inert_nanos, 1),
@@ -114,8 +110,16 @@ def test_f15_telemetry_overhead(benchmark, report):
         "byte_identical": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_telemetry.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        RESULTS_DIR / "BENCH_telemetry.json",
+        "f15_telemetry",
+        {
+            "plain_wall_seconds": plain_walls,
+            "traced_wall_seconds": traced_walls,
+            "overhead_fraction": [overhead],
+        },
+        payload=payload,
+        units={"overhead_fraction": "fraction"},
     )
 
     report(

@@ -22,10 +22,11 @@ Written to ``results/BENCH_soak.json``.
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
+import time
 
+from repro.perf import emit_bench
 from repro.service import SoakConfig, run_soak
 
 N, K = 20, 3
@@ -46,7 +47,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_f16_soak(benchmark, report, tmp_path):
-    soak = run_soak(CONFIG)
+    walls = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        soak = run_soak(CONFIG)
+        walls.append(time.perf_counter() - t0)
     payload = soak.payload
 
     # the service degraded gracefully — once per forced burst — and
@@ -67,6 +72,20 @@ def test_f16_soak(benchmark, report, tmp_path):
     assert 0 < latency["p50"] <= latency["p99"] <= latency["p999"]
     assert payload["amplification"]["mean"] > 1.0
 
+    # burn-rate alerts: each forced burst beyond k-1 opens an alert
+    # whose open/close brackets its degradation window
+    alerts = payload["alerts"]["events"]
+    assert len(alerts) >= len(BURSTS)
+    for window in windows:
+        covering = [
+            a
+            for a in alerts
+            if a["opened"] <= window["start"]
+            and a["closed"] is not None
+            and a["closed"] >= window["end"]
+        ]
+        assert covering, (window, alerts)
+
     # kill-resume probe: journal the soak, truncate to a third, resume,
     # and require the byte-identical report
     journal = tmp_path / "f16.jsonl"
@@ -78,7 +97,6 @@ def test_f16_soak(benchmark, report, tmp_path):
     assert resume_ok
 
     out = {
-        "experiment": "f16_soak",
         "topology": {"n": N, "k": K},
         "config": payload["config"],
         "cpu_count": os.cpu_count(),
@@ -89,12 +107,21 @@ def test_f16_soak(benchmark, report, tmp_path):
         "churn": payload["churn"],
         "repair": payload["repair"],
         "degradation": payload["degradation"],
+        "alerts": payload["alerts"],
         "verify": payload["verify"],
         "checkpoint_resume_identical": resume_ok,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_soak.json").write_text(
-        json.dumps(out, indent=2, sort_keys=True) + "\n"
+    emit_bench(
+        RESULTS_DIR / "BENCH_soak.json",
+        "f16_soak",
+        {
+            "soak_wall_seconds": walls,
+            "latency_p99_hops": [latency["p99"]],
+            "amplification_mean": [payload["amplification"]["mean"]],
+        },
+        payload=out,
+        units={"latency_p99_hops": "hops", "amplification_mean": "ratio"},
     )
 
     lines = [

@@ -28,10 +28,11 @@ scorecard lands in ``results/BENCH_scale_chaos.json``.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 import time
+
+from repro.perf import emit_bench
 
 from repro.core.properties import logarithmic_diameter_bound
 from repro.flooding.rounds import round_flood
@@ -119,7 +120,6 @@ def test_f17_scale_chaos(benchmark, report):
     benchmark(lambda: targeted_cut_attacks(oracle))
 
     payload = {
-        "experiment": "f17_scale_chaos",
         "topology": {"n": N, "k": K, "rule": oracle.rule},
         "edges": oracle.number_of_edges(),
         "attack_budget": K - 1,
@@ -130,14 +130,23 @@ def test_f17_scale_chaos(benchmark, report):
         "rss_ceiling_bytes": RSS_CEILING_BYTES,
         "derive_seconds": round(derive_seconds, 4),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_scale_chaos.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
-
     worst_rounds = max(row["rounds"] for row in rows)
     total_flood = sum(row["flood_seconds"] for row in rows)
     total_cert = sum(row["recertify_seconds"] for row in rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    emit_bench(
+        RESULTS_DIR / "BENCH_scale_chaos.json",
+        "f17_scale_chaos",
+        {
+            "derive_seconds": [derive_seconds],
+            "flood_seconds_total": [total_flood],
+            "recertify_seconds_total": [total_cert],
+            "survivor_coverage": [1.0],
+        },
+        payload=payload,
+        units={"survivor_coverage": "fraction"},
+        directions={"survivor_coverage": "higher"},
+    )
     lines = [
         f"F17: million-node chaos — JD LHG(n={N}, k={K}), "
         f"{len(plans)} targeted k−1 attacks",

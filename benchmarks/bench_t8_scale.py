@@ -25,12 +25,12 @@ stays under 1 GB.  The scorecard lands in
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 import time
 
 from repro.core.properties import logarithmic_diameter_bound
+from repro.perf import emit_bench
 from repro.flooding.rounds import round_flood
 from repro.graphs.csr import CSRGraph
 from repro.graphs.implicit import ImplicitJDOracle
@@ -81,7 +81,6 @@ def test_t8_scale(benchmark, report):
     benchmark(lambda: oracle.neighbors(N // 2))
 
     payload = {
-        "experiment": "t8_scale",
         "topology": {"n": N, "k": K, "rule": oracle.rule},
         "edges": oracle.number_of_edges(),
         "height": oracle.height(),
@@ -107,8 +106,16 @@ def test_t8_scale(benchmark, report):
         },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_scale.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    emit_bench(
+        RESULTS_DIR / "BENCH_scale.json",
+        "t8_scale",
+        {
+            "build_seconds": [build_seconds],
+            "certify_seconds": [certify_seconds],
+            "csr_compile_seconds": [compile_seconds],
+            "flood_seconds": [flood_seconds],
+        },
+        payload=payload,
     )
 
     lines = [

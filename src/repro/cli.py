@@ -27,14 +27,26 @@ Subcommands:
   million-node smoke test;
 * ``trace``    — summarise or convert a ``--telemetry`` JSONL log
   (``trace summary run.jsonl``, ``trace chrome run.jsonl -o t.json``);
+* ``prof``     — run the flooding simulator under the span-attributed
+  sampling profiler (``prof 1024 4 --hz 100 -o flood.collapsed``); the
+  collapsed-stack output loads directly in speedscope/flamegraph.pl;
+  exit 1 when no samples landed (run too short for the rate);
+* ``perf``     — benchmark regression ledger: ``perf record`` adopts
+  the BENCH_*.json results as the committed baseline, ``perf diff``
+  compares fresh results against it, ``perf check`` exits 1 when any
+  metric regressed beyond its noise-aware tolerance band (the CI
+  perf-gate);
 * ``lint``     — static determinism & fork-safety analysis
   (``lint src/repro --baseline lint-baseline.json``); exit code 0 when
   clean, 1 on findings, 2 on usage/internal errors.
 
 ``build``, ``flood``, ``chaos``, ``soak`` and ``diameter`` accept ``--telemetry
-PATH`` (write the run's JSONL event log to PATH on exit) and
-``--log-json`` (stream events to stderr as they happen).  Telemetry is
-passive: enabling it changes no computed result, only what is recorded.
+PATH`` (stream the run's JSONL event log to PATH as events happen,
+holding at most a bounded buffer in memory) and ``--log-json`` (stream
+events to stderr).  Telemetry is passive: enabling it changes no
+computed result, only what is recorded.  ``soak`` additionally accepts
+``--metrics PATH`` / ``--openmetrics PATH`` to export live metrics
+snapshots on a tick cadence while the service runs.
 
 Every command is a thin veneer over the library API, so anything shown
 here can be scripted directly in Python.
@@ -58,15 +70,22 @@ from repro.graphs.io import to_json
 from repro.graphs.traversal import diameter
 
 
+#: Events the telemetry collector may hold in memory while streaming.
+#: Everything already on disk beyond this cap is evicted from the
+#: buffer, so an arbitrarily long soak runs in bounded memory.
+_TELEMETRY_BUFFER_CAP = 4096
+
+
 @contextlib.contextmanager
 def _telemetry(args: argparse.Namespace):
     """Install a telemetry collector for one CLI invocation when asked.
 
-    ``--telemetry PATH`` batches the JSONL event log to PATH on exit;
-    ``--log-json`` streams each event to stderr as it is recorded.  A
-    ``cli:<command>`` root span wraps the whole command, and the final
-    metrics registry is appended as one ``metrics-snapshot`` event so
-    the log is self-contained.
+    ``--telemetry PATH`` streams the JSONL event log to PATH as events
+    are recorded (bounded in-memory buffer — see
+    :data:`_TELEMETRY_BUFFER_CAP`); ``--log-json`` streams each event
+    to stderr.  A ``cli:<command>`` root span wraps the whole command,
+    and the final metrics registry is appended as one
+    ``metrics-snapshot`` event so the log is self-contained.
     """
     from repro import obs
 
@@ -75,8 +94,21 @@ def _telemetry(args: argparse.Namespace):
     if path is None and not stream:
         yield
         return
+    # Open eagerly: an unwritable path fails before any work is done.
+    handle = open(path, "w", encoding="utf-8") if path is not None else None
+    sinks = []
+    if stream:
+        sinks.append(obs.JsonlSink(sys.stderr))
+    if handle is not None:
+        sinks.append(obs.JsonlSink(handle))
+    if len(sinks) == 1:
+        sink = sinks[0]
+    else:
+        def sink(event):
+            for each in sinks:
+                each(event)
     collector = obs.install(
-        obs.Collector(sink=obs.JsonlSink(sys.stderr) if stream else None)
+        obs.Collector(sink=sink, max_buffered=_TELEMETRY_BUFFER_CAP)
     )
     try:
         with obs.span(f"cli:{args.command}"):
@@ -88,10 +120,11 @@ def _telemetry(args: argparse.Namespace):
             attrs=collector.metrics.snapshot(),
         )
         obs.uninstall()
-        if path is not None:
-            count = obs.write_jsonl(collector.events, path)
+        if handle is not None:
+            handle.close()
             print(
-                f"telemetry: {count} event(s) written to {path}",
+                f"telemetry: {collector.events_recorded} event(s) "
+                f"written to {path}",
                 file=sys.stderr,
             )
 
@@ -283,7 +316,31 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_wall=args.max_wall,
     )
-    report = run_soak(config, checkpoint=args.checkpoint, resume=args.resume)
+    metrics_stream = None
+    if args.openmetrics and not args.metrics:
+        raise ValueError("--openmetrics requires --metrics PATH")
+    if args.metrics:
+        from repro.obs import MetricsStream
+
+        metrics_stream = MetricsStream(
+            args.metrics, openmetrics_path=args.openmetrics
+        )
+    try:
+        report = run_soak(
+            config,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            metrics=metrics_stream,
+            metrics_every=args.metrics_every,
+        )
+    finally:
+        if metrics_stream is not None:
+            metrics_stream.close()
+            print(
+                f"metrics: {metrics_stream.exports} snapshot(s) streamed "
+                f"to {args.metrics}",
+                file=sys.stderr,
+            )
     if args.json:
         print(report.to_json())
     else:
@@ -292,6 +349,82 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     for problem in problems:
         print(f"SLO violation: {problem}", file=sys.stderr)
     return 1 if problems else 0
+
+
+def _cmd_prof(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs.prof import SamplingProfiler
+
+    graph, _ = build_lhg(args.n, args.k, rule=args.rule)
+    source = graph.nodes()[0]
+    # Spans need a collector; borrow the telemetry one when installed.
+    own = obs.active() is None
+    if own:
+        obs.install(obs.Collector())
+    profiler = SamplingProfiler(
+        hz=args.hz, backend=args.backend, timer=args.timer
+    )
+    try:
+        with profiler:
+            for _ in range(args.repeat):
+                with obs.span("flood", n=args.n, k=args.k):
+                    run_flood(graph, source)
+    finally:
+        if own:
+            obs.uninstall()
+    profile = profiler.profile
+    print(profile.render(limit=args.top))
+    if args.output is not None:
+        lines = profile.write_collapsed(args.output)
+        print(f"profile: {lines} collapsed stack(s) written to {args.output}")
+    if profile.sample_count == 0:
+        print(
+            "error: no samples landed — run longer (--repeat) or raise --hz",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        DEFAULT_ABS_FLOOR,
+        DEFAULT_REL_FLOOR,
+        DEFAULT_SIGMAS,
+        build_ledger,
+        collect_results,
+        diff_results,
+        has_regression,
+        load_ledger,
+        render_deltas,
+        write_ledger,
+    )
+
+    if args.action == "record":
+        ledger = build_ledger(collect_results(args.results))
+        write_ledger(args.ledger, ledger)
+        metric_count = sum(len(m) for m in ledger["entries"].values())
+        print(
+            f"perf: recorded {len(ledger['entries'])} experiment(s), "
+            f"{metric_count} metric(s) to {args.ledger}"
+        )
+        return 0
+    deltas = diff_results(
+        collect_results(args.results),
+        load_ledger(args.ledger),
+        rel_floor=(
+            DEFAULT_REL_FLOOR if args.rel_floor is None else args.rel_floor
+        ),
+        abs_floor=(
+            DEFAULT_ABS_FLOOR if args.abs_floor is None else args.abs_floor
+        ),
+        sigmas=DEFAULT_SIGMAS if args.sigmas is None else args.sigmas,
+    )
+    print(render_deltas(deltas))
+    if args.action == "check" and has_regression(deltas):
+        print("perf: REGRESSION beyond tolerance band", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
@@ -709,6 +842,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay ticks already recorded in the --checkpoint journal",
     )
+    p_soak.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="stream live metrics snapshots (SLO histograms, burn "
+        "rates, alert gauges) to this JSONL file while the soak runs",
+    )
+    p_soak.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="also keep an OpenMetrics text rendering of the latest "
+        "snapshot at PATH, atomically rewritten each export "
+        "(requires --metrics)",
+    )
+    p_soak.add_argument(
+        "--metrics-every",
+        type=int,
+        default=10,
+        metavar="TICKS",
+        help="export cadence in ticks for --metrics (default: 10)",
+    )
     add_telemetry(p_soak)
     p_soak.set_defaults(func=_cmd_soak)
 
@@ -771,6 +926,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scale.add_argument("--json", action="store_true", help="emit a JSON report")
     p_scale.set_defaults(func=_cmd_scale)
+
+    p_prof = sub.add_parser(
+        "prof",
+        help="profile the flooding simulator (span-attributed sampling)",
+        description=(
+            "Run repeated floods on the (n, k) LHG under the sampling "
+            "profiler and print the hot frames with per-span "
+            "attribution. The collapsed-stack output (-o) loads in "
+            "speedscope or flamegraph.pl. Exit codes: 0 samples "
+            "collected, 1 none landed, 2 usage errors."
+        ),
+    )
+    add_pair(p_prof)
+    p_prof.add_argument(
+        "--hz",
+        type=float,
+        default=100.0,
+        help="target sampling rate in samples/second (default: 100)",
+    )
+    p_prof.add_argument(
+        "--timer",
+        choices=["wall", "cpu"],
+        default="wall",
+        help="sample on wall or CPU time (signal backend only; "
+        "default: wall)",
+    )
+    p_prof.add_argument(
+        "--backend",
+        choices=["auto", "signal", "setprofile"],
+        default="auto",
+        help="sampling backend (default: auto — signal where available)",
+    )
+    p_prof.add_argument(
+        "--repeat",
+        type=int,
+        default=20,
+        metavar="N",
+        help="floods to run under the profiler (default: 20)",
+    )
+    p_prof.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot functions to print (default: 10)",
+    )
+    p_prof.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write collapsed stacks to PATH (speedscope/flamegraph.pl)",
+    )
+    p_prof.set_defaults(func=_cmd_prof)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="benchmark ledger: record / diff / check regressions",
+        description=(
+            "Compare BENCH_*.json results (shared repro.perf schema) "
+            "against the committed baseline ledger. 'record' adopts the "
+            "current results as the baseline; 'diff' renders the "
+            "comparison; 'check' exits 1 when any metric regressed "
+            "beyond its noise-aware tolerance band. Wall-clock metrics "
+            "gate only when the host fingerprint matches the ledger's."
+        ),
+    )
+    p_perf.add_argument(
+        "action",
+        choices=["record", "diff", "check"],
+        help="record: write the baseline; diff: compare; check: gate",
+    )
+    p_perf.add_argument(
+        "--results",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="directory of BENCH_*.json files (default: benchmarks/results)",
+    )
+    p_perf.add_argument(
+        "--ledger",
+        default="benchmarks/perf-baseline.json",
+        metavar="PATH",
+        help="baseline ledger path (default: benchmarks/perf-baseline.json)",
+    )
+    p_perf.add_argument(
+        "--rel-floor",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="minimum relative band for wall-clock metrics "
+        "(default: 0.35)",
+    )
+    p_perf.add_argument(
+        "--abs-floor",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="minimum absolute band for unitless metrics (default: 0.05)",
+    )
+    p_perf.add_argument(
+        "--sigmas",
+        type=float,
+        default=None,
+        metavar="N",
+        help="band width in combined measured dispersions (default: 3)",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_trace = sub.add_parser(
         "trace", help="inspect or convert a --telemetry JSONL log"

@@ -6,7 +6,8 @@ Layout::
       spans.py    Collector, span()/traced(), capture/adopt protocol
       metrics.py  MetricsRegistry: counters, gauges, histograms
       log.py      JSONL sinks, file round-trip, event-schema validation
-      export.py   chrome_trace(), span trees, log summaries
+      export.py   chrome_trace(), span trees, OpenMetrics, MetricsStream
+      prof.py     span-attributed statistical sampling profiler
 
 Everything is inert until a :class:`Collector` is installed: with the
 global slot empty, :func:`span` hands back a shared no-op singleton and
@@ -27,9 +28,11 @@ Typical use::
 """
 
 from repro.obs.export import (
+    MetricsStream,
     build_span_tree,
     chrome_trace,
     format_span_tree,
+    render_openmetrics,
     summarize_events,
     write_chrome_trace,
 )
@@ -50,6 +53,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metrics_delta,
 )
+from repro.obs.prof import Profile, SamplingProfiler, profile_call
 from repro.obs.spans import (
     Collector,
     Span,
@@ -76,6 +80,9 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "MetricsStream",
+    "Profile",
+    "SamplingProfiler",
     "Span",
     "active",
     "adopt",
@@ -92,8 +99,10 @@ __all__ = [
     "iter_spans",
     "metrics_delta",
     "observe",
+    "profile_call",
     "read_jsonl",
     "record_network",
+    "render_openmetrics",
     "span",
     "summarize_events",
     "traced",

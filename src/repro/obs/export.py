@@ -1,4 +1,4 @@
-"""Exporters: Chrome trace JSON, span-tree rendering, log summaries.
+"""Exporters: Chrome trace JSON, span trees, OpenMetrics, live streams.
 
 :func:`chrome_trace` converts a telemetry event stream into the Chrome
 ``trace_event`` JSON format, so a whole chaos campaign renders as a
@@ -12,12 +12,23 @@ into the nested timing structure attached to
 ``repro trace summary`` CLI subcommand; same-name siblings aggregate
 into one line (count / total / max) so a 28-cell campaign summarises in
 a dozen lines instead of hundreds.
+
+:func:`render_openmetrics` renders one
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot as the
+OpenMetrics/Prometheus text exposition format, and
+:class:`MetricsStream` periodically appends snapshots to a JSONL
+time-series file (optionally rewriting a live OpenMetrics textfile a
+node-exporter-style scraper can collect) — the *streaming* half of the
+observability stack: a long soak emits its SLO series as it runs, with
+nothing accumulating in memory.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional
+import os
+import re
+from typing import Any, Dict, IO, Iterable, List, Optional
 
 from repro.obs.log import iter_spans
 
@@ -246,3 +257,120 @@ def _final_metrics(
             registry.merge(event.get("attrs", {}))
             seen = True
     return registry.snapshot() if seen else None
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics / Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a registry metric name for the exposition format."""
+    cleaned = _METRIC_NAME_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _metric_value(value: Any) -> str:
+    """A number in exposition format (integers without a trailing .0)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """One metrics snapshot as OpenMetrics text (ends with ``# EOF``).
+
+    Counters render as ``<name>_total``, gauges as plain samples, and
+    histograms as cumulative ``_bucket{le="..."}`` series (including
+    the explicit ``+Inf`` overflow bucket) plus ``_sum`` and
+    ``_count`` — the shapes Prometheus' histogram_quantile expects.
+    Output order is sorted, so the rendering is deterministic.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(f"{prefix}_{name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}_total {_metric_value(snapshot['counters'][name])}"
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _metric_name(f"{prefix}_{name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_metric_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][name]
+        metric = _metric_name(f"{prefix}_{name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["buckets"], payload["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_metric_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {payload["count"]}')
+        lines.append(f"{metric}_sum {_metric_value(payload['sum'])}")
+        lines.append(f"{metric}_count {payload['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsStream:
+    """Streaming metrics exporter: JSONL time series + live textfile.
+
+    Each :meth:`export` call appends one ``{"metrics": snapshot, ...}``
+    JSON line to ``path`` (flushed immediately, so the series is live
+    and crash-safe) and — when ``openmetrics_path`` is set —
+    atomically rewrites that file with the current
+    :func:`render_openmetrics` exposition, the way node-exporter
+    textfile collectors are fed.  The stream keeps **no** per-export
+    state: memory stays constant however long the run is.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        openmetrics_path: Optional[str] = None,
+        prefix: str = "repro",
+    ) -> None:
+        self.path = path
+        self.openmetrics_path = openmetrics_path
+        self.prefix = prefix
+        self.exports = 0
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def export(self, snapshot: Dict[str, Any], **stamp: Any) -> None:
+        """Append one snapshot, stamped with e.g. ``tick=``/``state=``."""
+        if self._handle is None:
+            raise ValueError(f"metrics stream {self.path} already closed")
+        record = dict(stamp)
+        record["metrics"] = snapshot
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        self.exports += 1
+        if self.openmetrics_path is not None:
+            rendered = render_openmetrics(snapshot, prefix=self.prefix)
+            tmp_path = self.openmetrics_path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            os.replace(tmp_path, self.openmetrics_path)
+
+    def close(self) -> None:
+        """Close the JSONL handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MetricsStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -20,6 +20,7 @@ an order-independent, reproducible total.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -45,8 +46,12 @@ class Histogram:
     """A fixed-bucket histogram: counts per bucket plus count/sum/min/max.
 
     ``buckets`` are the inclusive upper bounds of each bucket; values
-    above the last bound land in an implicit overflow bucket, so
-    ``len(counts) == len(buckets) + 1``.
+    above the last bound land in the explicit **+Inf overflow bucket**
+    — the last slot of ``counts``, so ``len(counts) == len(buckets) +
+    1``.  :meth:`bounds` exposes the full bound list *including* the
+    trailing ``inf``, and :meth:`quantile` accounts for overflow
+    samples by reporting the recorded maximum instead of silently
+    capping at the top finite bound.
     """
 
     __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
@@ -74,6 +79,44 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def bounds(self) -> Tuple[float, ...]:
+        """Every bucket upper bound, ending with the explicit ``+Inf``."""
+        return self.buckets + (math.inf,)
+
+    @property
+    def overflow(self) -> int:
+        """Samples in the +Inf bucket (above the last finite bound)."""
+        return self.counts[-1]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * count`` — conservative (never understated)
+        with fixed buckets.  When the quantile lands in the +Inf
+        overflow bucket the recorded maximum is reported, so values
+        above the top finite bound cannot silently deflate tail
+        percentiles.  An empty histogram reports ``0.0``.
+
+        Raises
+        ------
+        ValueError
+            If ``q`` is outside ``(0, 1]``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        need = q * self.count
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            if cumulative >= need:
+                return float(bound)
+        # the quantile is in the overflow bucket: the tightest honest
+        # answer the histogram has is the recorded maximum
+        return float(self.maximum if self.maximum is not None else 0.0)
 
     def snapshot(self) -> Dict[str, Any]:
         """The histogram as a plain JSON-safe dict."""

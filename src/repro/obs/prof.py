@@ -1,0 +1,389 @@
+"""Span-attributed statistical sampling profiler (zero-dependency).
+
+:class:`SamplingProfiler` answers the question the batch span tree
+cannot: *where inside a span does the time go?*  It periodically
+samples the Python call stack of the running process and attributes
+each sample to the innermost open :mod:`repro.obs` span (when a
+collector is installed), producing
+
+* **collapsed-stack output** — one ``frame;frame;frame count`` line per
+  distinct stack, the format ``flamegraph.pl`` and speedscope render
+  directly;
+* **per-span self/cumulative time** — how many sampled seconds landed
+  *in* each span versus *under* it, the evidence base for hot-path
+  rewrites (ROADMAP item 2).
+
+Two backends:
+
+* ``signal`` — :func:`signal.setitimer` fires ``SIGALRM`` (wall time)
+  or ``SIGPROF`` (CPU time) at the sampling frequency; the handler
+  walks the interrupted frame.  Main-thread only, POSIX only, but
+  near-zero overhead between samples: the profiled code runs unmodified
+  machine code and pays only for the actual samples.
+* ``setprofile`` — a :func:`sys.setprofile` hook that checks a clock
+  deadline on call/return events and samples when it passes.  Portable
+  fallback (no signals needed) with higher overhead, useful where
+  ``setitimer`` is unavailable or another component owns ``SIGALRM``.
+
+Sampling vs determinism
+-----------------------
+The profiler is **passive but nondeterministic**: it never writes to
+the collector, never feeds a result back into simulation code, and a
+run with the profiler off is byte-identical to one that never imported
+this module (pinned by ``tests/test_telemetry.py``).  Its *own* output
+(sample counts) is wall-clock-shaped by construction — that is the
+point of a profiler — which is why this module sits on the DET002
+wall-clock allowlist in :mod:`repro.lint.engine`: the clock *is* the
+instrument, and nothing downstream of science reads it.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from types import FrameType
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import spans as _spans
+
+#: Sample key: (open span names outermost-first, frame labels root-first).
+SampleKey = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+#: Backends in the order ``backend="auto"`` tries them.
+BACKENDS = ("signal", "setprofile")
+
+#: Timers for the signal backend: ``wall`` samples elapsed real time
+#: (``ITIMER_REAL``/``SIGALRM``), ``cpu`` samples on-CPU time
+#: (``ITIMER_PROF``/``SIGPROF``).
+TIMERS = ("wall", "cpu")
+
+#: Label used for samples taken outside any open span.
+NO_SPAN = "(no span)"
+
+
+def _frame_label(frame: FrameType) -> str:
+    """``module:function`` label for one frame."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+def _walk_stack(frame: Optional[FrameType], limit: int) -> Tuple[str, ...]:
+    """Frame labels from ``frame`` to the root, returned root-first."""
+    labels: List[str] = []
+    current = frame
+    while current is not None and len(labels) < limit:
+        labels.append(_frame_label(current))
+        current = current.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class Profile:
+    """Accumulated samples: ``(span path, stack) -> count`` plus timing.
+
+    ``duration`` (seconds the profiler ran) divided by the total sample
+    count converts counts into estimated seconds; with periodic
+    sampling every sample represents one sampling interval.
+    """
+
+    __slots__ = ("samples", "duration", "hz", "backend", "timer")
+
+    def __init__(self, hz: float, backend: str, timer: str) -> None:
+        self.samples: Dict[SampleKey, int] = {}
+        self.duration = 0.0
+        self.hz = hz
+        self.backend = backend
+        self.timer = timer
+
+    # -- recording ------------------------------------------------------
+
+    def add(
+        self, span_path: Tuple[str, ...], frames: Tuple[str, ...]
+    ) -> None:
+        """Record one sample (called from the sampling hook)."""
+        key = (span_path, frames)
+        self.samples[key] = self.samples.get(key, 0) + 1
+
+    # -- aggregate views ------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        """Total samples taken."""
+        return sum(self.samples.values())
+
+    @property
+    def seconds_per_sample(self) -> float:
+        """Estimated seconds each sample represents."""
+        count = self.sample_count
+        return self.duration / count if count else 0.0
+
+    def collapsed(self, include_spans: bool = True) -> List[str]:
+        """The profile as collapsed-stack lines (``a;b;c 42``).
+
+        With ``include_spans`` each line is prefixed by the open span
+        path as ``span:<name>`` pseudo-frames, so the flamegraph roots
+        at the obs span structure.  Lines are sorted for determinism.
+        """
+        lines: List[str] = []
+        for (span_path, frames), count in self.samples.items():
+            parts: List[str] = []
+            if include_spans:
+                parts.extend(f"span:{name}" for name in span_path)
+            parts.extend(frames)
+            if not parts:
+                parts = ["(unknown)"]
+            lines.append(f"{';'.join(parts)} {count}")
+        return sorted(lines)
+
+    def write_collapsed(self, path: str, include_spans: bool = True) -> int:
+        """Write :meth:`collapsed` lines to ``path``; return line count."""
+        lines = self.collapsed(include_spans=include_spans)
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def self_counts(self) -> Dict[str, int]:
+        """Samples per *leaf* frame — where the time was actually spent."""
+        totals: Dict[str, int] = {}
+        for (_, frames), count in self.samples.items():
+            leaf = frames[-1] if frames else "(unknown)"
+            totals[leaf] = totals.get(leaf, 0) + count
+        return totals
+
+    def top_functions(self, limit: int = 10) -> List[Tuple[str, int]]:
+        """The hottest frames by self samples, descending."""
+        ranked = sorted(
+            self.self_counts().items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:limit]
+
+    def span_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-span ``{"self": seconds, "cum": seconds}`` estimates.
+
+        A sample's *self* time goes to the innermost open span (or
+        :data:`NO_SPAN`); its *cumulative* time goes to every distinct
+        span on the open path.
+        """
+        unit = self.seconds_per_sample
+        table: Dict[str, Dict[str, float]] = {}
+
+        def cell(name: str) -> Dict[str, float]:
+            entry = table.get(name)
+            if entry is None:
+                entry = table[name] = {"self": 0.0, "cum": 0.0}
+            return entry
+
+        for (span_path, _), count in self.samples.items():
+            seconds = count * unit
+            innermost = span_path[-1] if span_path else NO_SPAN
+            cell(innermost)["self"] += seconds
+            for name in list(dict.fromkeys(span_path)) or [NO_SPAN]:
+                cell(name)["cum"] += seconds
+        return table
+
+    def render(self, limit: int = 10) -> str:
+        """Human-readable digest: header, span table, hottest frames."""
+        lines = [
+            f"profile: {self.sample_count} sample(s) over "
+            f"{self.duration:.3f}s ({self.backend} backend, "
+            f"{self.hz:g} Hz {self.timer} clock)"
+        ]
+        spans = self.span_times()
+        if spans:
+            lines.append("  span            self        cum")
+            ranked = sorted(
+                spans.items(), key=lambda item: (-item[1]["self"], item[0])
+            )
+            for name, cell in ranked[:limit]:
+                lines.append(
+                    f"  {name:<14} {cell['self']:>7.3f}s {cell['cum']:>9.3f}s"
+                )
+        top = self.top_functions(limit)
+        if top:
+            lines.append("  hottest frames (self samples):")
+            total = self.sample_count or 1
+            for label, count in top:
+                lines.append(
+                    f"    {count:>6} ({count / total:>6.1%})  {label}"
+                )
+        return "\n".join(lines)
+
+
+#: The one profiler allowed to own the process signal handler at a time.
+_ACTIVE: Optional["SamplingProfiler"] = None
+
+
+class SamplingProfiler:
+    """Periodic stack sampler; use as a context manager.
+
+    Parameters
+    ----------
+    hz:
+        Sampling frequency (samples per second).
+    backend:
+        ``"signal"``, ``"setprofile"``, or ``"auto"`` (signal where
+        available on the main thread, else setprofile).
+    timer:
+        ``"wall"`` or ``"cpu"`` — which clock drives the signal
+        backend; the setprofile backend always paces on the wall clock.
+    max_depth:
+        Frames kept per sample (innermost ``max_depth``).
+
+    Examples
+    --------
+    >>> profiler = SamplingProfiler(hz=100)
+    >>> with profiler:
+    ...     pass  # workload
+    >>> profiler.profile.sample_count >= 0
+    True
+    """
+
+    def __init__(
+        self,
+        hz: float = 100.0,
+        backend: str = "auto",
+        timer: str = "wall",
+        max_depth: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling frequency must be positive, got {hz}")
+        if backend not in BACKENDS + ("auto",):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected auto, "
+                + " or ".join(BACKENDS)
+            )
+        if timer not in TIMERS:
+            raise ValueError(
+                f"unknown timer {timer!r}; expected one of {TIMERS}"
+            )
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.hz = hz
+        self.interval = 1.0 / hz
+        self.requested_backend = backend
+        self.timer = timer
+        self.max_depth = max_depth
+        self._clock = clock
+        self.backend = self._resolve_backend(backend)
+        if self.backend == "setprofile" and timer == "cpu":
+            raise ValueError(
+                "the cpu timer needs the signal backend; the setprofile "
+                "backend paces on the wall clock"
+            )
+        self.profile = Profile(hz, self.backend, timer)
+        self._running = False
+        self._started_at = 0.0
+        self._old_handler: Any = None
+        self._old_profile: Any = None
+        self._next_deadline = 0.0
+        self._signum = 0
+        self._itimer = 0
+
+    @staticmethod
+    def _resolve_backend(requested: str) -> str:
+        if requested != "auto":
+            return requested
+        if (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            return "signal"
+        return "setprofile"
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Arm the sampler (idempotence guarded; one active per process)."""
+        global _ACTIVE
+        if self._running:
+            raise RuntimeError("profiler already running")
+        if _ACTIVE is not None:
+            raise RuntimeError(
+                "another SamplingProfiler is active in this process"
+            )
+        self.profile = Profile(self.hz, self.backend, self.timer)
+        if self.backend == "signal":
+            if not hasattr(signal, "setitimer"):
+                raise RuntimeError(
+                    "signal backend unavailable: no signal.setitimer on "
+                    "this platform (use backend='setprofile')"
+                )
+            if self.timer == "wall":
+                self._signum = signal.SIGALRM
+                self._itimer = signal.ITIMER_REAL
+            else:
+                self._signum = signal.SIGPROF
+                self._itimer = signal.ITIMER_PROF
+            self._old_handler = signal.signal(self._signum, self._on_signal)
+            signal.setitimer(self._itimer, self.interval, self.interval)
+        else:
+            self._next_deadline = self._clock() + self.interval
+            self._old_profile = sys.getprofile()
+            sys.setprofile(self._on_profile_event)
+        _ACTIVE = self
+        self._running = True
+        self._started_at = self._clock()
+        return self
+
+    def stop(self) -> Profile:
+        """Disarm the sampler and finalise the profile."""
+        global _ACTIVE
+        if not self._running:
+            return self.profile
+        if self.backend == "signal":
+            signal.setitimer(self._itimer, 0.0, 0.0)
+            signal.signal(self._signum, self._old_handler)
+            self._old_handler = None
+        else:
+            sys.setprofile(self._old_profile)
+            self._old_profile = None
+        self.profile.duration += self._clock() - self._started_at
+        self._running = False
+        if _ACTIVE is self:
+            _ACTIVE = None
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- sampling hooks -------------------------------------------------
+
+    def _sample(self, frame: Optional[FrameType]) -> None:
+        collector = _spans.active()
+        span_path = collector.span_stack() if collector is not None else ()
+        self.profile.add(span_path, _walk_stack(frame, self.max_depth))
+
+    def _on_signal(self, signum: int, frame: Optional[FrameType]) -> None:
+        self._sample(frame)
+
+    def _on_profile_event(
+        self, frame: FrameType, event: str, arg: Any
+    ) -> None:
+        # Deadline sampling: the hook fires on every call/return, but a
+        # sample is only taken when the next sampling instant passed.
+        now = self._clock()
+        if now >= self._next_deadline:
+            self._sample(frame)
+            self._next_deadline = now + self.interval
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    hz: float = 100.0,
+    backend: str = "auto",
+    timer: str = "wall",
+    **kwargs: Any,
+) -> Tuple[Any, Profile]:
+    """Run ``fn(*args, **kwargs)`` under a profiler; return (result, profile)."""
+    profiler = SamplingProfiler(hz=hz, backend=backend, timer=timer)
+    with profiler:
+        result = fn(*args, **kwargs)
+    return result, profiler.profile

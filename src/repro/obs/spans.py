@@ -66,23 +66,51 @@ class Collector:
         recorded (e.g. a :class:`~repro.obs.log.JsonlSink` streaming to
         stderr).  Only the process that created the collector streams;
         forked children buffer and ship their events back instead.
+        Streaming pauses while a worker-side capture is open — captured
+        events are removed and re-recorded on :func:`adopt`, so sinking
+        them eagerly would double-write them.
     clock:
         Monotonic time source; injectable for tests.
+    max_buffered:
+        Optional cap on the in-memory event buffer.  Requires a
+        ``sink``: once an event has been streamed it may be evicted
+        from ``events``, keeping a multi-hour run's memory bounded.
+        Events inside an open capture window are never evicted (they
+        have not been streamed yet).  ``seq`` numbers stay dense and
+        absolute across evictions, so the sunk JSONL stream still
+        validates.  ``None`` (the default) buffers everything, which is
+        the historical behaviour batch exporters rely on.
     """
 
     def __init__(
         self,
         sink: Optional[Callable[[Dict[str, Any]], None]] = None,
         clock: Callable[[], float] = time.perf_counter,
+        max_buffered: Optional[int] = None,
     ) -> None:
+        if max_buffered is not None:
+            if sink is None:
+                raise ValueError(
+                    "max_buffered requires a sink: evicting unstreamed "
+                    "events would lose them"
+                )
+            if max_buffered < 1:
+                raise ValueError(
+                    f"max_buffered must be >= 1, got {max_buffered}"
+                )
         self._clock = clock
         self.epoch = clock()
         self.sink = sink
+        self.max_buffered = max_buffered
         self.events: List[Dict[str, Any]] = []
         self.metrics = MetricsRegistry()
         self._stack: List[int] = []
+        self._span_names: Dict[int, str] = {}
         self._next_id = 1
         self._owner_pid = os.getpid()
+        self._seq = 0
+        self._evicted = 0
+        self._capture_marks: List[int] = []
 
     # -- time -----------------------------------------------------------
 
@@ -93,14 +121,41 @@ class Collector:
     # -- recording ------------------------------------------------------
 
     def _record(self, event: Dict[str, Any]) -> None:
-        event["seq"] = len(self.events)
+        event["seq"] = self._seq
+        self._seq += 1
         self.events.append(event)
-        if self.sink is not None and os.getpid() == self._owner_pid:
+        if (
+            self.sink is not None
+            and os.getpid() == self._owner_pid
+            and not self._capture_marks
+        ):
             self.sink(event)
+            if (
+                self.max_buffered is not None
+                and len(self.events) > self.max_buffered
+            ):
+                excess = len(self.events) - self.max_buffered
+                del self.events[:excess]
+                self._evicted += excess
+
+    @property
+    def events_recorded(self) -> int:
+        """Total events recorded, including any evicted from the buffer."""
+        return self._seq
 
     def current_span(self) -> Optional[int]:
         """Id of the innermost open span, or ``None`` at top level."""
         return self._stack[-1] if self._stack else None
+
+    def span_stack(self) -> Tuple[str, ...]:
+        """Names of the currently open spans, outermost first.
+
+        Read by the sampling profiler (:mod:`repro.obs.prof`) from its
+        signal handler to attribute samples; a cheap tuple snapshot so
+        the handler never observes a half-mutated list.
+        """
+        names = self._span_names
+        return tuple(names.get(i, "?") for i in tuple(self._stack))
 
     def emit(
         self,
@@ -133,6 +188,7 @@ class Collector:
         """Open a span nested under the current one; return its id."""
         span_id = self._next_id
         self._next_id += 1
+        self._span_names[span_id] = name
         self._record(
             {
                 "t": self.now() if t is None else t,
@@ -159,8 +215,9 @@ class Collector:
         """Close a span (innermost-first; stray ids are tolerated)."""
         if span_id in self._stack:
             while self._stack and self._stack[-1] != span_id:
-                self._stack.pop()
+                self._span_names.pop(self._stack.pop(), None)
             self._stack.pop()
+        self._span_names.pop(span_id, None)
         self._record(
             {
                 "t": self.now() if t is None else t,
@@ -339,17 +396,26 @@ def record_network(network: Any) -> None:
 # Worker-side capture: extract-ship-adopt
 # ----------------------------------------------------------------------
 
-#: Capture token: (event mark, metrics snapshot, start time, next span id).
+#: Capture token: (absolute seq mark, metrics snapshot, start time,
+#: next span id).
 CaptureToken = Tuple[int, Dict[str, Any], float, int]
 
 
 def capture_start() -> Optional[CaptureToken]:
-    """Begin capturing one item's telemetry; ``None`` when off."""
+    """Begin capturing one item's telemetry; ``None`` when off.
+
+    While any capture is open the collector's sink pauses and eviction
+    stops: captured events will be removed by :func:`capture_finish`
+    and re-recorded (remapped) by :func:`adopt`, which is when they
+    stream.
+    """
     collector = _COLLECTOR
     if collector is None:
         return None
+    mark = collector._seq
+    collector._capture_marks.append(mark)
     return (
-        len(collector.events),
+        mark,
         collector.metrics.snapshot(),
         collector.now(),
         collector._next_id,
@@ -360,17 +426,22 @@ def capture_finish(token: Optional[CaptureToken]) -> Optional[Dict[str, Any]]:
     """End a capture; return the pipe-shippable payload (or ``None``).
 
     Events recorded since :func:`capture_start` are *removed* from the
-    collector, and the metric registry and span-id counter are rolled
-    back to their pre-capture state — so a serially executed item leaves
-    the collector exactly as a forked one does, and :func:`adopt`
-    produces the identical merged stream either way.
+    collector (and the seq counter rolled back), and the metric
+    registry and span-id counter are rolled back to their pre-capture
+    state — so a serially executed item leaves the collector exactly as
+    a forked one does, and :func:`adopt` produces the identical merged
+    stream either way.
     """
     collector = _COLLECTOR
     if collector is None or token is None:
         return None
     mark, before, started, next_id = token
-    events = collector.events[mark:]
-    del collector.events[mark:]
+    index = mark - collector._evicted
+    events = collector.events[index:]
+    del collector.events[index:]
+    collector._seq = mark
+    if mark in collector._capture_marks:
+        collector._capture_marks.remove(mark)
     after = collector.metrics.snapshot()
     delta = metrics_delta(before, after)
     collector.metrics.restore(before)

@@ -1,0 +1,64 @@
+"""Benchmark provenance and regression gating for the repro suite.
+
+Layout:
+    schema.py   Shared BENCH_*.json result envelope: versioned schema,
+                host fingerprint, repeats + dispersion per metric.
+    ledger.py   The committed baseline ledger and the record/diff/check
+                verbs behind ``repro perf`` — noise-aware tolerance
+                bands, host-aware gating of wall-clock metrics.
+
+The package exists so performance claims ("profiler overhead ≤ 5%",
+"flood latency did not regress") are *checked*, not eyeballed: every
+benchmark emits the same envelope, the ledger remembers the baseline,
+and CI fails when a gated metric drifts beyond its measured noise.
+"""
+
+from repro.perf.ledger import (
+    DEFAULT_ABS_FLOOR,
+    DEFAULT_REL_FLOOR,
+    DEFAULT_SIGMAS,
+    LEDGER_SCHEMA_VERSION,
+    MetricDelta,
+    build_ledger,
+    collect_results,
+    diff_results,
+    has_regression,
+    load_ledger,
+    render_deltas,
+    write_ledger,
+)
+from repro.perf.schema import (
+    DIRECTIONS,
+    PERF_SCHEMA_VERSION,
+    bench_envelope,
+    dispersion,
+    emit_bench,
+    host_fingerprint,
+    load_bench,
+    metric_summary,
+    validate_bench,
+)
+
+__all__ = [
+    "DEFAULT_ABS_FLOOR",
+    "DEFAULT_REL_FLOOR",
+    "DEFAULT_SIGMAS",
+    "DIRECTIONS",
+    "LEDGER_SCHEMA_VERSION",
+    "MetricDelta",
+    "PERF_SCHEMA_VERSION",
+    "bench_envelope",
+    "build_ledger",
+    "collect_results",
+    "diff_results",
+    "dispersion",
+    "emit_bench",
+    "has_regression",
+    "host_fingerprint",
+    "load_bench",
+    "load_ledger",
+    "metric_summary",
+    "render_deltas",
+    "validate_bench",
+    "write_ledger",
+]

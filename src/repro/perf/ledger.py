@@ -1,0 +1,321 @@
+"""The benchmark ledger: record / diff / check with tolerance bands.
+
+The ledger (``benchmarks/perf-baseline.json``) is the committed record
+of what every benchmark metric measured on the baseline host.  The
+``repro perf`` CLI drives three verbs over it:
+
+* **record** — collect every ``BENCH_*.json`` in a results directory
+  and write their gated values (plus dispersion) as the new baseline;
+* **diff** — compare fresh results against the ledger and render the
+  per-metric table;
+* **check** — same comparison, exit 1 when any metric regressed beyond
+  its tolerance band (the CI ``perf-gate`` job).
+
+Noise-aware tolerance
+---------------------
+A naive ``now > base`` gate flakes on every noisy run, so each
+comparison gets a band sized to the *measured* dispersion of both
+sides: ``sigmas × (spread_base + spread_now)``, floored so a quiet
+benchmark still gets slack for scheduler jitter.
+
+Wall-clock metrics (unit ``"s"``) compare **relatively** (ratio bands)
+and are gated only when the result's host fingerprint matches the
+ledger's — absolute seconds measured on different machines say nothing
+about regressions, so cross-host wall comparisons are reported as
+informational.  Unitless metrics (overhead fractions, amplification
+ratios) compare **absolutely** and gate everywhere: a profiler
+overhead fraction is machine-comparable by construction, which is what
+lets the CI gate enforce the ≤5% overhead budget on its own hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.perf.schema import (
+    PERF_SCHEMA_VERSION,
+    host_fingerprint,
+    load_bench,
+)
+
+#: Version of the ledger file; bump on incompatible shape changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Default relative tolerance floor for wall-clock (ratio) comparisons.
+DEFAULT_REL_FLOOR = 0.35
+
+#: Default absolute tolerance floor for unitless comparisons.
+DEFAULT_ABS_FLOOR = 0.05
+
+#: Default width multiplier on the combined measured dispersion.
+DEFAULT_SIGMAS = 3.0
+
+#: Comparison outcomes, roughly worst-first.
+STATUSES = ("regression", "improved", "ok", "cross-host", "new", "missing")
+
+
+def collect_results(
+    results_dir: Union[str, "os.PathLike[str]"],
+) -> Dict[str, Dict[str, Any]]:
+    """Load every ``BENCH_*.json`` under ``results_dir`` by experiment."""
+    directory = os.fspath(results_dir)
+    if not os.path.isdir(directory):
+        raise ReproError(f"results directory {directory!r} does not exist")
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        doc = load_bench(os.path.join(directory, name))
+        experiment = doc["experiment"]
+        if experiment in results:
+            raise ReproError(
+                f"duplicate results for experiment {experiment!r} "
+                f"in {directory}"
+            )
+        results[experiment] = doc
+    if not results:
+        raise ReproError(f"no BENCH_*.json results found in {directory!r}")
+    return results
+
+
+def build_ledger(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """The baseline ledger for a set of results (current host stamps it)."""
+    entries: Dict[str, Dict[str, Any]] = {}
+    for experiment in sorted(results):
+        doc = results[experiment]
+        entries[experiment] = {
+            name: {
+                "unit": entry["unit"],
+                "direction": entry["direction"],
+                "value": entry["value"],
+                "stdev": entry["stdev"],
+                "rel_stdev": entry["rel_stdev"],
+            }
+            for name, entry in sorted(doc["metrics"].items())
+        }
+    return {
+        "ledger_schema": LEDGER_SCHEMA_VERSION,
+        "perf_schema": PERF_SCHEMA_VERSION,
+        "host": host_fingerprint(),
+        "entries": entries,
+    }
+
+
+def write_ledger(
+    path: Union[str, "os.PathLike[str]"], ledger: Dict[str, Any]
+) -> None:
+    """Write a ledger as deterministic JSON."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(ledger, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_ledger(path: Union[str, "os.PathLike[str]"]) -> Dict[str, Any]:
+    """Read a ledger, validating its version stamps."""
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            ledger = json.load(handle)
+    except FileNotFoundError:
+        raise ReproError(
+            f"no baseline ledger at {os.fspath(path)!r} "
+            "(create one with 'repro perf record')"
+        )
+    if ledger.get("ledger_schema") != LEDGER_SCHEMA_VERSION:
+        raise ReproError(
+            f"ledger schema {ledger.get('ledger_schema')!r} unsupported "
+            f"(expected {LEDGER_SCHEMA_VERSION})"
+        )
+    if not isinstance(ledger.get("entries"), dict):
+        raise ReproError("ledger has no entries")
+    return ledger
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's comparison against the ledger."""
+
+    experiment: str
+    metric: str
+    unit: str
+    direction: str
+    baseline: Optional[float]
+    current: Optional[float]
+    band: float
+    status: str
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline where both sides exist and baseline ≠ 0."""
+        if self.baseline and self.current is not None:
+            return self.current / self.baseline
+        return None
+
+
+def _compare(
+    experiment: str,
+    metric: str,
+    base: Dict[str, Any],
+    now: Dict[str, Any],
+    host_match: bool,
+    rel_floor: float,
+    abs_floor: float,
+    sigmas: float,
+) -> MetricDelta:
+    direction = now.get("direction", base["direction"])
+    unit = now.get("unit", base["unit"])
+    base_v = float(base["value"])
+    now_v = float(now["value"])
+    relative = unit == "s"
+    if relative:
+        band = max(
+            rel_floor,
+            sigmas
+            * (float(base.get("rel_stdev", 0)) + float(now.get("rel_stdev", 0))),
+        )
+        if not host_match:
+            return MetricDelta(
+                experiment, metric, unit, direction, base_v, now_v, band,
+                "cross-host",
+                "wall time measured on a different host; not gated",
+            )
+        if direction == "lower":
+            worse = now_v > base_v * (1.0 + band)
+            better = now_v < base_v * (1.0 - band)
+        else:
+            worse = now_v < base_v * (1.0 - band)
+            better = now_v > base_v * (1.0 + band)
+    else:
+        band = max(
+            abs_floor,
+            sigmas
+            * (float(base.get("stdev", 0)) + float(now.get("stdev", 0))),
+        )
+        if direction == "lower":
+            worse = now_v > base_v + band
+            better = now_v < base_v - band
+        else:
+            worse = now_v < base_v - band
+            better = now_v > base_v + band
+    status = "regression" if worse else ("improved" if better else "ok")
+    return MetricDelta(
+        experiment, metric, unit, direction, base_v, now_v, band, status
+    )
+
+
+def diff_results(
+    results: Dict[str, Dict[str, Any]],
+    ledger: Dict[str, Any],
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+    sigmas: float = DEFAULT_SIGMAS,
+) -> List[MetricDelta]:
+    """Compare results to the ledger, one delta per known metric."""
+    deltas: List[MetricDelta] = []
+    ledger_host = ledger.get("host", {}).get("id")
+    entries = ledger["entries"]
+    for experiment in sorted(set(entries) | set(results)):
+        baseline_metrics = entries.get(experiment)
+        doc = results.get(experiment)
+        if doc is None:
+            assert baseline_metrics is not None
+            for metric in sorted(baseline_metrics):
+                base = baseline_metrics[metric]
+                deltas.append(
+                    MetricDelta(
+                        experiment, metric, base["unit"], base["direction"],
+                        float(base["value"]), None, 0.0, "missing",
+                        "no fresh result for this ledger entry",
+                    )
+                )
+            continue
+        host_match = doc.get("host", {}).get("id") == ledger_host
+        now_metrics = doc["metrics"]
+        if baseline_metrics is None:
+            for metric in sorted(now_metrics):
+                entry = now_metrics[metric]
+                deltas.append(
+                    MetricDelta(
+                        experiment, metric, entry["unit"], entry["direction"],
+                        None, float(entry["value"]), 0.0, "new",
+                        "not in the ledger yet (record to adopt)",
+                    )
+                )
+            continue
+        for metric in sorted(set(baseline_metrics) | set(now_metrics)):
+            base = baseline_metrics.get(metric)
+            now = now_metrics.get(metric)
+            if base is None:
+                assert now is not None
+                deltas.append(
+                    MetricDelta(
+                        experiment, metric, now["unit"], now["direction"],
+                        None, float(now["value"]), 0.0, "new",
+                        "not in the ledger yet (record to adopt)",
+                    )
+                )
+            elif now is None:
+                deltas.append(
+                    MetricDelta(
+                        experiment, metric, base["unit"], base["direction"],
+                        float(base["value"]), None, 0.0, "missing",
+                        "metric vanished from the fresh result",
+                    )
+                )
+            else:
+                deltas.append(
+                    _compare(
+                        experiment, metric, base, now, host_match,
+                        rel_floor, abs_floor, sigmas,
+                    )
+                )
+    return deltas
+
+
+def render_deltas(deltas: List[MetricDelta]) -> str:
+    """The comparison as an aligned text table plus a one-line verdict."""
+    if not deltas:
+        return "perf: nothing to compare"
+    headers = ("experiment", "metric", "baseline", "current", "band", "status")
+    rows: List[List[str]] = []
+    order = {status: rank for rank, status in enumerate(STATUSES)}
+    for delta in sorted(
+        deltas, key=lambda d: (order.get(d.status, 99), d.experiment, d.metric)
+    ):
+        rows.append(
+            [
+                delta.experiment,
+                delta.metric,
+                "-" if delta.baseline is None else f"{delta.baseline:.6g}",
+                "-" if delta.current is None else f"{delta.current:.6g}",
+                f"±{delta.band:.3g}" + ("×" if delta.unit == "s" else ""),
+                delta.status + (f" ({delta.note})" if delta.note else ""),
+            ]
+        )
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    counts: Dict[str, int] = {}
+    for delta in deltas:
+        counts[delta.status] = counts.get(delta.status, 0) + 1
+    summary = ", ".join(
+        f"{counts[status]} {status}" for status in STATUSES if status in counts
+    )
+    lines.append(f"{len(deltas)} metric(s): {summary}")
+    return "\n".join(lines)
+
+
+def has_regression(deltas: List[MetricDelta]) -> bool:
+    """True when any metric regressed beyond its band."""
+    return any(delta.status == "regression" for delta in deltas)

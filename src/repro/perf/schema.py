@@ -1,0 +1,234 @@
+"""Shared benchmark-result schema: the envelope every bench emits.
+
+Every ``benchmarks/bench_*.py`` that writes a ``BENCH_*.json`` does so
+through :func:`emit_bench`, which wraps the experiment's own payload in
+a versioned envelope::
+
+    {
+      "perf_schema": 1,
+      "experiment": "f16_soak",
+      "timestamp": 1754640000.0,          # unix seconds (provenance)
+      "host": {"id": "...", "platform": ..., "python": ..., ...},
+      "metrics": {
+        "soak_wall_seconds": {
+          "unit": "s", "direction": "lower", "value": 0.84,
+          "repeats": 5, "samples": [...],
+          "mean": ..., "min": ..., "max": ..., "stdev": ..., "rel_stdev": ...
+        }
+      },
+      "payload": { ... experiment-specific results ... }
+    }
+
+``value`` is the min of the samples for ``direction="lower"`` metrics
+(the standard noise-robust statistic for wall times) and the max for
+``direction="higher"``.  The dispersion fields feed the ledger's
+noise-aware tolerance bands (:mod:`repro.perf.ledger`).
+
+This module stamps results with the wall clock and a host fingerprint
+— provenance metadata about a measurement, never an input to any
+simulated result — which is why it sits on the DET002 allowlist in
+:mod:`repro.lint.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import platform
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+#: Version of the result envelope; bump on incompatible shape changes.
+PERF_SCHEMA_VERSION = 1
+
+#: Metric directions: which way is better.
+DIRECTIONS = ("lower", "higher")
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Identify the measuring host (stable across runs on one machine).
+
+    ``id`` is a short hash of the descriptive fields: two results
+    gate each other's absolute wall times only when their ids match
+    (cross-host wall comparisons are informational — see the ledger).
+    """
+    info: Dict[str, Any] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "impl": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    info["id"] = digest[:12]
+    return info
+
+
+def dispersion(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean/min/max/stdev/rel_stdev of a sample list (n ≥ 1)."""
+    if not samples:
+        raise ReproError("a metric needs at least one sample")
+    values = [float(v) for v in samples]
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    return {
+        "mean": mean,
+        "min": min(values),
+        "max": max(values),
+        "stdev": stdev,
+        "rel_stdev": stdev / mean if mean else 0.0,
+    }
+
+
+def metric_summary(
+    samples: Sequence[float],
+    unit: str = "s",
+    direction: str = "lower",
+) -> Dict[str, Any]:
+    """One metric entry: samples + dispersion + the gated ``value``."""
+    if direction not in DIRECTIONS:
+        raise ReproError(
+            f"direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    stats = dispersion(samples)
+    value = stats["min"] if direction == "lower" else stats["max"]
+    entry: Dict[str, Any] = {
+        "unit": unit,
+        "direction": direction,
+        "value": value,
+        "repeats": len(samples),
+        "samples": [float(v) for v in samples],
+    }
+    entry.update(stats)
+    return entry
+
+
+MetricsInput = Mapping[str, Union[Sequence[float], Dict[str, Any]]]
+
+
+def bench_envelope(
+    experiment: str,
+    metrics: MetricsInput,
+    payload: Optional[Dict[str, Any]] = None,
+    units: Optional[Mapping[str, str]] = None,
+    directions: Optional[Mapping[str, str]] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Build the shared result envelope (see module docstring).
+
+    ``metrics`` maps metric names to sample sequences (summarised via
+    :func:`metric_summary`) or to pre-built summary dicts.  ``units``
+    and ``directions`` override the per-metric defaults (``"s"``,
+    ``"lower"``).
+    """
+    if not experiment:
+        raise ReproError("experiment name must be non-empty")
+    if not metrics:
+        raise ReproError(f"experiment {experiment!r} emitted no metrics")
+    summarised: Dict[str, Dict[str, Any]] = {}
+    for name, value in metrics.items():
+        if isinstance(value, dict):
+            summarised[name] = dict(value)
+        else:
+            summarised[name] = metric_summary(
+                value,
+                unit=(units or {}).get(name, "s"),
+                direction=(directions or {}).get(name, "lower"),
+            )
+    return {
+        "perf_schema": PERF_SCHEMA_VERSION,
+        "experiment": experiment,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "host": host_fingerprint(),
+        "metrics": summarised,
+        "payload": payload or {},
+    }
+
+
+def emit_bench(
+    path: Union[str, "os.PathLike[str]"],
+    experiment: str,
+    metrics: MetricsInput,
+    payload: Optional[Dict[str, Any]] = None,
+    units: Optional[Mapping[str, str]] = None,
+    directions: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Write one BENCH_*.json result file; return the envelope."""
+    envelope = bench_envelope(
+        experiment, metrics, payload=payload, units=units, directions=directions
+    )
+    problems = validate_bench(envelope)
+    if problems:  # pragma: no cover - guards future schema drift
+        raise ReproError(
+            f"refusing to emit invalid result for {experiment!r}: "
+            + "; ".join(problems)
+        )
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return envelope
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """Problems with one result envelope (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["result is not a JSON object"]
+    if doc.get("perf_schema") != PERF_SCHEMA_VERSION:
+        problems.append(
+            f"perf_schema is {doc.get('perf_schema')!r}, "
+            f"expected {PERF_SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("experiment"), str) or not doc.get("experiment"):
+        problems.append("missing experiment name")
+    if not isinstance(doc.get("timestamp"), (int, float)):
+        problems.append("missing numeric timestamp")
+    host = doc.get("host")
+    if not isinstance(host, dict) or not isinstance(host.get("id"), str):
+        problems.append("missing host fingerprint (host.id)")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("missing metrics")
+        return problems
+    for name, entry in metrics.items():
+        where = f"metric {name!r}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if entry.get("direction") not in DIRECTIONS:
+            problems.append(f"{where}: bad direction {entry.get('direction')!r}")
+        if not isinstance(entry.get("unit"), str):
+            problems.append(f"{where}: missing unit")
+        if not isinstance(entry.get("value"), (int, float)):
+            problems.append(f"{where}: missing numeric value")
+        samples = entry.get("samples")
+        if not isinstance(samples, list) or not samples:
+            problems.append(f"{where}: missing samples")
+        elif entry.get("repeats") != len(samples):
+            problems.append(f"{where}: repeats != len(samples)")
+        for field in ("mean", "min", "max", "stdev", "rel_stdev"):
+            if not isinstance(entry.get(field), (int, float)):
+                problems.append(f"{where}: missing dispersion field {field!r}")
+    return problems
+
+
+def load_bench(path: Union[str, "os.PathLike[str]"]) -> Dict[str, Any]:
+    """Read and validate one BENCH_*.json file."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    problems = validate_bench(doc)
+    if problems:
+        raise ReproError(
+            f"invalid benchmark result {path}: " + "; ".join(problems)
+        )
+    return doc

@@ -31,6 +31,7 @@ package turns the :mod:`repro.overlay` primitives into that service:
 Exposed on the command line as ``python -m repro soak``.
 """
 
+from repro.service.alerts import Alert, AlertPolicy, BurnRateMonitor
 from repro.service.slo import (
     AMPLIFICATION_BUCKETS,
     CONVERGENCE_BUCKETS,
@@ -45,12 +46,16 @@ from repro.service.soak import (
     SoakConfig,
     SoakReport,
     SoakService,
+    feed_slo_tracker,
     run_soak,
 )
 from repro.service.workload import poisson_draw, zipf_pick, zipf_weights
 
 __all__ = [
     "AMPLIFICATION_BUCKETS",
+    "Alert",
+    "AlertPolicy",
+    "BurnRateMonitor",
     "CONVERGENCE_BUCKETS",
     "DEGRADED",
     "DegradationWindow",
@@ -60,6 +65,7 @@ __all__ = [
     "SoakConfig",
     "SoakReport",
     "SoakService",
+    "feed_slo_tracker",
     "percentile",
     "poisson_draw",
     "run_soak",

@@ -1,0 +1,254 @@
+"""SLO burn-rate alerting for the soak service.
+
+The soak service's SLO is tick-shaped: a tick is *good* when the k − 1
+contract held (no burst beyond tolerance, no repair backlog past
+tolerance, no invariant failure) and every admitted flood completed,
+covered its reachable set and met the latency objective.  The error
+budget is ``1 − objective`` — with the default 95% objective, 5% of
+ticks may be bad before the SLO is violated.
+
+:class:`BurnRateMonitor` implements the standard multi-window
+burn-rate policy: the *burn rate* over a window is the bad-tick
+fraction divided by the error budget (1.0 = consuming the budget
+exactly as fast as it accrues).  An alert opens when **both** the fast
+window (sensitive, catches the onset tick) and the slow window
+(confirming, suppresses one-tick blips) burn at or above their
+thresholds, and closes when both fall back below.  Because a burst
+beyond k − 1 makes its own tick bad, the alert's open tick coincides
+with the degradation window's start tick; the close lingers at most
+``slow_window`` ticks past recovery, so every alert *brackets* its
+degradation window — the property ``tests/test_service.py`` pins.
+
+The monitor is a pure function of the per-tick records, fed either
+live (tick by tick inside :class:`~repro.service.soak.SoakService`,
+where transitions also emit obs events and burn-rate gauges) or in one
+pass by :meth:`~repro.service.soak.SoakReport.build` — both produce
+identical alert histories, which keeps the resumed-soak report
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.errors import ReproError
+from repro.obs.metrics import Histogram
+from repro.service.slo import LATENCY_BUCKETS
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """The burn-rate alerting policy (see module docstring).
+
+    Attributes
+    ----------
+    objective:
+        Fraction of ticks that must be good; the error budget is
+        ``1 − objective``.
+    latency_slo:
+        Flood-latency objective in hops; a completed flood slower than
+        this makes its tick bad.
+    fast_window / slow_window:
+        Sliding-window lengths in ticks.  The fast window reacts
+        within a tick of an incident; the slow window confirms it is
+        sustained and controls how long the alert lingers.
+    fast_burn / slow_burn:
+        Burn-rate thresholds for the two windows.
+    """
+
+    objective: float = 0.95
+    latency_slo: float = 16.0
+    fast_window: int = 4
+    slow_window: int = 16
+    fast_burn: float = 4.0
+    slow_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ReproError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.latency_slo <= 0:
+            raise ReproError(
+                f"latency_slo must be positive, got {self.latency_slo}"
+            )
+        if not 1 <= self.fast_window <= self.slow_window:
+            raise ReproError(
+                "windows must satisfy 1 <= fast <= slow, got "
+                f"fast={self.fast_window} slow={self.slow_window}"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ReproError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerable bad-tick fraction."""
+        return 1.0 - self.objective
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (lands in the soak report)."""
+        return {
+            "objective": self.objective,
+            "latency_slo": self.latency_slo,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        }
+
+
+@dataclass
+class Alert:
+    """One burn-rate alert episode (open, or closed with an end tick)."""
+
+    opened: int
+    causes: Tuple[str, ...]
+    closed: Optional[int] = None
+    peak_fast: float = 0.0
+    peak_slow: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering."""
+        return {
+            "opened": self.opened,
+            "closed": self.closed,
+            "causes": list(self.causes),
+            "peak_fast_burn": round(self.peak_fast, 6),
+            "peak_slow_burn": round(self.peak_slow, 6),
+        }
+
+
+class BurnRateMonitor:
+    """Sliding-window error-budget accounting over soak tick records.
+
+    Feed every completed tick record to :meth:`observe`; it returns
+    ``"open"`` / ``"close"`` on the tick an alert transitions (else
+    ``None``).  ``alerts`` accumulates the full episode history.
+    """
+
+    def __init__(self, k: int, policy: Optional[AlertPolicy] = None) -> None:
+        self.k = k
+        self.policy = policy if policy is not None else AlertPolicy()
+        self.alerts: List[Alert] = []
+        self._open: Optional[Alert] = None
+        self._window: Deque[Tuple[int, Tuple[str, ...]]] = deque(
+            maxlen=self.policy.slow_window
+        )
+        # rolling latency distribution: Histogram.quantile() gives the
+        # monitor a live p99 without keeping raw samples
+        self._latency = Histogram(LATENCY_BUCKETS)
+
+    # -- per-tick SLI ---------------------------------------------------
+
+    def tick_errors(self, record: Dict[str, Any]) -> Tuple[str, ...]:
+        """Why this tick was bad (empty tuple = the tick met the SLO)."""
+        causes: List[str] = []
+        if len(record.get("crashes", ())) > self.k - 1:
+            causes.append("burst-beyond-tolerance")
+        if record.get("pending_repair", 0) > self.k - 1:
+            causes.append("repair-backlog")
+        if any(not v["ok"] for v in record.get("verify", ())):
+            causes.append("verify-failed")
+        shed = slow = partial = False
+        for flood in record.get("floods", ()):
+            if flood.get("shed"):
+                shed = True
+                continue
+            if flood["covered"] < flood["reachable"]:
+                partial = True
+            if flood["latency"] > self.policy.latency_slo:
+                slow = True
+        if shed:
+            causes.append("admission-shed")
+        if partial:
+            causes.append("partial-coverage")
+        if slow:
+            causes.append("slow-flood")
+        return tuple(causes)
+
+    # -- burn rates -----------------------------------------------------
+
+    def _burn(self, window: int) -> float:
+        """Burn rate over the last ``window`` observed ticks."""
+        if not self._window:
+            return 0.0
+        entries = list(self._window)[-window:]
+        bad = sum(1 for _, causes in entries if causes)
+        return (bad / len(entries)) / self.policy.budget
+
+    @property
+    def fast_burn(self) -> float:
+        """Current fast-window burn rate."""
+        return self._burn(self.policy.fast_window)
+
+    @property
+    def slow_burn(self) -> float:
+        """Current slow-window burn rate."""
+        return self._burn(self.policy.slow_window)
+
+    @property
+    def active(self) -> bool:
+        """True while an alert is open."""
+        return self._open is not None
+
+    def latency_p99(self) -> float:
+        """Rolling p99 flood latency (hops) over everything observed."""
+        return self._latency.quantile(0.99)
+
+    # -- the state machine ----------------------------------------------
+
+    def observe(self, record: Dict[str, Any]) -> Optional[str]:
+        """Account one tick; return ``"open"``/``"close"`` on transition."""
+        causes = self.tick_errors(record)
+        self._window.append((record["tick"], causes))
+        for flood in record.get("floods", ()):
+            if not flood.get("shed"):
+                self._latency.observe(flood["latency"])
+        fast, slow = self.fast_burn, self.slow_burn
+        policy = self.policy
+        if self._open is not None:
+            self._open.peak_fast = max(self._open.peak_fast, fast)
+            self._open.peak_slow = max(self._open.peak_slow, slow)
+        firing = fast >= policy.fast_burn and slow >= policy.slow_burn
+        if self._open is None and firing:
+            window_causes: List[str] = []
+            for _, tick_causes in self._window:
+                for cause in tick_causes:
+                    if cause not in window_causes:
+                        window_causes.append(cause)
+            self._open = Alert(
+                opened=record["tick"],
+                causes=tuple(window_causes),
+                peak_fast=fast,
+                peak_slow=slow,
+            )
+            self.alerts.append(self._open)
+            return "open"
+        if self._open is not None and not firing:
+            self._open.closed = record["tick"]
+            self._open = None
+            return "close"
+        return None
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot_gauges(self) -> Dict[str, float]:
+        """The live gauges a metrics exporter publishes each cadence."""
+        return {
+            "soak.burn.fast": round(self.fast_burn, 6),
+            "soak.burn.slow": round(self.slow_burn, 6),
+            "soak.alerts.active": 1.0 if self.active else 0.0,
+            "soak.alerts.total": float(len(self.alerts)),
+            "soak.latency.p99": self.latency_p99(),
+        }
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-safe alert history (lands in the soak report)."""
+        return {
+            "policy": self.policy.as_dict(),
+            "count": len(self.alerts),
+            "open": self.active,
+            "events": [alert.as_dict() for alert in self.alerts],
+        }

@@ -75,20 +75,28 @@ class SLOTracker:
     All state lives in one :class:`~repro.obs.metrics.MetricsRegistry`;
     :meth:`snapshot` is the JSON-safe dump the
     :class:`~repro.service.soak.SoakReport` renders percentiles from.
+
+    ``mirror=False`` keeps observations out of any installed telemetry
+    collector — used by the *live* tracker the streaming metrics
+    exporter feeds tick by tick, which would otherwise double-count
+    every observation the report-time tracker mirrors.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mirror: bool = True) -> None:
         self.registry = MetricsRegistry()
+        self._mirror = mirror
 
     # -- observations ---------------------------------------------------
 
     def _observe(self, name: str, value: float, buckets: Tuple[float, ...]) -> None:
         self.registry.observe(name, value, buckets)
-        obs.observe(name, value, buckets)
+        if self._mirror:
+            obs.observe(name, value, buckets)
 
     def _count(self, name: str, amount: float = 1) -> None:
         self.registry.counter(name, amount)
-        obs.counter(name, amount)
+        if self._mirror:
+            obs.counter(name, amount)
 
     def flood_completed(
         self, latency: float, messages: int, covered: int, reachable: int

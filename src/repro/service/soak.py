@@ -73,6 +73,7 @@ from repro.graphs.traversal import connected_components
 from repro.overlay.membership import LHGOverlay
 from repro.overlay.repair import execute_repair, plan_repair
 from repro.robustness.invariants import check_topology_invariants
+from repro.service.alerts import AlertPolicy, BurnRateMonitor
 from repro.service.slo import SLOTracker, percentile
 from repro.service.workload import poisson_draw, zipf_pick
 
@@ -220,6 +221,37 @@ class DegradationWindow:
         }
 
 
+def feed_slo_tracker(tracker: SLOTracker, record: Dict[str, Any]) -> None:
+    """Feed one completed tick record into an :class:`SLOTracker`.
+
+    The single aggregation path: :meth:`SoakReport.build` folds every
+    record through it at report time, and the live metrics exporter
+    folds each tick as it completes — so streamed snapshots converge on
+    exactly the final report's numbers.
+    """
+    tracker.churn(len(record["joins"]), len(record["crashes"]))
+    for flood in record["floods"]:
+        if flood["shed"]:
+            tracker.flood_shed()
+        else:
+            tracker.flood_completed(
+                flood["latency"],
+                flood["messages"],
+                flood["covered"],
+                flood["reachable"],
+            )
+    repair = record.get("repair")
+    if repair is not None and repair.get("completed"):
+        tracker.repair_completed(repair["edge_work"], repair["emergency"])
+        for _ in range(repair["restarts"]):
+            tracker.repair_restart()
+    for verify in record["verify"]:
+        tracker.verify(verify["ok"])
+    for transition in record["transitions"]:
+        if transition["to"] == HEALTHY:
+            tracker.repair_converged(transition["convergence"])
+
+
 class SoakReport:
     """The merged outcome of a soak run — a pure function of its records.
 
@@ -241,42 +273,25 @@ class SoakReport:
         windows: List[DegradationWindow],
         final_state: str,
         truncated: bool,
+        alert_policy: Optional[AlertPolicy] = None,
     ) -> "SoakReport":
         """Aggregate per-tick records into the SLO report."""
         tracker = SLOTracker()
+        monitor = BurnRateMonitor(config.k, alert_policy)
         joins = crashes = 0
         repairs = emergencies = restarts = edge_work = 0
         for record in records:
-            tick_joins = len(record["joins"])
-            tick_crashes = len(record["crashes"])
-            tracker.churn(tick_joins, tick_crashes)
-            joins += tick_joins
-            crashes += tick_crashes
-            for flood in record["floods"]:
-                if flood["shed"]:
-                    tracker.flood_shed()
-                else:
-                    tracker.flood_completed(
-                        flood["latency"],
-                        flood["messages"],
-                        flood["covered"],
-                        flood["reachable"],
-                    )
+            feed_slo_tracker(tracker, record)
+            monitor.observe(record)
+            joins += len(record["joins"])
+            crashes += len(record["crashes"])
             repair = record.get("repair")
             if repair is not None and repair.get("completed"):
                 repairs += 1
                 edge_work += repair["edge_work"]
                 restarts += repair["restarts"]
-                tracker.repair_completed(repair["edge_work"], repair["emergency"])
                 if repair["emergency"]:
                     emergencies += 1
-                for _ in range(repair["restarts"]):
-                    tracker.repair_restart()
-            for verify in record["verify"]:
-                tracker.verify(verify["ok"])
-            for transition in record["transitions"]:
-                if transition["to"] == HEALTHY:
-                    tracker.repair_converged(transition["convergence"])
 
         latency = tracker.latency_percentiles()
         latency_hist = tracker.registry.histograms.get("soak.flood.latency")
@@ -336,6 +351,7 @@ class SoakReport:
                 "degraded_ticks": degraded_ticks,
                 "open": any(w.end is None for w in windows),
             },
+            "alerts": monitor.payload(),
             "verify": {
                 "runs": int(tracker.counter("soak.verify.runs")),
                 "failures": int(tracker.counter("soak.verify.failures")),
@@ -417,6 +433,17 @@ class SoakReport:
             f"  verify   : {p['verify']['runs']} run(s), "
             f"{p['verify']['failures']} failure(s)",
         ]
+        alerts = p.get("alerts")
+        if alerts is not None:
+            spans = ", ".join(
+                f"[{a['opened']}..{a['closed'] if a['closed'] is not None else 'open'}]"
+                for a in alerts["events"]
+            )
+            lines.append(
+                f"  alerts   : {alerts['count']} burn-rate alert(s)"
+                + (f" {spans}" if spans else "")
+                + (" — STILL OPEN" if alerts["open"] else "")
+            )
         return "\n".join(lines)
 
 
@@ -433,6 +460,18 @@ class SoakService:
     resume:
         Load the journal and replay its ticks instead of recomputing
         them.  Requires ``checkpoint``.
+    metrics:
+        Optional :class:`~repro.obs.export.MetricsStream` (or anything
+        with the same ``export(snapshot, **stamp)`` shape); live SLO
+        snapshots are pushed every ``metrics_every`` ticks.  Runtime
+        plumbing, not science: deliberately *not* part of
+        :class:`SoakConfig`, so the journal digest — and therefore
+        resumability — is unaffected.
+    metrics_every:
+        Export cadence in ticks (default 10).
+    alert_policy:
+        Burn-rate :class:`~repro.service.alerts.AlertPolicy`; the
+        default policy is used when ``None``.
     """
 
     def __init__(
@@ -440,11 +479,25 @@ class SoakService:
         config: SoakConfig,
         checkpoint: Optional[Union[str, CheckpointJournal]] = None,
         resume: bool = False,
+        metrics: Optional[Any] = None,
+        metrics_every: int = 10,
+        alert_policy: Optional[AlertPolicy] = None,
     ) -> None:
+        if metrics_every < 1:
+            raise ReproError(
+                f"metrics_every must be >= 1 tick, got {metrics_every}"
+            )
         self.config = config
         self._digest = config.digest()
         self._journal = open_journal(checkpoint, resume)
         self._guard_journal_config(resume)
+        self._metrics = metrics
+        self._metrics_every = metrics_every
+        self._alert_policy = alert_policy
+        self._monitor = BurnRateMonitor(config.k, alert_policy)
+        self._live_tracker = (
+            SLOTracker(mirror=False) if metrics is not None else None
+        )
 
         self._overlay = LHGOverlay(k=config.k, rule=config.rule)
         self._next_member = 0
@@ -524,6 +577,7 @@ class SoakService:
                         self._tick_key(tick), record, label=f"tick-{tick:06d}"
                     )
                 self._records.append(record)
+                self._observe_tick(tick, record)
                 if (
                     wall_start is not None
                     and config.max_wall is not None
@@ -545,8 +599,54 @@ class SoakService:
                 )
             )
         return SoakReport.build(
-            self.config, self._records, windows, self._state, truncated
+            self.config,
+            self._records,
+            windows,
+            self._state,
+            truncated,
+            alert_policy=self._alert_policy,
         )
+
+    def _observe_tick(self, tick: int, record: Dict[str, Any]) -> None:
+        """Run the live observability hooks for one completed tick.
+
+        Pure output: feeds the burn-rate monitor (emitting obs events
+        on alert transitions) and, when a metrics exporter is attached,
+        folds the record into the live tracker and pushes a stamped
+        snapshot on the cadence.  Nothing here feeds back into the tick
+        loop, so records — and therefore reports — are byte-identical
+        with or without exporters.
+        """
+        transition = self._monitor.observe(record)
+        if transition == "open":
+            alert = self._monitor.alerts[-1]
+            obs.event(
+                "alert-open",
+                tick=tick,
+                causes=list(alert.causes),
+                fast_burn=round(self._monitor.fast_burn, 6),
+                slow_burn=round(self._monitor.slow_burn, 6),
+            )
+        elif transition == "close":
+            alert = self._monitor.alerts[-1]
+            obs.event(
+                "alert-close",
+                tick=tick,
+                opened=alert.opened,
+                ticks=tick - alert.opened + 1,
+            )
+        if self._metrics is None or self._live_tracker is None:
+            return
+        feed_slo_tracker(self._live_tracker, record)
+        last = tick + 1 == self.config.duration
+        if (tick + 1) % self._metrics_every == 0 or last:
+            snapshot = self._live_tracker.snapshot()
+            gauges = snapshot.setdefault("gauges", {})
+            gauges.update(self._monitor.snapshot_gauges())
+            gauges["soak.population"] = float(record["population"])
+            gauges["soak.in_flight"] = float(record["in_flight"])
+            gauges["soak.state"] = 1.0 if record["state"] == HEALTHY else 0.0
+            self._metrics.export(snapshot, tick=tick, state=record["state"])
 
     def _bootstrap(self) -> None:
         """Join the initial population (deterministic, not journaled)."""
@@ -870,6 +970,16 @@ def run_soak(
     config: SoakConfig,
     checkpoint: Optional[Union[str, CheckpointJournal]] = None,
     resume: bool = False,
+    metrics: Optional[Any] = None,
+    metrics_every: int = 10,
+    alert_policy: Optional[AlertPolicy] = None,
 ) -> SoakReport:
     """Run one soak end to end; the convenience wrapper the CLI uses."""
-    return SoakService(config, checkpoint=checkpoint, resume=resume).run()
+    return SoakService(
+        config,
+        checkpoint=checkpoint,
+        resume=resume,
+        metrics=metrics,
+        metrics_every=metrics_every,
+        alert_policy=alert_policy,
+    ).run()

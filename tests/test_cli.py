@@ -263,6 +263,31 @@ class TestTelemetry:
         assert main(["trace", "summary", "/nonexistent/run.jsonl"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_telemetry_buffer_stays_bounded(self, tmp_path, monkeypatch):
+        # --telemetry streams through the sink: the in-memory ring must
+        # stay under the cap even when the run records far more events
+        from repro import cli, obs
+
+        created = []
+        real_collector = obs.Collector
+
+        def capturing(*args, **kwargs):
+            collector = real_collector(*args, **kwargs)
+            created.append(collector)
+            return collector
+
+        monkeypatch.setattr(cli, "_TELEMETRY_BUFFER_CAP", 32)
+        monkeypatch.setattr(obs, "Collector", capturing)
+        path = str(tmp_path / "run.jsonl")
+        assert main(["soak", "14", "3", "--duration", "30",
+                     "--telemetry", path]) == 0
+        (collector,) = created
+        assert collector.events_recorded > 32
+        assert len(collector.events) <= 32
+        events = obs.read_jsonl(path)
+        assert len(events) == collector.events_recorded
+        assert obs.validate_events(events) == []
+
 
 class TestLint:
     """Exit-code contract: 0 clean, 1 findings, 2 usage/internal error."""

@@ -326,3 +326,207 @@ class TestExport:
         with open(path) as handle:
             parsed = json.load(handle)
         assert len(parsed["traceEvents"]) == count
+
+
+class TestHistogramQuantiles:
+    def test_explicit_inf_bucket(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        assert histogram.bounds() == (1.0, 2.0, float("inf"))
+        for value in (0.5, 1.5, 99.0, 100.0):
+            histogram.observe(value)
+        assert histogram.overflow == 2
+        assert len(histogram.counts) == len(histogram.buckets) + 1
+
+    def test_quantile_walks_buckets(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 2.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_reports_maximum(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(37.0)
+        # p99 lands in the +Inf bucket: the honest answer is the max,
+        # not the top finite bound
+        assert histogram.quantile(0.99) == 37.0
+
+    def test_quantile_empty_and_bad_q(self):
+        histogram = Histogram(buckets=(1.0,))
+        assert histogram.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestRegistryMergeEdgeCases:
+    def test_merge_empty_delta_is_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 2)
+        registry.observe("h", 0.3)
+        before = registry.snapshot()
+        registry.merge({"counters": {}, "gauges": {}, "histograms": {}})
+        registry.merge({})
+        assert registry.snapshot() == before
+
+    def test_delta_of_identical_snapshots_merges_clean(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.3)
+        snapshot = registry.snapshot()
+        delta = metrics_delta(snapshot, snapshot)
+        registry.merge(delta)
+        assert registry.snapshot() == snapshot
+
+    def test_merge_mismatched_buckets_raises(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.3, buckets=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.observe("h", 0.3, buckets=(5.0,))
+        with pytest.raises(ValueError):
+            registry.merge(other.snapshot())
+
+    def test_merge_after_restore_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 3)
+        registry.observe("h", 0.2, buckets=(1.0,))
+        first = registry.snapshot()
+        registry.counter("c", 4)
+        registry.observe("h", 9.0, buckets=(1.0,))
+        registry.gauge("g", 7)
+        second = registry.snapshot()
+        delta = metrics_delta(first, second)
+
+        rebuilt = MetricsRegistry()
+        rebuilt.restore(first)
+        rebuilt.merge(delta)
+        assert rebuilt.snapshot() == second
+        # restore replaces state, so a second restore+merge is stable
+        rebuilt.restore(first)
+        rebuilt.merge(delta)
+        assert rebuilt.snapshot() == second
+
+    def test_metrics_delta_new_histogram_appears_whole(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.observe("h", 0.2)
+        delta = metrics_delta(before, registry.snapshot())
+        assert delta["histograms"]["h"]["count"] == 1
+
+
+class TestBoundedBuffer:
+    def test_cap_requires_sink(self):
+        with pytest.raises(ValueError):
+            obs.Collector(max_buffered=10)
+        with pytest.raises(ValueError):
+            obs.Collector(sink=lambda e: None, max_buffered=0)
+
+    def test_buffer_stays_bounded_and_stream_stays_dense(self):
+        streamed = []
+        collector = obs.install(
+            obs.Collector(sink=streamed.append, max_buffered=8)
+        )
+        for i in range(50):
+            obs.event("tick", i=i)
+        obs.uninstall()
+        assert len(collector.events) <= 8
+        assert collector.events_recorded == 50
+        assert len(streamed) == 50
+        # the stream is what validates: dense seq from zero
+        assert [e["seq"] for e in streamed] == list(range(50))
+        assert obs.validate_events(streamed) == []
+
+    def test_unbounded_without_cap(self):
+        collector = obs.install(obs.Collector(sink=lambda e: None))
+        for i in range(50):
+            obs.event("tick", i=i)
+        obs.uninstall()
+        assert len(collector.events) == 50
+
+    def test_capture_survives_eviction(self):
+        # stream 20 events (evicting down to 4), then run a capture
+        # cycle: the mark arithmetic must survive the evicted prefix
+        streamed = []
+        collector = obs.install(
+            obs.Collector(sink=streamed.append, max_buffered=4)
+        )
+        for i in range(20):
+            obs.event("tick", i=i)
+        token = obs.capture_start()
+        with obs.span("cell"):
+            obs.event("inside")
+        captured = obs.capture_finish(token)
+        obs.adopt(captured)
+        obs.uninstall()
+        # adopt re-records the 3 captured events inside a wrapping span
+        assert collector.events_recorded == 20 + 5
+        assert [e["seq"] for e in streamed] == list(range(25))
+        assert obs.validate_events(streamed) == []
+        names = [e["name"] for e in streamed[-5:]]
+        assert names == ["cell", "cell", "inside", "cell", "cell"]
+        assert all(e["src"] == "cell" for e in streamed[-5:])
+
+
+class TestSpanStack:
+    def test_stack_reflects_open_spans(self):
+        collector = obs.install()
+        assert collector.span_stack() == ()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert collector.span_stack() == ("outer", "inner")
+            assert collector.span_stack() == ("outer",)
+        assert collector.span_stack() == ()
+        obs.uninstall()
+
+
+class TestOpenMetrics:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("net.send", 7)
+        registry.gauge("soak.population", 20)
+        registry.observe("soak.flood.latency", 1.5, buckets=(1.0, 2.0))
+        registry.observe("soak.flood.latency", 9.0, buckets=(1.0, 2.0))
+        return registry.snapshot()
+
+    def test_render_shape(self):
+        text = obs.render_openmetrics(self._snapshot())
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert 'repro_net_send_total 7' in lines
+        assert 'repro_soak_population 20' in lines
+        assert 'repro_soak_flood_latency_bucket{le="1"} 0' in lines
+        assert 'repro_soak_flood_latency_bucket{le="2"} 1' in lines
+        assert 'repro_soak_flood_latency_bucket{le="+Inf"} 2' in lines
+        assert 'repro_soak_flood_latency_count 2' in lines
+        assert 'repro_soak_flood_latency_sum 10.5' in lines
+        assert "# TYPE repro_net_send counter" in lines
+        assert "# TYPE repro_soak_flood_latency histogram" in lines
+
+    def test_names_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.2x", 1)
+        text = obs.render_openmetrics(registry.snapshot(), prefix="p")
+        assert "p_weird_name_2x_total 1" in text
+
+    def test_metrics_stream(self, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        om = tmp_path / "m.om"
+        with obs.MetricsStream(str(jsonl), openmetrics_path=str(om)) as stream:
+            stream.export(self._snapshot(), tick=4, state="healthy")
+            stream.export(self._snapshot(), tick=9, state="healthy")
+            assert stream.exports == 2
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [r["tick"] for r in rows] == [4, 9]
+        assert rows[0]["metrics"]["counters"]["net.send"] == 7
+        # the OpenMetrics textfile holds the *latest* snapshot only
+        text = om.read_text()
+        assert text.count("# EOF") == 1
+        with pytest.raises(ValueError):
+            stream.export(self._snapshot())
+
+    def test_metrics_stream_close_idempotent(self, tmp_path):
+        stream = obs.MetricsStream(str(tmp_path / "m.jsonl"))
+        stream.close()
+        stream.close()

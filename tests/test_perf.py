@@ -1,0 +1,266 @@
+"""Unit tests for the repro.perf benchmark ledger subsystem."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.perf import (
+    PERF_SCHEMA_VERSION,
+    MetricDelta,
+    bench_envelope,
+    build_ledger,
+    collect_results,
+    diff_results,
+    dispersion,
+    emit_bench,
+    has_regression,
+    host_fingerprint,
+    load_bench,
+    load_ledger,
+    metric_summary,
+    render_deltas,
+    validate_bench,
+    write_ledger,
+)
+
+
+class TestSchema:
+    def test_host_fingerprint_stable(self):
+        first, second = host_fingerprint(), host_fingerprint()
+        assert first == second
+        assert len(first["id"]) == 12
+
+    def test_dispersion(self):
+        stats = dispersion([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["stdev"] == 1.0
+        assert stats["rel_stdev"] == 0.5
+
+    def test_dispersion_single_sample(self):
+        stats = dispersion([4.2])
+        assert stats["stdev"] == 0.0
+        assert stats["rel_stdev"] == 0.0
+
+    def test_dispersion_empty_raises(self):
+        with pytest.raises(ReproError):
+            dispersion([])
+
+    def test_metric_summary_lower_takes_min(self):
+        entry = metric_summary([0.5, 0.4, 0.6])
+        assert entry["value"] == 0.4
+        assert entry["repeats"] == 3
+
+    def test_metric_summary_higher_takes_max(self):
+        entry = metric_summary([0.5, 0.9], direction="higher")
+        assert entry["value"] == 0.9
+
+    def test_metric_summary_bad_direction(self):
+        with pytest.raises(ReproError):
+            metric_summary([1.0], direction="sideways")
+
+    def test_envelope_validates_clean(self):
+        doc = bench_envelope("exp", {"wall": [1.0, 1.1]})
+        assert doc["perf_schema"] == PERF_SCHEMA_VERSION
+        assert validate_bench(doc) == []
+
+    def test_envelope_requires_metrics(self):
+        with pytest.raises(ReproError):
+            bench_envelope("exp", {})
+
+    def test_validate_rejects_drift(self):
+        doc = bench_envelope("exp", {"wall": [1.0]})
+        doc["metrics"]["wall"]["repeats"] = 7
+        doc["perf_schema"] = 99
+        problems = validate_bench(doc)
+        assert any("perf_schema" in p for p in problems)
+        assert any("repeats" in p for p in problems)
+
+    def test_emit_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        emitted = emit_bench(
+            path, "x", {"wall": [1.0], "frac": [0.5]},
+            payload={"extra": True}, units={"frac": "fraction"},
+        )
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(emitted))
+        assert loaded["payload"] == {"extra": True}
+        assert loaded["metrics"]["frac"]["unit"] == "fraction"
+
+    def test_load_rejects_legacy_shape(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({"experiment": "old", "overhead": 0.1}))
+        with pytest.raises(ReproError):
+            load_bench(path)
+
+
+def _results_dir(tmp_path, wall=1.0, frac=0.02, name="alpha"):
+    directory = tmp_path / "results"
+    directory.mkdir(exist_ok=True)
+    emit_bench(
+        directory / f"BENCH_{name}.json",
+        name,
+        {"wall_seconds": [wall, wall * 1.02], "frac": [frac]},
+        units={"frac": "fraction"},
+    )
+    return directory
+
+
+class TestLedger:
+    def test_collect_requires_results(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(ReproError):
+            collect_results(empty)
+        with pytest.raises(ReproError):
+            collect_results(tmp_path / "absent")
+
+    def test_record_and_clean_check(self, tmp_path):
+        directory = _results_dir(tmp_path)
+        ledger = build_ledger(collect_results(directory))
+        assert ledger["host"]["id"] == host_fingerprint()["id"]
+        deltas = diff_results(collect_results(directory), ledger)
+        assert [d.status for d in deltas] == ["ok", "ok"]
+        assert not has_regression(deltas)
+
+    def test_wall_regression_gates_on_same_host(self, tmp_path):
+        directory = _results_dir(tmp_path, wall=1.0)
+        ledger = build_ledger(collect_results(directory))
+        _results_dir(tmp_path, wall=2.0)  # 2x slowdown, same host
+        deltas = diff_results(collect_results(directory), ledger)
+        wall = next(d for d in deltas if d.metric == "wall_seconds")
+        assert wall.status == "regression"
+        assert has_regression(deltas)
+
+    def test_wall_not_gated_cross_host(self, tmp_path):
+        directory = _results_dir(tmp_path, wall=1.0)
+        ledger = build_ledger(collect_results(directory))
+        ledger["host"]["id"] = "feedfeedfeed"
+        _results_dir(tmp_path, wall=10.0)
+        deltas = diff_results(collect_results(directory), ledger)
+        wall = next(d for d in deltas if d.metric == "wall_seconds")
+        assert wall.status == "cross-host"
+        assert not has_regression(deltas)
+
+    def test_unitless_gates_everywhere(self, tmp_path):
+        directory = _results_dir(tmp_path, frac=0.02)
+        ledger = build_ledger(collect_results(directory))
+        ledger["host"]["id"] = "feedfeedfeed"  # different host
+        _results_dir(tmp_path, frac=0.2)  # blows the 0.05 abs band
+        deltas = diff_results(collect_results(directory), ledger)
+        frac = next(d for d in deltas if d.metric == "frac")
+        assert frac.status == "regression"
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        directory = _results_dir(tmp_path, wall=2.0)
+        ledger = build_ledger(collect_results(directory))
+        _results_dir(tmp_path, wall=0.5)
+        deltas = diff_results(collect_results(directory), ledger)
+        wall = next(d for d in deltas if d.metric == "wall_seconds")
+        assert wall.status == "improved"
+        assert not has_regression(deltas)
+
+    def test_missing_and_new_are_warnings(self, tmp_path):
+        directory = _results_dir(tmp_path, name="alpha")
+        ledger = build_ledger(collect_results(directory))
+        (directory / "BENCH_alpha.json").unlink()
+        _results_dir(tmp_path, name="beta")
+        deltas = diff_results(collect_results(directory), ledger)
+        statuses = {d.metric: d.status for d in deltas if d.experiment == "alpha"}
+        assert set(statuses.values()) == {"missing"}
+        assert all(
+            d.status == "new" for d in deltas if d.experiment == "beta"
+        )
+        assert not has_regression(deltas)
+
+    def test_band_widens_with_measured_noise(self, tmp_path):
+        directory = tmp_path / "results"
+        directory.mkdir()
+        emit_bench(
+            directory / "BENCH_noisy.json",
+            "noisy",
+            {"wall_seconds": [1.0, 2.0, 3.0]},  # rel_stdev 0.5
+        )
+        ledger = build_ledger(collect_results(directory))
+        deltas = diff_results(collect_results(directory), ledger)
+        # 3 sigmas * (0.5 + 0.5) = 3.0, far above the 0.35 floor
+        assert deltas[0].band == pytest.approx(3.0)
+
+    def test_ledger_round_trip(self, tmp_path):
+        directory = _results_dir(tmp_path)
+        ledger = build_ledger(collect_results(directory))
+        path = tmp_path / "ledger.json"
+        write_ledger(path, ledger)
+        assert load_ledger(path) == ledger
+
+    def test_load_ledger_missing_or_wrong_version(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_ledger(tmp_path / "absent.json")
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"ledger_schema": 99, "entries": {}}))
+        with pytest.raises(ReproError):
+            load_ledger(path)
+
+    def test_render_deltas_table(self):
+        deltas = [
+            MetricDelta("e", "m", "s", "lower", 1.0, 2.0, 0.35, "regression"),
+            MetricDelta("e", "n", "s", "lower", 1.0, None, 0.0, "missing", "gone"),
+        ]
+        text = render_deltas(deltas)
+        assert "regression" in text and "missing (gone)" in text
+        assert "2 metric(s): 1 regression, 1 missing" in text
+
+
+class TestPerfCLI:
+    def test_record_diff_check_flow(self, tmp_path, capsys):
+        directory = _results_dir(tmp_path)
+        ledger = str(tmp_path / "ledger.json")
+        argv = ["--results", str(directory), "--ledger", ledger]
+        assert main(["perf", "record"] + argv) == 0
+        assert main(["perf", "diff"] + argv) == 0
+        assert main(["perf", "check"] + argv) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 experiment(s)" in out
+        assert "2 metric(s): 2 ok" in out
+
+    def test_check_fails_on_injected_slowdown(self, tmp_path, capsys):
+        directory = _results_dir(tmp_path, wall=1.0)
+        ledger = str(tmp_path / "ledger.json")
+        argv = ["--results", str(directory), "--ledger", ledger]
+        assert main(["perf", "record"] + argv) == 0
+        _results_dir(tmp_path, wall=2.0)
+        assert main(["perf", "check"] + argv) == 1
+        assert main(["perf", "diff"] + argv) == 0  # diff informs, never gates
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+
+    def test_check_without_ledger_is_usage_error(self, tmp_path, capsys):
+        directory = _results_dir(tmp_path)
+        code = main(
+            ["perf", "check", "--results", str(directory),
+             "--ledger", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "repro perf record" in capsys.readouterr().err
+
+    def test_custom_floors(self, tmp_path):
+        directory = _results_dir(tmp_path, wall=1.0)
+        ledger = str(tmp_path / "ledger.json")
+        argv = ["--results", str(directory), "--ledger", ledger]
+        assert main(["perf", "record"] + argv) == 0
+        _results_dir(tmp_path, wall=1.2)  # within the default 0.35 band
+        assert main(["perf", "check"] + argv) == 0
+        assert main(["perf", "check", "--rel-floor", "0.1"] + argv) == 1
+
+    def test_committed_results_round_trip(self, capsys):
+        # every committed BENCH_*.json parses under the shared schema
+        # and diffs cleanly against the committed baseline ledger
+        results = collect_results("benchmarks/results")
+        assert results, "no committed results"
+        for doc in results.values():
+            assert validate_bench(doc) == []
+        assert main(["perf", "diff"]) == 0
+        assert "metric(s):" in capsys.readouterr().out

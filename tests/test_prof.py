@@ -1,0 +1,199 @@
+"""Unit tests for the repro.obs.prof sampling profiler."""
+
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.prof import (
+    NO_SPAN,
+    Profile,
+    SamplingProfiler,
+    profile_call,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def _spin(seconds: float) -> int:
+    """Burn CPU (and wall) time doing deterministic arithmetic."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(i * i for i in range(200))
+    return total
+
+
+class TestValidation:
+    def test_bad_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(backend="magic")
+
+    def test_bad_timer(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(timer="lunar")
+
+    def test_cpu_timer_needs_signal_backend(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(backend="setprofile", timer="cpu")
+
+    def test_double_start_refused(self):
+        profiler = SamplingProfiler(hz=50)
+        with profiler:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+
+    def test_two_profilers_refused(self):
+        with SamplingProfiler(hz=50):
+            with pytest.raises(RuntimeError):
+                SamplingProfiler(hz=50).start()
+
+    def test_stop_idempotent(self):
+        profiler = SamplingProfiler(hz=50)
+        profiler.start()
+        first = profiler.stop()
+        assert profiler.stop() is first
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", ["signal", "setprofile"])
+    def test_samples_land(self, backend):
+        profiler = SamplingProfiler(hz=200, backend=backend)
+        with profiler:
+            _spin(0.15)
+        profile = profiler.profile
+        assert profile.sample_count > 0
+        assert profile.backend == backend
+        assert profile.duration > 0.1
+        # the busy loop is on every hot stack
+        assert any("_spin" in line for line in profile.collapsed())
+
+    def test_auto_resolves(self):
+        profiler = SamplingProfiler(hz=100, backend="auto")
+        assert profiler.backend in ("signal", "setprofile")
+
+    def test_restores_previous_profile_hook(self):
+        sentinel_calls = []
+
+        def sentinel(frame, event, arg):
+            sentinel_calls.append(event)
+
+        sys.setprofile(sentinel)
+        try:
+            with SamplingProfiler(hz=100, backend="setprofile"):
+                _spin(0.01)
+            assert sys.getprofile() is sentinel
+        finally:
+            sys.setprofile(None)
+
+    def test_cpu_timer(self):
+        profiler = SamplingProfiler(hz=200, backend="signal", timer="cpu")
+        with profiler:
+            _spin(0.15)
+        assert profiler.profile.timer == "cpu"
+        assert profiler.profile.sample_count > 0
+
+
+class TestSpanAttribution:
+    @pytest.mark.parametrize("backend", ["signal", "setprofile"])
+    def test_samples_carry_open_spans(self, backend):
+        obs.install()
+        with SamplingProfiler(hz=200, backend=backend) as profiler:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    _spin(0.15)
+        span_paths = {key[0] for key in profiler.profile.samples}
+        assert ("outer", "inner") in span_paths
+
+    def test_no_collector_means_no_span(self):
+        with SamplingProfiler(hz=200) as profiler:
+            _spin(0.1)
+        assert {key[0] for key in profiler.profile.samples} == {()}
+        times = profiler.profile.span_times()
+        assert set(times) == {NO_SPAN}
+
+    def test_span_times_self_vs_cumulative(self):
+        obs.install()
+        with SamplingProfiler(hz=200) as profiler:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    _spin(0.15)
+        times = profiler.profile.span_times()
+        # all samples landed inside inner, which is inside outer
+        assert times["inner"]["self"] > 0
+        assert times["outer"]["cum"] >= times["inner"]["cum"]
+        assert times["outer"]["self"] == pytest.approx(
+            times["outer"]["cum"] - times["inner"]["cum"]
+        )
+
+
+class TestProfileOutput:
+    def _profile(self) -> Profile:
+        obs.install()
+        with SamplingProfiler(hz=200) as profiler:
+            with obs.span("work"):
+                _spin(0.15)
+        obs.uninstall()
+        return profiler.profile
+
+    def test_collapsed_format(self):
+        collapsed = self._profile().collapsed()
+        assert collapsed == sorted(collapsed)
+        for line in collapsed:
+            stack, _, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert stack
+            frames = stack.split(";")
+            assert frames[0] == "span:work"
+
+    def test_collapsed_without_spans(self):
+        collapsed = self._profile().collapsed(include_spans=False)
+        assert collapsed
+        assert not any(line.startswith("span:") for line in collapsed)
+
+    def test_write_collapsed(self, tmp_path):
+        profile = self._profile()
+        path = tmp_path / "out.collapsed"
+        lines = profile.write_collapsed(str(path))
+        content = path.read_text().splitlines()
+        assert lines == len(content) == len(profile.collapsed())
+
+    def test_render_mentions_hot_frame(self):
+        text = self._profile().render()
+        assert "profile:" in text
+        # every sample's leaf frame is the busy loop or its genexpr
+        assert "_spin" in text or "<genexpr>" in text
+        assert "work" in text
+
+    def test_empty_profile_renders(self):
+        profile = Profile(hz=100, backend="signal", timer="wall")
+        assert profile.sample_count == 0
+        assert profile.collapsed() == []
+        assert "0 sample" in profile.render()
+
+
+class TestProfileCall:
+    def test_returns_result_and_profile(self):
+        result, profile = profile_call(_spin, 0.1, hz=200)
+        assert result > 0
+        assert profile.sample_count > 0
+
+    def test_exception_still_stops(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom, hz=100)
+        # the profiler disarmed despite the raise
+        with SamplingProfiler(hz=100):
+            pass

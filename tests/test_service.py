@@ -28,6 +28,8 @@ from repro.robustness import check_topology_invariants
 from repro.service import (
     DEGRADED,
     HEALTHY,
+    AlertPolicy,
+    BurnRateMonitor,
     SoakConfig,
     SoakService,
     poisson_draw,
@@ -383,3 +385,211 @@ class TestKillResumeSelfTest:
         total = journal.read_text().count("\n")
         assert total == 301
         assert total >= completed
+
+
+class TestAlertPolicy:
+    def test_defaults_validate(self):
+        policy = AlertPolicy()
+        assert policy.budget == pytest.approx(0.05)
+        assert policy.as_dict()["objective"] == 0.95
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"objective": 0.0},
+            {"objective": 1.0},
+            {"latency_slo": 0.0},
+            {"fast_window": 0},
+            {"slow_window": 2},  # must exceed fast_window
+            {"fast_burn": 0.0},
+            {"slow_burn": -1.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            AlertPolicy(**kwargs)
+
+
+def _record(tick, crashes=(), pending=0, verify=(), floods=(), **extra):
+    """A synthetic soak tick record in the shape SoakService journals."""
+    record = {
+        "tick": tick,
+        "joins": [],
+        "crashes": list(crashes),
+        "pending_repair": pending,
+        "floods": list(floods),
+        "verify": list(verify),
+        "repair": None,
+        "transitions": [],
+        "state": HEALTHY,
+        "population": 14,
+        "live": 14,
+        "in_flight": 0,
+    }
+    record.update(extra)
+    return record
+
+
+class TestBurnRateMonitor:
+    def test_healthy_stream_never_alerts(self):
+        monitor = BurnRateMonitor(k=3)
+        for tick in range(40):
+            assert monitor.observe(_record(tick)) is None
+        assert not monitor.active
+        assert monitor.payload()["count"] == 0
+
+    def test_burst_beyond_tolerance_opens_on_the_burst_tick(self):
+        monitor = BurnRateMonitor(k=3)
+        transitions = {}
+        for tick in range(40):
+            crashes = ["a", "b", "c"] if tick == 10 else []
+            out = monitor.observe(_record(tick, crashes=crashes))
+            if out:
+                transitions[out] = tick
+        assert transitions["open"] == 10
+        # a single bad tick holds slow burn >= 1 for slow_window ticks
+        assert 10 < transitions["close"] <= 10 + AlertPolicy().slow_window + 1
+        events = monitor.payload()["events"]
+        assert len(events) == 1
+        assert events[0]["causes"] == ["burst-beyond-tolerance"]
+
+    def test_burst_within_tolerance_is_quiet(self):
+        monitor = BurnRateMonitor(k=3)
+        for tick in range(30):
+            crashes = ["a", "b"] if tick == 10 else []  # k-1: tolerated
+            assert monitor.observe(_record(tick, crashes=crashes)) is None
+
+    def test_causes_accumulate_across_the_slow_window(self):
+        # A burst at tick 5 opens (and closes) a first alert; a verify
+        # failure at tick 10 opens a second one whose slow window still
+        # contains the burst, so the new alert names both causes.
+        monitor = BurnRateMonitor(k=3)
+        for tick in range(12):
+            kwargs = {}
+            if tick == 5:
+                kwargs["crashes"] = ["a", "b", "c"]
+            if tick == 10:
+                kwargs["verify"] = [{"ok": False}]
+            monitor.observe(_record(tick, **kwargs))
+        events = monitor.payload()["events"]
+        assert len(events) == 2
+        assert events[0]["causes"] == ["burst-beyond-tolerance"]
+        assert events[1]["causes"] == [
+            "burst-beyond-tolerance", "verify-failed",
+        ]
+
+    def test_slow_flood_is_a_cause(self):
+        policy = AlertPolicy(latency_slo=4.0)
+        monitor = BurnRateMonitor(k=3, policy=policy)
+        assert monitor.tick_errors(
+            _record(0, floods=[{"latency": 9.0, "messages": 10,
+                                "covered": 5, "reachable": 5}])
+        ) == ("slow-flood",)
+
+    def test_snapshot_gauges_shape(self):
+        monitor = BurnRateMonitor(k=3)
+        monitor.observe(_record(0))
+        gauges = monitor.snapshot_gauges()
+        assert set(gauges) >= {
+            "soak.burn.fast", "soak.burn.slow",
+            "soak.alerts.active", "soak.alerts.total", "soak.latency.p99",
+        }
+
+    def test_still_open_alert_has_no_close(self):
+        monitor = BurnRateMonitor(k=2)
+        monitor.observe(_record(0, crashes=["a", "b"]))
+        payload = monitor.payload()
+        assert payload["open"] is not None
+        assert payload["events"][0]["closed"] is None
+
+
+class TestSoakAlerts:
+    def test_burst_alert_brackets_degradation_window(self):
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        report = run_soak(config)
+        windows = report["degradation"]["windows"]
+        alerts = report["alerts"]["events"]
+        assert windows and alerts
+        window = windows[0]
+        covering = [
+            a for a in alerts
+            if a["opened"] <= window["start"]
+            and a["closed"] is not None
+            and a["closed"] >= window["end"]
+        ]
+        assert covering, (window, alerts)
+
+    def test_healthy_soak_reports_no_alerts(self):
+        report = run_soak(SoakConfig(**CFG))
+        assert report["alerts"]["count"] == 0
+        assert report["alerts"]["events"] == []
+
+    def test_alerts_in_summary_and_deterministic(self):
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        report = run_soak(config)
+        assert "alert" in report.summary()
+        assert run_soak(config).to_json() == report.to_json()
+
+    def test_custom_policy_changes_sensitivity(self):
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        lax = AlertPolicy(fast_burn=400.0, slow_burn=400.0)
+        report = run_soak(config, alert_policy=lax)
+        assert report["alerts"]["count"] == 0
+
+
+class TestSoakMetricsStream:
+    def test_streams_on_cadence_with_alert_gauges(self, tmp_path):
+        from repro.obs import MetricsStream
+
+        jsonl = tmp_path / "m.jsonl"
+        om = tmp_path / "m.om"
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        with MetricsStream(str(jsonl), openmetrics_path=str(om)) as stream:
+            run_soak(config, metrics=stream, metrics_every=5)
+            # every 5 ticks plus the final tick
+            assert stream.exports == CFG["duration"] // 5
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [r["tick"] for r in rows][:3] == [4, 9, 14]
+        assert rows[-1]["tick"] == CFG["duration"] - 1
+        # alert gauges ride along; the burst tick window shows it active
+        active = [r["metrics"]["gauges"]["soak.alerts.active"] for r in rows]
+        assert 1.0 in active
+        for row in rows:
+            assert "soak.population" in row["metrics"]["gauges"]
+        text = om.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_soak_alerts_total" in text
+
+    def test_streaming_does_not_change_the_report(self, tmp_path):
+        from repro.obs import MetricsStream
+
+        config = SoakConfig(**{**CFG, "bursts": ((12, 3),)})
+        plain = run_soak(config).to_json()
+        with MetricsStream(str(tmp_path / "m.jsonl")) as stream:
+            streamed = run_soak(config, metrics=stream, metrics_every=3)
+        assert streamed.to_json() == plain
+
+    def test_streaming_under_installed_collector_no_double_count(self, tmp_path):
+        # the live tracker must not mirror into the collector: the
+        # collector metrics would otherwise double every observation
+        from repro import obs
+        from repro.obs import MetricsStream
+
+        config = SoakConfig(**CFG)
+        obs.uninstall()
+        collector = obs.install()
+        plain = run_soak(config)
+        plain_counters = dict(collector.metrics.snapshot()["counters"])
+        obs.uninstall()
+
+        collector = obs.install()
+        with MetricsStream(str(tmp_path / "m.jsonl")) as stream:
+            streamed = run_soak(config, metrics=stream, metrics_every=4)
+        streamed_counters = dict(collector.metrics.snapshot()["counters"])
+        obs.uninstall()
+        assert streamed.to_json() == plain.to_json()
+        assert streamed_counters == plain_counters
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(ReproError):
+            SoakService(SoakConfig(**CFG), metrics_every=0)

@@ -10,7 +10,9 @@ The contract this suite pins down (ISSUE acceptance criteria):
 * executor lifecycle events agree exactly with the execution report's
   counters (every retry / worker death / timeout / quarantine is
   recorded);
-* checkpoint journal writes and resume loads appear in the log.
+* checkpoint journal writes and resume loads appear in the log;
+* the sampling profiler is equally passive: arming it changes neither
+  the rendered results nor the recorded event stream.
 """
 
 import pytest
@@ -104,6 +106,35 @@ class TestPassivity:
             return values
 
         assert runs(False) == runs(True) == [x * x for x in range(12)]
+
+
+class TestProfilerPassivity:
+    """Arming the sampling profiler never perturbs results or events."""
+
+    def test_matrix_byte_identical_under_profiler(self):
+        from repro.obs.prof import SamplingProfiler
+
+        baseline = small_campaign().run().render()
+        with SamplingProfiler(hz=100):
+            profiled = small_campaign().run().render()
+        assert profiled == baseline
+
+    def test_event_stream_unchanged_by_profiler(self):
+        from repro.obs.prof import SamplingProfiler
+
+        def stream(profiled):
+            collector = obs.install()
+            if profiled:
+                with SamplingProfiler(hz=100):
+                    matrix = small_campaign().run()
+            else:
+                matrix = small_campaign().run()
+            obs.uninstall()
+            assert matrix.all_green
+            assert obs.validate_events(collector.events) == []
+            return normalize(collector.events), collector.metrics.snapshot()
+
+        assert stream(False) == stream(True)
 
 
 class TestDeterministicOrdering:
