@@ -154,9 +154,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintConfig,
         apply_baseline,
+        build_project,
         lint_paths,
+        lint_project,
         load_baseline,
+        render_graph_dot,
+        render_graph_json,
         render_json,
+        render_sarif,
         render_text,
         rule_ids,
         write_baseline,
@@ -170,7 +175,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 f"unknown rule(s) {unknown}; known: {', '.join(rule_ids())}"
             )
         config = LintConfig(select=tuple(args.select))
-    result = lint_paths(args.paths, config=config)
+    exclude = tuple(args.exclude or ())
+    if args.graph is not None:
+        project, parse_findings = build_project(
+            args.paths, config=config, exclude=exclude
+        )
+        for finding in parse_findings:
+            print(finding.format(), file=sys.stderr)
+        renderer = (
+            render_graph_dot if args.graph == "dot" else render_graph_json
+        )
+        print(renderer(project))
+        return 0 if not parse_findings else 1
+    if args.project:
+        result = lint_project(args.paths, config=config, exclude=exclude)
+    else:
+        result = lint_paths(args.paths, config=config, exclude=exclude)
     if args.write_baseline:
         if args.baseline is None:
             raise ValueError("--write-baseline requires --baseline PATH")
@@ -179,7 +199,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if args.baseline is not None:
         apply_baseline(result, load_baseline(args.baseline))
-    print(render_json(result) if args.format == "json" else render_text(result))
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
     return result.exit_code()
 
 
@@ -1058,8 +1083,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="static determinism & fork-safety analysis (AST rules)",
         description=(
             "Run the repro.lint rule set (DET001-3, FORK001-2, EXC001, "
-            "API001) over the given files/directories. Exit codes: "
-            "0 clean, 1 findings, 2 usage or internal error."
+            "API001) over the given files/directories. With --project, "
+            "additionally build the whole-program model (import graph, "
+            "call graph) and run the cross-module rule families "
+            "(SEED001-3 seed-provenance taint, ORACLE001-3 protocol "
+            "conformance, API002-4 export drift, PROJ001 import "
+            "cycles). Exit codes: 0 clean, 1 findings, 2 usage or "
+            "internal error."
         ),
     )
     p_lint.add_argument(
@@ -1067,9 +1097,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits SARIF 2.1.0 "
+        "for CI annotation)",
+    )
+    p_lint.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program analysis: project model + interprocedural "
+        "seed taint + oracle/API conformance on top of the per-file "
+        "rules",
+    )
+    p_lint.add_argument(
+        "--graph",
+        choices=["dot", "json"],
+        default=None,
+        metavar="FMT",
+        help="dump the import/call graph (dot or json) instead of "
+        "linting",
+    )
+    p_lint.add_argument(
+        "--exclude",
+        nargs="*",
+        metavar="SUBSTR",
+        help="skip files whose path contains any of these substrings "
+        "(e.g. lint_fixtures)",
     )
     p_lint.add_argument(
         "--baseline",

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CertificateError
-from repro.core import tree_schema as ts
+import repro.core.tree_schema as ts
 
 
 @dataclass(frozen=True)

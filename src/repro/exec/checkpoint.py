@@ -41,7 +41,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
-from repro import obs
+import repro.obs as obs
 from repro.exec.seeding import seed_key
 
 

@@ -53,7 +53,7 @@ import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro import obs
+import repro.obs as obs
 from repro.exec.profiling import CellTiming, ExecutionReport, Stopwatch
 
 # Published just before forking; inherited by children (see module docstring).

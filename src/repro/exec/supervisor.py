@@ -52,7 +52,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro import obs
+import repro.obs as obs
 from repro.errors import ExecutionError
 from repro.exec.seeding import derive_seed
 

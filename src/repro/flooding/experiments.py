@@ -34,7 +34,7 @@ from typing import (
     Tuple,
 )
 
-from repro import obs
+import repro.obs as obs
 from repro.errors import SimulationError
 from repro.flooding.failures import FailureSchedule, apply_schedule, survivors
 from repro.flooding.faults import FaultModel

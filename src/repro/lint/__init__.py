@@ -10,7 +10,18 @@ test has to catch the regression.
 
 Zero dependencies: the engine is built on the stdlib :mod:`ast` module.
 
-Rule catalog (see :data:`repro.lint.rules.RULES` and DESIGN.md §11):
+Two analysis depths share one engine (findings, fingerprints,
+suppressions, baselines):
+
+* **per-file** — every rule below that proves a local fact from one
+  module's AST (``repro lint PATH``);
+* **whole-program** — ``repro lint --project PATH`` builds a project
+  model (import graph + cycles, name table, conservative call graph;
+  :mod:`repro.lint.project`) and an interprocedural seed-taint analysis
+  (:mod:`repro.lint.flow`), then runs the cross-module rule families
+  from :mod:`repro.lint.rules_project` on top of the per-file pass.
+
+Rule catalog (see DESIGN.md §11 and §16):
 
 =========  ========  ====================================================
 rule       severity  hazard
@@ -29,22 +40,48 @@ FORK002    error     file handle or socket opened at module import time
 EXC001     error     over-broad ``except`` in a worker loop that can
                      swallow ``KeyboardInterrupt``/``SystemExit``
 API001     error     mutable default argument in a public function
+SEED001    error     seed value tainted by a nondeterministic source
+                     (wall clock, pid, ``os.urandom``, global random) —
+                     reported with its full cross-module taint path
+SEED002    error     ``random.Random(x)`` where ``x`` has untraceable
+                     provenance (must come from ``derive_seed``, a
+                     spec/config field, or an annotated source)
+SEED003    error     ``random.Random()`` constructed with no seed
+ORACLE001  error     class claims ``NeighborOracle`` but the read
+                     surface is incomplete or arity-incompatible
+ORACLE002  error     oracle read method mutates instance state
+ORACLE003  error     oracle miss path raises ``KeyError`` instead of
+                     ``NodeNotFoundError``
+API002     error     ``__all__`` exports a name the module never binds
+API003     warning   public top-level def/class missing from ``__all__``
+API004     warning   ``__all__``-exported callable without a docstring
+PROJ001    warning   import cycle between project modules
 SUP001     warning   malformed suppression comment (missing reason)
 PARSE001   error     file could not be parsed
 =========  ========  ====================================================
 
-Findings can be silenced two ways:
+Findings can be silenced three ways:
 
 * inline, with a reason (enforced)::
 
       value = api_call()  # repro: lint-ignore[DET002] profiling only
 
+* file-scoped, with a reason (enforced)::
+
+      # repro: lint-ignore-file[DET002] watchdog deadlines in this test
+
 * via a committed baseline file of grandfathered fingerprints
   (``lint-baseline.json``), so new code is held to the bar without a
   flag-day fix of historical findings.
 
+Seed values whose determinism the analysis cannot see (e.g. parsed from
+a reproducibility manifest) are declared at the assignment::
+
+    seed = manifest["run_seed"]  # repro: seed-source replayed manifest
+
 Entry points: :func:`run_lint` (library), ``repro lint`` (CLI) and
-``tests/test_lint.py`` (tier-1 self-check over ``src/repro``).
+``tests/test_lint.py`` / ``tests/test_lint_project.py`` (tier-1
+self-checks over ``src/repro``).
 """
 
 from repro.lint.baseline import (
@@ -61,7 +98,13 @@ from repro.lint.engine import (
     lint_source,
     run_lint,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.project import (
+    build_project,
+    lint_project,
+    render_graph_dot,
+    render_graph_json,
+)
+from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.rules import RULES, rule_ids
 
 __all__ = [
@@ -71,10 +114,15 @@ __all__ = [
     "RULES",
     "Severity",
     "apply_baseline",
+    "build_project",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "load_baseline",
+    "render_graph_dot",
+    "render_graph_json",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
     "run_lint",

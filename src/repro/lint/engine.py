@@ -32,10 +32,19 @@ __all__ = [
     "LintResult",
     "ModuleContext",
     "Severity",
+    "Suppression",
+    "apply_suppressions",
+    "check_tree",
+    "iter_python_files",
+    "lint_file",
     "lint_paths",
     "lint_source",
+    "malformed_suppression_findings",
     "module_name_for_path",
+    "parse_failure_finding",
+    "parse_suppressions",
     "run_lint",
+    "with_select",
 ]
 
 
@@ -50,7 +59,14 @@ class Severity:
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic: a rule firing at a specific source location."""
+    """One diagnostic: a rule firing at a specific source location.
+
+    ``hops`` is the optional provenance trail behind an interprocedural
+    finding (seed-taint paths): ``(path, line, note)`` triples ordered
+    source-first, sink-last.  Hops are rendered into the message and the
+    SARIF ``codeFlows`` but deliberately excluded from the fingerprint,
+    which must stay stable when unrelated edits renumber the hop lines.
+    """
 
     rule: str
     severity: str
@@ -59,6 +75,7 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    hops: Tuple[Tuple[str, int, str], ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -66,7 +83,8 @@ class Finding:
 
         Hashes the *content* of the flagged line (whitespace-normalised)
         rather than its number, so adding code above a grandfathered
-        finding does not invalidate the baseline entry.
+        finding does not invalidate the baseline entry.  Hop lines are
+        excluded for the same reason.
         """
         normalized = " ".join(self.snippet.split())
         payload = f"{_norm_path(self.path)}::{self.rule}::{normalized}"
@@ -219,18 +237,25 @@ def module_name_for_path(path: str) -> str:
 # ----------------------------------------------------------------------
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*lint-ignore\[(?P<codes>[A-Z0-9_,\s]+)\]\s*(?P<reason>.*)$"
+    r"#\s*repro:\s*lint-ignore(?P<scope>-file)?"
+    r"\[(?P<codes>[A-Z0-9_,\s]+)\]\s*(?P<reason>.*)$"
 )
 
 
 @dataclass(frozen=True)
 class Suppression:
-    """A parsed ``# repro: lint-ignore[...]`` comment."""
+    """A parsed ``# repro: lint-ignore[...]`` comment.
+
+    ``file_scope`` marks the ``lint-ignore-file[RULE] reason`` variant,
+    which silences the named rules for the whole file instead of one
+    line.  The mandatory reason is enforced for both scopes (SUP001).
+    """
 
     line: int
     codes: Tuple[str, ...]
     reason: str
     standalone: bool
+    file_scope: bool = False
 
     @property
     def target_line(self) -> int:
@@ -241,7 +266,7 @@ class Suppression:
 def parse_suppressions(
     source_lines: Sequence[str],
 ) -> Tuple[List[Suppression], List[int]]:
-    """Scan for suppression comments.
+    """Scan for suppression comments (line- and file-scoped).
 
     Returns ``(suppressions, malformed_lines)`` where ``malformed_lines``
     are comments missing the mandatory reason (these suppress nothing).
@@ -264,7 +289,11 @@ def parse_suppressions(
         standalone = text[: match.start()].strip() == ""
         suppressions.append(
             Suppression(
-                line=number, codes=codes, reason=reason, standalone=standalone
+                line=number,
+                codes=codes,
+                reason=reason,
+                standalone=standalone,
+                file_scope=match.group("scope") is not None,
             )
         )
     return suppressions, malformed
@@ -274,17 +303,26 @@ def apply_suppressions(
     findings: Iterable[Finding],
     suppressions: Sequence[Suppression],
 ) -> Tuple[List[Finding], List[Finding]]:
-    """Split findings into ``(kept, suppressed)`` using inline comments."""
+    """Split findings into ``(kept, suppressed)`` using inline comments.
+
+    Line-scoped comments silence their target line; file-scoped ones
+    silence the named rules anywhere in the file the findings came from
+    (the caller passes one file's findings at a time).
+    """
     by_line: Dict[int, Set[str]] = {}
+    file_codes: Set[str] = set()
     for suppression in suppressions:
-        by_line.setdefault(suppression.target_line, set()).update(
-            suppression.codes
-        )
+        if suppression.file_scope:
+            file_codes.update(suppression.codes)
+        else:
+            by_line.setdefault(suppression.target_line, set()).update(
+                suppression.codes
+            )
     kept: List[Finding] = []
     suppressed: List[Finding] = []
     for finding in findings:
         codes = by_line.get(finding.line, set())
-        if finding.rule in codes:
+        if finding.rule in codes or finding.rule in file_codes:
             suppressed.append(finding)
         else:
             kept.append(finding)
@@ -322,6 +360,61 @@ class LintResult:
         return 0 if self.clean else 1
 
 
+def parse_failure_finding(
+    exc: SyntaxError, path: str, source_lines: Sequence[str]
+) -> Finding:
+    """Render a ``SyntaxError`` as the PARSE001 engine diagnostic."""
+    line = exc.lineno or 1
+    snippet = ""
+    if 1 <= line <= len(source_lines):
+        snippet = source_lines[line - 1].strip()
+    return Finding(
+        rule="PARSE001",
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=(exc.offset or 1) - 1,
+        message=f"file could not be parsed: {exc.msg}",
+        snippet=snippet,
+    )
+
+
+def check_tree(tree: ast.Module, context: ModuleContext) -> List[Finding]:
+    """Run every selected per-file AST rule over a parsed module."""
+    from repro.lint.rules import RULES
+
+    raw: List[Finding] = []
+    for rule in RULES:
+        if context.config.rule_selected(rule.id):
+            raw.extend(rule.check(tree, context))
+    return raw
+
+
+def malformed_suppression_findings(
+    malformed: Sequence[int], context: ModuleContext
+) -> List[Finding]:
+    """SUP001 findings for suppression comments missing their reason."""
+    if not context.config.rule_selected("SUP001"):
+        return []
+    return [
+        Finding(
+            rule="SUP001",
+            severity=Severity.WARNING,
+            path=context.path,
+            line=line,
+            col=0,
+            message=(
+                "suppression comment is missing its mandatory "
+                "reason (or rule codes) and suppresses nothing; "
+                "write '# repro: lint-ignore[RULE] reason' (or "
+                "lint-ignore-file[RULE] reason for a whole file)"
+            ),
+            snippet=context.snippet(line),
+        )
+        for line in malformed
+    ]
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -329,8 +422,6 @@ def lint_source(
     module: Optional[str] = None,
 ) -> LintResult:
     """Lint one source string; the building block for files and tests."""
-    from repro.lint.rules import RULES
-
     config = config or LintConfig()
     source_lines = source.splitlines()
     context = ModuleContext(
@@ -343,45 +434,16 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        line = exc.lineno or 1
         if config.rule_selected("PARSE001"):
             result.findings.append(
-                Finding(
-                    rule="PARSE001",
-                    severity=Severity.ERROR,
-                    path=path,
-                    line=line,
-                    col=(exc.offset or 1) - 1,
-                    message=f"file could not be parsed: {exc.msg}",
-                    snippet=context.snippet(line),
-                )
+                parse_failure_finding(exc, path, source_lines)
             )
         return result
 
-    raw: List[Finding] = []
-    for rule in RULES:
-        if config.rule_selected(rule.id):
-            raw.extend(rule.check(tree, context))
-
+    raw = check_tree(tree, context)
     suppressions, malformed = parse_suppressions(source_lines)
     kept, suppressed = apply_suppressions(raw, suppressions)
-    if config.rule_selected("SUP001"):
-        for line in malformed:
-            kept.append(
-                Finding(
-                    rule="SUP001",
-                    severity=Severity.WARNING,
-                    path=path,
-                    line=line,
-                    col=0,
-                    message=(
-                        "suppression comment is missing its mandatory "
-                        "reason (or rule codes) and suppresses nothing; "
-                        "write '# repro: lint-ignore[RULE] reason'"
-                    ),
-                    snippet=context.snippet(line),
-                )
-            )
+    kept.extend(malformed_suppression_findings(malformed, context))
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     result.findings = kept
     result.suppressed = suppressed
@@ -395,8 +457,16 @@ def lint_file(path: str, config: Optional[LintConfig] = None) -> LintResult:
     return lint_source(source, path=path, config=config)
 
 
-def iter_python_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def iter_python_files(
+    paths: Sequence[str], exclude: Sequence[str] = ()
+) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` entries are path substrings (separator-normalised);
+    any file whose path contains one is skipped — used by the CI gate
+    to walk ``tests/`` without tripping over the intentionally-bad
+    ``tests/lint_fixtures/`` corpus.
+    """
     collected: List[str] = []
     for path in paths:
         if os.path.isfile(path):
@@ -411,15 +481,25 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
                         collected.append(os.path.join(root, name))
         else:
             raise FileNotFoundError(f"no such file or directory: {path!r}")
+    if exclude:
+        collected = [
+            path
+            for path in collected
+            if not any(
+                pattern in path.replace(os.sep, "/") for pattern in exclude
+            )
+        ]
     return sorted(dict.fromkeys(collected))
 
 
 def lint_paths(
-    paths: Sequence[str], config: Optional[LintConfig] = None
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    exclude: Sequence[str] = (),
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths`` and merge the results."""
     merged = LintResult()
-    for path in iter_python_files(paths):
+    for path in iter_python_files(paths, exclude=exclude):
         single = lint_file(path, config=config)
         merged.findings.extend(single.findings)
         merged.suppressed.extend(single.suppressed)
@@ -432,14 +512,24 @@ def run_lint(
     paths: Sequence[str],
     config: Optional[LintConfig] = None,
     baseline_path: Optional[str] = None,
+    project: bool = False,
+    exclude: Sequence[str] = (),
 ) -> LintResult:
     """Lint ``paths``, then subtract the baseline file if one is given.
 
-    This is the function behind ``repro lint`` and the tier-1 self-check.
+    ``project=True`` runs the whole-program pass (import graph, call
+    graph, interprocedural seed taint, oracle conformance, API drift)
+    on top of the per-file rules.  This is the function behind
+    ``repro lint`` and the tier-1 self-check.
     """
     from repro.lint.baseline import apply_baseline, load_baseline
 
-    result = lint_paths(paths, config=config)
+    if project:
+        from repro.lint.project import lint_project
+
+        result = lint_project(paths, config=config, exclude=exclude)
+    else:
+        result = lint_paths(paths, config=config, exclude=exclude)
     if baseline_path is not None:
         baseline = load_baseline(baseline_path)
         apply_baseline(result, baseline)

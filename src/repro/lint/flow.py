@@ -1,0 +1,1117 @@
+"""Interprocedural dataflow: seed-provenance taint analysis.
+
+The determinism contract says every RNG in the system draws from a seed
+that is a *pure function of experiment identity* — derived via
+:func:`repro.exec.seeding.derive_seed`, read from an
+``ExperimentSpec``/config field, or a literal.  The per-file rules can
+catch ``random.random()``; they cannot catch a seed that is minted
+correctly and then laundered through three call frames into a
+non-derived RNG.  This module can.
+
+The analysis is a classic source/sink/sanitizer taint lattice stitched
+across calls with function summaries:
+
+**lattice** (join = max)::
+
+    TRUSTED  <  PARAM  <  OPAQUE  <  TAINTED
+
+* ``TRUSTED`` — constants, ``derive_seed(...)`` results, attribute or
+  subscript reads whose terminal name contains ``seed`` (spec/config
+  fields, ``args.seed``), and names annotated at their assignment with
+  ``# repro: seed-source reason``;
+* ``PARAM`` — traces to a parameter of the enclosing function: an
+  *obligation* that is discharged or flagged at each resolvable call
+  site (this is the interprocedural stitch);
+* ``OPAQUE`` — provenance the analysis cannot follow (external call
+  results, unresolvable names).  Flagged only at direct RNG
+  construction sites, where provenance is mandatory;
+* ``TAINTED`` — provably nondeterministic: wall-clock reads, pids,
+  ``os.urandom``, ``uuid``, ``hash()``/``id()``, draws from the global
+  ``random`` module, or anything derived from those.
+
+**summaries**: each function's returns are classified once
+(memoized); calling a project function folds the callee's summary into
+the caller's classification, mapping ``PARAM`` returns back onto the
+call-site arguments.  ``derive_seed`` (and any summary-``TRUSTED``
+helper) acts as a *sanitizer* for opacity but never for taint —
+``derive_seed(time.time())`` is still nondeterministic.
+
+Every finding carries its full taint path as ``(path, line, note)``
+hops, source-first; notes are line-free prose so the reported chain is
+stable when unrelated edits renumber lines (pinned by the regression
+test in ``tests/test_lint_project.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.project import (
+    FunctionInfo,
+    ProjectModel,
+    _resolve_relative,
+    resolve_call_target,
+)
+
+__all__ = [
+    "Hop",
+    "Provenance",
+    "SeedIssue",
+    "SeedFlowAnalysis",
+    "TRUSTED",
+    "PARAM",
+    "OPAQUE",
+    "TAINTED",
+    "analyze_seed_flow",
+]
+
+Hop = Tuple[str, int, str]
+
+TRUSTED = 0
+PARAM = 1
+OPAQUE = 2
+TAINTED = 3
+
+_STATE_NAMES = {
+    TRUSTED: "trusted",
+    PARAM: "parameter",
+    OPAQUE: "opaque",
+    TAINTED: "tainted",
+}
+
+# Provably nondeterministic callables: seeding from any of these makes
+# the run irreproducible by construction.
+TAINTED_CALLS: Set[str] = {
+    "datetime.date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "hash",
+    "id",
+    "os.getpid",
+    "os.getppid",
+    "os.times",
+    "os.urandom",
+    "random.betavariate",
+    "random.choice",
+    "random.gauss",
+    "random.getrandbits",
+    "random.randbytes",
+    "random.randint",
+    "random.random",
+    "random.randrange",
+    "random.uniform",
+    "secrets.randbelow",
+    "secrets.randbits",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.time",
+    "time.time_ns",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+# The blessed derivation root(s): results carry trusted provenance, but
+# taint in any argument passes straight through (a sanitizer for
+# opacity, never for nondeterminism).
+TRUSTED_CALLS: Set[str] = {
+    "repro.exec.seeding.derive_seed",
+}
+
+# Deterministic pure builtins: result provenance is the join of the
+# argument provenances.
+PASSTHROUGH_CALLS: Set[str] = {
+    "abs",
+    "divmod",
+    "float",
+    "int",
+    "max",
+    "min",
+    "pow",
+    "round",
+    "sum",
+}
+
+# Deterministic regardless of argument identity.
+NEUTRAL_CALLS: Set[str] = {"len", "bool", "str", "repr", "ord", "chr"}
+
+_SEED_NAME_RE = re.compile(r"seed", re.IGNORECASE)
+
+_SEED_SOURCE_RE = re.compile(
+    r"#\s*repro:\s*seed-source\b\s*(?P<reason>.*)$"
+)
+
+_MAX_HOPS = 16
+_MAX_OBLIGATION_DEPTH = 10
+
+
+def _is_seedish(name: str) -> bool:
+    return _SEED_NAME_RE.search(name) is not None
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Classification of one expression's value."""
+
+    state: int
+    detail: str = ""
+    param: Optional[str] = None
+    hops: Tuple[Hop, ...] = ()
+
+    def with_hop(self, hop: Hop) -> "Provenance":
+        if len(self.hops) >= _MAX_HOPS:
+            return self
+        return replace(self, hops=self.hops + (hop,))
+
+
+_TRUSTED_PROV = Provenance(TRUSTED, "literal/derived value")
+
+
+def _join(provs: Sequence[Provenance]) -> Provenance:
+    """Lattice join: the worst contributor wins, keeping its evidence."""
+    if not provs:
+        return _TRUSTED_PROV
+    worst = provs[0]
+    for prov in provs[1:]:
+        if prov.state > worst.state:
+            worst = prov
+    return worst
+
+
+@dataclass(frozen=True)
+class SeedIssue:
+    """One raw flow issue; rules_project maps these onto SEED00x ids."""
+
+    kind: str  # "tainted" | "opaque" | "unseeded"
+    module: str
+    path: str
+    line: int
+    col: int
+    sink: str  # human description of the seeding position
+    detail: str  # what the offending provenance is
+    hops: Tuple[Hop, ...] = ()
+
+
+@dataclass
+class _Scope:
+    """One analyzable body: a function, method, nested def, or module."""
+
+    qualname: str
+    module: str
+    body: Sequence[ast.stmt]
+    params: Tuple[str, ...] = ()
+    class_name: Optional[str] = None
+    info: Optional[FunctionInfo] = None
+    outer_env: Dict[str, Provenance] = field(default_factory=dict)
+    # function-level imports: local alias -> dotted origin
+    local_names: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Obligation:
+    """A sink reached by a parameter: check every resolvable call site."""
+
+    qualname: str  # function whose parameter feeds the sink
+    param: str
+    sink: str
+    sink_hops: Tuple[Hop, ...]  # path from the parameter to the sink
+    depth: int = 0
+
+
+class SeedFlowAnalysis:
+    """Whole-program seed-provenance pass over a :class:`ProjectModel`."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.issues: List[SeedIssue] = []
+        self._summaries: Dict[str, Provenance] = {}
+        self._in_progress: Set[str] = set()
+        self._module_envs: Dict[str, Dict[str, Provenance]] = {}
+        self._analyzed: Set[str] = set()
+        self._obligations: List[_Obligation] = []
+        self._seen_obligations: Set[Tuple[str, str]] = set()
+        self._seed_source_lines: Dict[str, Set[int]] = {}
+        self._pending_scopes: List[_Scope] = []
+
+    # -- public entry ---------------------------------------------------
+
+    def run(self) -> List[SeedIssue]:
+        for module in sorted(self.project.modules):
+            self._module_env(module)
+        for qualname in sorted(self.project.functions):
+            self._analyze_function(qualname)
+        while self._pending_scopes:
+            scope = self._pending_scopes.pop(0)
+            self._analyze_scope(scope)
+        self._discharge_obligations()
+        self.issues.sort(key=lambda i: (i.path, i.line, i.col, i.kind))
+        return self.issues
+
+    # -- annotations ----------------------------------------------------
+
+    def _seed_source_annotations(self, module: str) -> Set[int]:
+        cached = self._seed_source_lines.get(module)
+        if cached is not None:
+            return cached
+        info = self.project.modules.get(module)
+        lines: Set[int] = set()
+        if info is not None:
+            for number, text in enumerate(info.source_lines, start=1):
+                match = _SEED_SOURCE_RE.search(text)
+                if match is not None and match.group("reason").strip():
+                    lines.add(number)
+        self._seed_source_lines[module] = lines
+        return lines
+
+    # -- environments ---------------------------------------------------
+
+    def _module_env(self, module: str) -> Dict[str, Provenance]:
+        cached = self._module_envs.get(module)
+        if cached is not None:
+            return cached
+        env: Dict[str, Provenance] = {}
+        self._module_envs[module] = env  # break import cycles
+        info = self.project.modules.get(module)
+        if info is None:
+            return env
+        scope = _Scope(
+            qualname=f"{module}.<module>",
+            module=module,
+            body=info.tree.body,
+        )
+        self._run_scope(scope, env, collect_returns=False)
+        return env
+
+    # -- function analysis ----------------------------------------------
+
+    def _analyze_function(self, qualname: str) -> Provenance:
+        """Analyze a function once: record its sinks, return its summary."""
+        cached = self._summaries.get(qualname)
+        if cached is not None and qualname in self._analyzed:
+            return cached
+        if qualname in self._in_progress:
+            return Provenance(OPAQUE, f"recursive call cycle via {qualname}")
+        info = self.project.functions.get(qualname)
+        if info is None:
+            return Provenance(OPAQUE, f"unknown function {qualname}")
+        self._in_progress.add(qualname)
+        try:
+            scope = _Scope(
+                qualname=qualname,
+                module=info.module,
+                body=list(getattr(info.node, "body", [])),
+                params=info.params,
+                class_name=info.class_name,
+                info=info,
+            )
+            env: Dict[str, Provenance] = dict(
+                self._module_env(info.module)
+            )
+            for param in info.params:
+                env[param] = Provenance(
+                    PARAM, f"parameter '{param}'", param=param
+                )
+            returns = self._run_scope(scope, env, collect_returns=True)
+            summary = _join(returns) if returns else _TRUSTED_PROV
+            self._summaries[qualname] = summary
+            self._analyzed.add(qualname)
+            return summary
+        finally:
+            self._in_progress.discard(qualname)
+
+    def _summary(self, qualname: str) -> Provenance:
+        return self._analyze_function(qualname)
+
+    def _analyze_scope(self, scope: _Scope) -> None:
+        """Analyze a nested def captured during an outer pass."""
+        if scope.qualname in self._analyzed:
+            return
+        self._analyzed.add(scope.qualname)
+        env = dict(scope.outer_env)
+        for param in scope.params:
+            env[param] = Provenance(
+                PARAM, f"parameter '{param}'", param=param
+            )
+        self._run_scope(scope, env, collect_returns=False)
+
+    # -- the statement walk ---------------------------------------------
+
+    def _run_scope(
+        self,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        collect_returns: bool,
+    ) -> List[Provenance]:
+        returns: List[Provenance] = []
+        annotations = self._seed_source_annotations(scope.module)
+        self._exec_block(scope.body, scope, env, returns, annotations)
+        return returns if collect_returns else []
+
+    def _exec_block(
+        self,
+        statements: Sequence[ast.stmt],
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        returns: List[Provenance],
+        annotations: Set[int],
+    ) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._record_local_import(stmt, scope)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    scope.qualname.endswith(".<module>")
+                    and f"{scope.module}.{stmt.name}"
+                    in self.project.functions
+                ):
+                    continue  # top-level function: analyzed directly
+                nested = _Scope(
+                    qualname=f"{scope.qualname}.<locals>.{stmt.name}",
+                    module=scope.module,
+                    body=stmt.body,
+                    params=tuple(
+                        a.arg
+                        for a in (
+                            stmt.args.posonlyargs
+                            + stmt.args.args
+                            + stmt.args.kwonlyargs
+                        )
+                    ),
+                    class_name=scope.class_name,
+                    outer_env=dict(env),
+                    local_names=dict(scope.local_names),
+                )
+                self._pending_scopes.append(nested)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                # class body at this level: methods become nested scopes
+                for sub in stmt.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        qual = (
+                            f"{scope.module}.{stmt.name}.{sub.name}"
+                            if scope.qualname.endswith(".<module>")
+                            else f"{scope.qualname}.<locals>."
+                            f"{stmt.name}.{sub.name}"
+                        )
+                        if qual in self.project.functions:
+                            continue  # top-level method: analyzed directly
+                        params = tuple(
+                            a.arg
+                            for a in (
+                                sub.args.posonlyargs
+                                + sub.args.args
+                                + sub.args.kwonlyargs
+                            )
+                        )
+                        if params and params[0] in ("self", "cls"):
+                            params = params[1:]
+                        self._pending_scopes.append(
+                            _Scope(
+                                qualname=qual,
+                                module=scope.module,
+                                body=sub.body,
+                                params=params,
+                                class_name=stmt.name,
+                                outer_env=dict(env),
+                                local_names=dict(scope.local_names),
+                            )
+                        )
+                continue
+
+            # Scan only the parts of the statement that the recursion
+            # below does not revisit: simple statements whole, compound
+            # statements just their header expressions.
+            if isinstance(
+                stmt,
+                (
+                    ast.If,
+                    ast.While,
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.With,
+                    ast.AsyncWith,
+                    ast.Try,
+                ),
+            ):
+                for header in _header_exprs(stmt):
+                    self._scan_sinks(header, scope, env)
+            else:
+                self._scan_sinks(stmt, scope, env)
+
+            if isinstance(stmt, ast.Assign):
+                value = self._classify(stmt.value, scope, env)
+                if stmt.lineno in annotations:
+                    value = Provenance(
+                        TRUSTED, "annotated '# repro: seed-source'"
+                    )
+                for target in stmt.targets:
+                    self._bind_target(target, value, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = self._classify(stmt.value, scope, env)
+                if stmt.lineno in annotations:
+                    value = Provenance(
+                        TRUSTED, "annotated '# repro: seed-source'"
+                    )
+                self._bind_target(stmt.target, value, env)
+            elif isinstance(stmt, ast.AugAssign):
+                if isinstance(stmt.target, ast.Name):
+                    current = env.get(stmt.target.id, _TRUSTED_PROV)
+                    value = self._classify(stmt.value, scope, env)
+                    env[stmt.target.id] = _join([current, value])
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    returns.append(
+                        self._classify(stmt.value, scope, env)
+                    )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._bind_target(
+                    stmt.target, self._loop_prov(stmt.iter, scope, env), env
+                )
+                self._exec_block(stmt.body, scope, env, returns, annotations)
+                self._exec_block(
+                    stmt.orelse, scope, env, returns, annotations
+                )
+            elif isinstance(stmt, ast.While):
+                self._exec_block(stmt.body, scope, env, returns, annotations)
+                self._exec_block(
+                    stmt.orelse, scope, env, returns, annotations
+                )
+            elif isinstance(stmt, ast.If):
+                self._exec_block(stmt.body, scope, env, returns, annotations)
+                self._exec_block(
+                    stmt.orelse, scope, env, returns, annotations
+                )
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(
+                            item.optional_vars,
+                            Provenance(OPAQUE, "context-manager result"),
+                            env,
+                        )
+                self._exec_block(stmt.body, scope, env, returns, annotations)
+            elif isinstance(stmt, ast.Try):
+                self._exec_block(stmt.body, scope, env, returns, annotations)
+                for handler in stmt.handlers:
+                    self._exec_block(
+                        handler.body, scope, env, returns, annotations
+                    )
+                self._exec_block(
+                    stmt.orelse, scope, env, returns, annotations
+                )
+                self._exec_block(
+                    stmt.finalbody, scope, env, returns, annotations
+                )
+
+    def _record_local_import(self, stmt: ast.stmt, scope: _Scope) -> None:
+        """Track a function-level import so its names resolve in-scope."""
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname is not None:
+                    scope.local_names[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    scope.local_names[root] = root
+        elif isinstance(stmt, ast.ImportFrom):
+            target = _resolve_relative(scope.module, stmt)
+            if target is None:
+                return
+            for alias in stmt.names:
+                if alias.name != "*":
+                    scope.local_names[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}"
+                    )
+
+    def _resolve_target(
+        self, func: ast.expr, scope: _Scope
+    ) -> Optional[str]:
+        """Callee resolution that also sees function-level imports."""
+        if scope.local_names:
+            if isinstance(func, ast.Name) and func.id in scope.local_names:
+                return scope.local_names[func.id]
+            if isinstance(func, ast.Attribute):
+                parts: List[str] = []
+                cursor: ast.expr = func
+                while isinstance(cursor, ast.Attribute):
+                    parts.append(cursor.attr)
+                    cursor = cursor.value
+                if (
+                    isinstance(cursor, ast.Name)
+                    and cursor.id in scope.local_names
+                ):
+                    parts.reverse()
+                    return ".".join(
+                        [scope.local_names[cursor.id]] + parts
+                    )
+        return resolve_call_target(
+            self.project, scope.module, func, scope.class_name
+        )
+
+    def _loop_prov(
+        self,
+        iterable: ast.expr,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+    ) -> Provenance:
+        """Loop variables over range/enumerate are deterministic indices."""
+        if isinstance(iterable, ast.Call):
+            target = self._resolve_target(iterable.func, scope)
+            if target in ("range", "enumerate", "zip", "sorted", "reversed"):
+                return _TRUSTED_PROV
+        return Provenance(OPAQUE, "loop variable")
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value: Provenance,
+        env: Dict[str, Provenance],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(
+                    element,
+                    value
+                    if value.state in (TAINTED,)
+                    else Provenance(OPAQUE, "unpacked element"),
+                    env,
+                )
+
+    # -- sinks -----------------------------------------------------------
+
+    def _scan_sinks(
+        self,
+        root: ast.AST,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+    ) -> None:
+        for node in ast.walk(root):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve_target(node.func, scope)
+            if target == "random.Random":
+                if not node.args and not node.keywords:
+                    self._record(
+                        scope,
+                        node,
+                        kind="unseeded",
+                        sink="random.Random()",
+                        detail=(
+                            "constructed with no seed: it is seeded from "
+                            "OS entropy and every run differs"
+                        ),
+                        hops=(),
+                    )
+                elif node.args:
+                    self._check_sink(
+                        scope,
+                        env,
+                        node,
+                        node.args[0],
+                        sink="random.Random(...)",
+                        direct=True,
+                    )
+                else:
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            self._check_sink(
+                                scope,
+                                env,
+                                node,
+                                keyword.value,
+                                sink="random.Random(...)",
+                                direct=True,
+                            )
+                continue
+            # seed-named keyword arguments of non-project callables
+            # (project callees are covered by parameter obligations)
+            if target is not None and (
+                target in self.project.functions
+                or target in self.project.classes
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is not None and _is_seedish(keyword.arg):
+                    label = target if target is not None else "a call"
+                    self._check_sink(
+                        scope,
+                        env,
+                        node,
+                        keyword.value,
+                        sink=f"{label}({keyword.arg}=...)",
+                        direct=False,
+                    )
+
+    def _check_sink(
+        self,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        call: ast.Call,
+        value: ast.expr,
+        sink: str,
+        direct: bool,
+    ) -> None:
+        prov = self._classify(value, scope, env)
+        if prov.state == TAINTED:
+            self._record(
+                scope,
+                call,
+                kind="tainted",
+                sink=sink,
+                detail=prov.detail,
+                hops=prov.hops,
+            )
+        elif prov.state == OPAQUE and direct:
+            self._record(
+                scope,
+                call,
+                kind="opaque",
+                sink=sink,
+                detail=prov.detail,
+                hops=prov.hops,
+            )
+        elif prov.state == PARAM and prov.param is not None:
+            info = scope.info
+            if info is not None:
+                key = (info.qualname, prov.param)
+                if key not in self._seen_obligations:
+                    self._seen_obligations.add(key)
+                    hop = self._hop(
+                        scope.module,
+                        call,
+                        f"parameter '{prov.param}' of "
+                        f"{_short(info.qualname)}() reaches {sink}",
+                    )
+                    self._obligations.append(
+                        _Obligation(
+                            qualname=info.qualname,
+                            param=prov.param,
+                            sink=sink,
+                            sink_hops=prov.hops + (hop,),
+                        )
+                    )
+
+    def _record(
+        self,
+        scope: _Scope,
+        node: ast.AST,
+        kind: str,
+        sink: str,
+        detail: str,
+        hops: Tuple[Hop, ...],
+    ) -> None:
+        info = self.project.modules.get(scope.module)
+        path = info.path if info is not None else "<unknown>"
+        self.issues.append(
+            SeedIssue(
+                kind=kind,
+                module=scope.module,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                sink=sink,
+                detail=detail,
+                hops=hops,
+            )
+        )
+
+    def _hop(self, module: str, node: ast.AST, note: str) -> Hop:
+        info = self.project.modules.get(module)
+        path = info.path if info is not None else "<unknown>"
+        return (path, getattr(node, "lineno", 1), note)
+
+    # -- obligations: the interprocedural stitch -------------------------
+
+    def _discharge_obligations(self) -> None:
+        while self._obligations:
+            obligation = self._obligations.pop(0)
+            if obligation.depth >= _MAX_OBLIGATION_DEPTH:
+                continue
+            info = self.project.functions.get(obligation.qualname)
+            if info is None:
+                continue
+            for site in self.project.callers_of.get(
+                obligation.qualname, []
+            ):
+                mapping = info.param_for_call(site.node)
+                arg = mapping.get(obligation.param)
+                if arg is None:
+                    continue  # default applies: a literal, trusted
+                caller_env = self._env_for_caller(site.caller, site.module)
+                caller_scope = _Scope(
+                    qualname=site.caller,
+                    module=site.module,
+                    body=[],
+                    params=self._params_of(site.caller),
+                    class_name=self._class_of(site.caller),
+                    info=self.project.functions.get(site.caller),
+                )
+                prov = self._classify(arg, caller_scope, caller_env)
+                call_hop = self._hop(
+                    site.module,
+                    site.node,
+                    f"passed as '{obligation.param}' to "
+                    f"{_short(obligation.qualname)}()",
+                )
+                if prov.state == TAINTED:
+                    full = (
+                        prov.hops + (call_hop,) + obligation.sink_hops
+                    )[:_MAX_HOPS]
+                    module_info = self.project.modules.get(site.module)
+                    self.issues.append(
+                        SeedIssue(
+                            kind="tainted",
+                            module=site.module,
+                            path=(
+                                module_info.path
+                                if module_info is not None
+                                else "<unknown>"
+                            ),
+                            line=site.node.lineno,
+                            col=site.node.col_offset,
+                            sink=obligation.sink,
+                            detail=prov.detail,
+                            hops=full,
+                        )
+                    )
+                elif prov.state == PARAM and prov.param is not None:
+                    caller_info = self.project.functions.get(site.caller)
+                    if caller_info is None:
+                        continue
+                    key = (caller_info.qualname, prov.param)
+                    if key in self._seen_obligations:
+                        continue
+                    self._seen_obligations.add(key)
+                    self._obligations.append(
+                        _Obligation(
+                            qualname=caller_info.qualname,
+                            param=prov.param,
+                            sink=obligation.sink,
+                            sink_hops=(call_hop,) + obligation.sink_hops,
+                            depth=obligation.depth + 1,
+                        )
+                    )
+                # OPAQUE at a call boundary is not flagged: provenance
+                # is only mandatory at direct construction sites.
+
+    def _env_for_caller(
+        self, caller: str, module: str
+    ) -> Dict[str, Provenance]:
+        """Best-effort environment for evaluating a call-site argument.
+
+        Re-runs the caller's binding pass (cheap, memoization keeps the
+        summaries shared) so names at the call site resolve; parameters
+        of the caller classify as PARAM and propagate the obligation.
+        """
+        env = dict(self._module_env(module))
+        info = self.project.functions.get(caller)
+        if info is not None:
+            for param in info.params:
+                env[param] = Provenance(
+                    PARAM, f"parameter '{param}'", param=param
+                )
+            scope = _Scope(
+                qualname=caller,
+                module=info.module,
+                body=list(getattr(info.node, "body", [])),
+                params=info.params,
+                class_name=info.class_name,
+                info=info,
+            )
+            annotations = self._seed_source_annotations(info.module)
+            self._bind_only(scope.body, scope, env, annotations)
+        return env
+
+    def _bind_only(
+        self,
+        statements: Sequence[ast.stmt],
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        annotations: Set[int],
+    ) -> None:
+        """Replay assignments (no sink scanning) to build an env."""
+        for stmt in statements:
+            if isinstance(
+                stmt,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._record_local_import(stmt, scope)
+                continue
+            if isinstance(stmt, ast.Assign):
+                value = self._classify(stmt.value, scope, env)
+                if stmt.lineno in annotations:
+                    value = Provenance(
+                        TRUSTED, "annotated '# repro: seed-source'"
+                    )
+                for target in stmt.targets:
+                    self._bind_target(target, value, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = self._classify(stmt.value, scope, env)
+                self._bind_target(stmt.target, value, env)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._bind_target(
+                    stmt.target,
+                    self._loop_prov(stmt.iter, scope, env),
+                    env,
+                )
+                self._bind_only(stmt.body, scope, env, annotations)
+            elif isinstance(
+                stmt, (ast.If, ast.While, ast.With, ast.AsyncWith, ast.Try)
+            ):
+                for block in _sub_blocks(stmt):
+                    self._bind_only(block, scope, env, annotations)
+
+    def _params_of(self, qualname: str) -> Tuple[str, ...]:
+        info = self.project.functions.get(qualname)
+        return info.params if info is not None else ()
+
+    def _class_of(self, qualname: str) -> Optional[str]:
+        info = self.project.functions.get(qualname)
+        return info.class_name if info is not None else None
+
+    # -- expression classification ---------------------------------------
+
+    def _classify(
+        self,
+        expr: ast.expr,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        depth: int = 0,
+    ) -> Provenance:
+        if depth > 24:
+            return Provenance(OPAQUE, "expression too deep to trace")
+        if isinstance(expr, ast.Constant):
+            return _TRUSTED_PROV
+        if isinstance(expr, ast.Name):
+            bound = env.get(expr.id)
+            if bound is not None:
+                return bound
+            resolved = self.project.resolve(scope.module, expr.id)
+            if resolved is not None:
+                owner, _, leaf = resolved.rpartition(".")
+                if owner in self.project.modules and owner != scope.module:
+                    other_env = self._module_env(owner)
+                    if leaf in other_env:
+                        return other_env[leaf]
+            if _is_seedish(expr.id):
+                # an unresolvable seed-named binding is a boundary the
+                # analysis trusts (argparse targets, star imports)
+                return Provenance(
+                    TRUSTED, f"seed-named binding '{expr.id}'"
+                )
+            return Provenance(OPAQUE, f"unresolvable name '{expr.id}'")
+        if isinstance(expr, ast.Attribute):
+            if _is_seedish(expr.attr):
+                return Provenance(
+                    TRUSTED, f"config/spec field '.{expr.attr}'"
+                )
+            return Provenance(OPAQUE, f"attribute read '.{expr.attr}'")
+        if isinstance(expr, ast.Subscript):
+            key = expr.slice
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and _is_seedish(key.value)
+            ):
+                return Provenance(
+                    TRUSTED, f"config entry [{key.value!r}]"
+                )
+            return Provenance(OPAQUE, "subscript read")
+        if isinstance(expr, ast.Call):
+            return self._classify_call(expr, scope, env, depth)
+        if isinstance(expr, ast.BinOp):
+            return _join(
+                [
+                    self._classify(expr.left, scope, env, depth + 1),
+                    self._classify(expr.right, scope, env, depth + 1),
+                ]
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._classify(expr.operand, scope, env, depth + 1)
+        if isinstance(expr, ast.BoolOp):
+            return _join(
+                [
+                    self._classify(value, scope, env, depth + 1)
+                    for value in expr.values
+                ]
+            )
+        if isinstance(expr, ast.IfExp):
+            return _join(
+                [
+                    self._classify(expr.body, scope, env, depth + 1),
+                    self._classify(expr.orelse, scope, env, depth + 1),
+                ]
+            )
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return _join(
+                [
+                    self._classify(element, scope, env, depth + 1)
+                    for element in expr.elts
+                    if not isinstance(element, ast.Starred)
+                ]
+            )
+        if isinstance(expr, ast.Compare):
+            return _TRUSTED_PROV  # booleans carry no seed material
+        if isinstance(expr, ast.JoinedStr):
+            return _TRUSTED_PROV
+        return Provenance(OPAQUE, "untraceable expression")
+
+    def _classify_call(
+        self,
+        call: ast.Call,
+        scope: _Scope,
+        env: Dict[str, Provenance],
+        depth: int,
+    ) -> Provenance:
+        target = self._resolve_target(call.func, scope)
+        arg_provs = [
+            self._classify(arg, scope, env, depth + 1)
+            for arg in call.args
+            if not isinstance(arg, ast.Starred)
+        ] + [
+            self._classify(keyword.value, scope, env, depth + 1)
+            for keyword in call.keywords
+            if keyword.arg is not None
+        ]
+        if target is None:
+            return Provenance(OPAQUE, "call through untraceable expression")
+        if target in TAINTED_CALLS:
+            return Provenance(
+                TAINTED,
+                f"{target}() — nondeterministic source",
+            ).with_hop(
+                self._hop(
+                    scope.module,
+                    call,
+                    f"{target}() — nondeterministic source",
+                )
+            )
+        if target == "random.Random" and not call.args and not call.keywords:
+            return Provenance(
+                TAINTED, "random.Random() seeded from OS entropy"
+            ).with_hop(
+                self._hop(
+                    scope.module, call, "random.Random() with no seed"
+                )
+            )
+        if target in TRUSTED_CALLS:
+            worst = _join(arg_provs)
+            if worst.state == TAINTED:
+                return worst.with_hop(
+                    self._hop(
+                        scope.module,
+                        call,
+                        f"taint survives {_short(target)}() derivation",
+                    )
+                )
+            if worst.state == PARAM:
+                return worst
+            return Provenance(TRUSTED, f"derived via {_short(target)}()")
+        if target in NEUTRAL_CALLS:
+            return _TRUSTED_PROV
+        if target in PASSTHROUGH_CALLS:
+            return _join(arg_provs)
+        summary = None
+        if target in self.project.classes:
+            cls = self.project.classes[target]
+            init = cls.methods.get("__init__")
+            if init is None:
+                return Provenance(OPAQUE, f"instance of {_short(target)}")
+            target = init.qualname
+        if target in self.project.functions:
+            summary = self._summary(target)
+            if summary.state == TAINTED:
+                return summary.with_hop(
+                    self._hop(
+                        scope.module,
+                        call,
+                        f"returned from {_short(target)}()",
+                    )
+                )
+            if summary.state == PARAM and summary.param is not None:
+                info = self.project.functions[target]
+                mapping = info.param_for_call(call)
+                arg = mapping.get(summary.param)
+                if arg is None:
+                    return Provenance(
+                        TRUSTED, f"{_short(target)}() default argument"
+                    )
+                inner = self._classify(arg, scope, env, depth + 1)
+                if inner.state in (TAINTED, PARAM):
+                    return inner.with_hop(
+                        self._hop(
+                            scope.module,
+                            call,
+                            f"flows through parameter "
+                            f"'{summary.param}' of {_short(target)}() "
+                            "into its return value",
+                        )
+                    )
+                return inner
+            if summary.state == TRUSTED:
+                return Provenance(
+                    TRUSTED, f"returned from {_short(target)}()"
+                )
+            return Provenance(
+                OPAQUE, f"returned from {_short(target)}()"
+            )
+        return Provenance(
+            OPAQUE, f"call to external function {_short(target)}()"
+        )
+
+
+def _short(qualname: str) -> str:
+    """Last two components of a qualified name, for readable messages."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname
+
+
+def _header_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Header expressions of a compound statement (test, iter, items)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+
+
+def _sub_blocks(stmt: ast.stmt) -> Iterator[Sequence[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+
+
+def analyze_seed_flow(project: ProjectModel) -> List[SeedIssue]:
+    """Run (and memoize on the model) the whole-program seed pass."""
+    cached = getattr(project, "_seed_flow_issues", None)
+    if cached is not None:
+        return list(cached)
+    issues = SeedFlowAnalysis(project).run()
+    setattr(project, "_seed_flow_issues", issues)
+    return list(issues)

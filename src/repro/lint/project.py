@@ -1,0 +1,768 @@
+"""The project model: whole-program structure for the lint analyzer.
+
+Per-file AST rules (:mod:`repro.lint.rules`) can prove local facts —
+"this call reads the wall clock" — but the determinism contract is a
+*global* property: a seed minted correctly in one module can be
+laundered through three call frames into a non-derived RNG two packages
+away, and no single file shows the violation.  This module builds the
+shared substrate the cross-module rules stand on:
+
+* **module discovery** — every ``.py`` file under the analyzed roots,
+  parsed exactly once, with package-aware dotted names
+  (:func:`package_module_name` walks ``__init__.py`` markers, so
+  fixtures and out-of-tree packages resolve just like ``src/repro``);
+* **import graph** — module-level (import-time) edges between project
+  modules, with ``if TYPE_CHECKING:`` blocks excluded and strongly
+  connected components reported as cycles;
+* **name table** — per-module resolution of every top-level name to its
+  fully qualified origin, chasing re-export chains through the project
+  (``from repro.exec import derive_seed`` resolves to
+  ``repro.exec.seeding.derive_seed``);
+* **conservative call graph** — for every function and method, the
+  call sites whose callee resolves through the name table.  Unresolved
+  calls are simply absent: the graph under-approximates, which is the
+  right direction for the taint analysis built on top (an edge we
+  cannot prove never manufactures a finding).
+
+The driver, :func:`lint_project`, parses each file once, runs the
+per-file rules, then the project rules
+(:mod:`repro.lint.rules_project`), and funnels everything through the
+same suppression/fingerprint/baseline machinery as the per-file path.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    LintResult,
+    ModuleContext,
+    Suppression,
+    apply_suppressions,
+    check_tree,
+    iter_python_files,
+    malformed_suppression_findings,
+    parse_failure_finding,
+    parse_suppressions,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project",
+    "import_cycles",
+    "lint_project",
+    "package_module_name",
+    "render_graph_dot",
+    "render_graph_json",
+    "resolve_call_target",
+]
+
+
+def package_module_name(path: str) -> str:
+    """Dotted module name derived from on-disk package structure.
+
+    Walks parent directories while they contain ``__init__.py``, so the
+    name reflects the *importable* identity of the file regardless of
+    where the analysis was rooted: ``src/repro/exec/pool.py`` →
+    ``repro.exec.pool``; ``tests/lint_fixtures/project_bad/tangle/
+    mint.py`` → ``tangle.mint`` (``project_bad`` has no marker).  A
+    bare script resolves to its stem.
+    """
+    normalized = os.path.normpath(os.path.abspath(path))
+    directory, filename = os.path.split(normalized)
+    stem = filename[: -len(".py")] if filename.endswith(".py") else filename
+    parts: List[str] = []
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        if not package:
+            break
+        parts.insert(0, package)
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts) if parts else stem
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus everything later passes need from it."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: List[str]
+    suppressions: List[Suppression] = field(default_factory=list)
+    malformed_suppressions: List[int] = field(default_factory=list)
+
+    def context(self, config: LintConfig) -> ModuleContext:
+        return ModuleContext(
+            path=self.path,
+            module=self.module,
+            source_lines=self.source_lines,
+            config=config,
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method definition, addressable project-wide.
+
+    ``qualname`` is ``module.func`` for top-level functions and
+    ``module.Class.method`` for methods; ``params`` excludes
+    ``self``/``cls`` for methods so call-site argument mapping lines up
+    with what callers actually pass.
+    """
+
+    qualname: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: Tuple[str, ...]
+    defaults_count: int
+    is_method: bool
+    class_name: Optional[str] = None
+
+    def param_for_call(
+        self, call: ast.Call
+    ) -> Dict[str, ast.expr]:
+        """Map a call site's arguments onto this function's parameters.
+
+        Positional args line up with ``params`` in order; keywords match
+        by name.  ``*args``/``**kwargs`` at the call site are skipped —
+        the mapping under-approximates, never mis-attributes.
+        """
+        mapping: Dict[str, ast.expr] = {}
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(self.params):
+                mapping[self.params[index]] = arg
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in self.params:
+                mapping[keyword.arg] = keyword.value
+        return mapping
+
+
+@dataclass
+class ClassInfo:
+    """A top-level class: its methods and base-class names."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``node``."""
+
+    caller: str  # qualname of enclosing function, or "<module>" scope
+    callee: str  # resolved qualified name
+    module: str  # module containing the call
+    node: ast.Call
+
+
+@dataclass
+class ProjectModel:
+    """Everything the cross-module rules need, computed once."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    imports: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    import_lines: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    cycles: List[List[str]] = field(default_factory=list)
+    # per-module: local top-level name -> fully-qualified origin
+    names: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    call_sites: List[CallSite] = field(default_factory=list)
+    # callee qualname -> call sites invoking it
+    callers_of: Dict[str, List[CallSite]] = field(default_factory=dict)
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def module_of(self, qualname: str) -> Optional[ModuleInfo]:
+        """The module that defines ``qualname`` (function/class), if any."""
+        info = self.functions.get(qualname) or self.classes.get(qualname)
+        if info is None:
+            return None
+        return self.modules.get(info.module)
+
+    def resolve(self, module: str, name: str) -> Optional[str]:
+        """Fully-qualified origin of ``name`` as seen from ``module``.
+
+        Chases re-export chains through project modules (bounded, cycle
+        safe): if ``module`` imported the name from another project
+        module that itself imported it, resolution continues until a
+        definition or an external origin is reached.
+        """
+        seen: Set[Tuple[str, str]] = set()
+        current_module, current_name = module, name
+        for _ in range(32):
+            if (current_module, current_name) in seen:
+                return None
+            seen.add((current_module, current_name))
+            table = self.names.get(current_module)
+            if table is None or current_name not in table:
+                return None
+            origin = table[current_name]
+            owner, _, leaf = origin.rpartition(".")
+            if origin == f"{current_module}.{current_name}" or not owner:
+                return origin
+            if owner in self.modules:
+                # re-export: does the owner define it, or import it on?
+                owner_table = self.names.get(owner, {})
+                if owner_table.get(leaf) == origin:
+                    return origin
+                if leaf in owner_table:
+                    current_module, current_name = owner, leaf
+                    continue
+                return origin
+            if origin.rpartition(".")[0] == "":
+                return origin
+            # origin's owner might itself be a dotted project module
+            # (``from repro.exec.seeding import derive_seed``)
+            return origin
+        return None
+
+
+# ----------------------------------------------------------------------
+# Discovery and per-module tables
+# ----------------------------------------------------------------------
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+    )
+
+
+def _import_time_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements executed when the module is imported.
+
+    Descends through top-level ``if``/``try``/``with`` and class bodies
+    but not into functions; skips ``if TYPE_CHECKING`` and main guards
+    (imports there are not import-time edges).
+    """
+
+    def walk(statements: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield stmt
+            if isinstance(stmt, ast.If):
+                if _is_type_checking(stmt.test) or _is_main_guard(stmt.test):
+                    yield from walk(stmt.orelse)
+                    continue
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from walk(stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+
+    yield from walk(tree.body)
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute module targeted by a (possibly relative) ``from`` import."""
+    if not node.level:
+        return node.module
+    parts = module.split(".")
+    # level 1 = current package; the module's own name is not a package
+    # component unless it *is* a package (__init__), which discovery
+    # already collapsed into the package name.
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - node.level + 1]
+    # ``from . import x`` inside package p: base should be p itself
+    if len(base) == len(parts):
+        base = parts[:-1] if len(parts) > 1 else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _function_info(
+    node: ast.AST,
+    module: str,
+    class_name: Optional[str],
+) -> FunctionInfo:
+    args = node.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    name = node.name  # type: ignore[attr-defined]
+    qual = (
+        f"{module}.{class_name}.{name}"
+        if class_name
+        else f"{module}.{name}"
+    )
+    return FunctionInfo(
+        qualname=qual,
+        module=module,
+        node=node,
+        params=tuple(names + kwonly),
+        defaults_count=len(args.defaults),
+        is_method=class_name is not None,
+        class_name=class_name,
+    )
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):  # Protocol[T], Generic[T]
+        return _base_name(expr.value)
+    return None
+
+
+def build_project(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    exclude: Sequence[str] = (),
+) -> Tuple[ProjectModel, List[Finding]]:
+    """Parse every module under ``paths`` and assemble the model.
+
+    Returns ``(project, parse_findings)`` — files that fail to parse
+    become PARSE001 findings and are excluded from the model.
+    """
+    config = config or LintConfig()
+    project = ProjectModel(config=config)
+    parse_findings: List[Finding] = []
+
+    for path in iter_python_files(paths, exclude=exclude):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        source_lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            if config.rule_selected("PARSE001"):
+                parse_findings.append(
+                    parse_failure_finding(exc, path, source_lines)
+                )
+            continue
+        module = package_module_name(path)
+        suppressions, malformed = parse_suppressions(source_lines)
+        info = ModuleInfo(
+            path=path,
+            module=module,
+            tree=tree,
+            source_lines=source_lines,
+            suppressions=suppressions,
+            malformed_suppressions=malformed,
+        )
+        # first file wins on duplicate dotted names (shadowed scripts)
+        project.modules.setdefault(module, info)
+
+    for module, info in project.modules.items():
+        _index_module(project, info)
+    project.cycles = import_cycles(project.imports)
+    _build_call_graph(project)
+    return project, parse_findings
+
+
+def _index_module(project: ProjectModel, info: ModuleInfo) -> None:
+    """Fill the name table, import edges and definitions for one module."""
+    module = info.module
+    table: Dict[str, str] = {}
+    edges: List[str] = []
+
+    for stmt in _import_time_statements(info.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = origin
+                target = _project_prefix(project, alias.name)
+                if target is not None and target != module:
+                    edges.append(target)
+                    project.import_lines.setdefault(
+                        (module, target), stmt.lineno
+                    )
+        elif isinstance(stmt, ast.ImportFrom):
+            target_module = _resolve_relative(module, stmt)
+            if target_module is None:
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{target_module}.{alias.name}"
+            resolved = _project_prefix(project, target_module)
+            if resolved is None:
+                # ``from pkg import sub`` where pkg.sub is a module
+                for alias in stmt.names:
+                    candidate = f"{target_module}.{alias.name}"
+                    sub = _project_prefix(project, candidate)
+                    if sub is not None and sub != module:
+                        edges.append(sub)
+                        project.import_lines.setdefault(
+                            (module, sub), stmt.lineno
+                        )
+            elif resolved != module:
+                edges.append(resolved)
+                project.import_lines.setdefault(
+                    (module, resolved), stmt.lineno
+                )
+
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _function_info(stmt, module, None)
+            project.functions[fn.qualname] = fn
+            table[stmt.name] = fn.qualname
+        elif isinstance(stmt, ast.ClassDef):
+            cls = ClassInfo(
+                qualname=f"{module}.{stmt.name}",
+                module=module,
+                node=stmt,
+                base_names=tuple(
+                    name
+                    for name in (_base_name(b) for b in stmt.bases)
+                    if name is not None
+                ),
+            )
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = _function_info(sub, module, stmt.name)
+                    cls.methods[sub.name] = fn
+                    project.functions[fn.qualname] = fn
+            project.classes[cls.qualname] = cls
+            table[stmt.name] = cls.qualname
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    table.setdefault(target.id, f"{module}.{target.id}")
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                table.setdefault(
+                    stmt.target.id, f"{module}.{stmt.target.id}"
+                )
+
+    project.names[module] = table
+    project.imports[module] = tuple(dict.fromkeys(edges))
+
+
+def _project_prefix(project: ProjectModel, dotted: str) -> Optional[str]:
+    """Longest project module matched by ``dotted`` (or its package)."""
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in project.modules:
+            return candidate
+    return None
+
+
+# ----------------------------------------------------------------------
+# Cycle detection (Tarjan, iterative)
+# ----------------------------------------------------------------------
+
+
+def import_cycles(
+    imports: Dict[str, Tuple[str, ...]]
+) -> List[List[str]]:
+    """Strongly connected components of size > 1 (plus self-loops).
+
+    Deterministic: modules are visited in sorted order and each cycle is
+    rotated to start at its lexicographically smallest member.
+    """
+    index_of: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = sorted(imports.get(node, ()))
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in imports:
+                    continue
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if recurse:
+                continue
+            if low[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in imports.get(node, ()):
+                    smallest = min(component)
+                    pivot = component.index(smallest)
+                    components.append(
+                        component[pivot:] + component[:pivot]
+                    )
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for node in sorted(imports):
+        if node not in index_of:
+            strongconnect(node)
+    return sorted(components)
+
+
+# ----------------------------------------------------------------------
+# Conservative call graph
+# ----------------------------------------------------------------------
+
+
+def resolve_call_target(
+    project: ProjectModel,
+    module: str,
+    func: ast.expr,
+    enclosing_class: Optional[str],
+) -> Optional[str]:
+    """Qualified name a call expression resolves to, if provable.
+
+    Handles ``name(...)``, ``mod.attr(...)`` chains rooted at an
+    imported module, and ``self.method(...)`` within a known class.
+    Anything else (dynamic dispatch, call results, subscripts) returns
+    ``None`` — the call graph under-approximates by design.
+    """
+    if isinstance(func, ast.Name):
+        resolved = project.resolve(module, func.id)
+        return resolved if resolved is not None else func.id
+    if isinstance(func, ast.Attribute):
+        parts: List[str] = []
+        cursor: ast.expr = func
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        parts.reverse()
+        if isinstance(cursor, ast.Name):
+            if cursor.id == "self" and enclosing_class is not None:
+                cls = project.classes.get(f"{module}.{enclosing_class}")
+                if cls is not None and len(parts) == 1:
+                    method = cls.methods.get(parts[0])
+                    if method is not None:
+                        return method.qualname
+                return None
+            base = project.resolve(module, cursor.id)
+            if base is None:
+                return None
+            dotted = ".".join([base] + parts)
+            # normalise through a project re-export if one applies
+            owner = _project_prefix(project, base)
+            if owner is not None and len(parts) == 1:
+                chased = project.resolve(owner, parts[0])
+                if chased is not None:
+                    return chased
+            return dotted
+    return None
+
+
+def _build_call_graph(project: ProjectModel) -> None:
+    for module, info in project.modules.items():
+        for scope_name, class_name, body in _callable_scopes(info.tree, module):
+            for node in _walk_stmts(body):
+                if isinstance(node, ast.Call):
+                    target = resolve_call_target(
+                        project, module, node.func, class_name
+                    )
+                    if target is None:
+                        continue
+                    # class instantiation: route to __init__ when known
+                    cls = project.classes.get(target)
+                    if cls is not None and "__init__" in cls.methods:
+                        target = cls.methods["__init__"].qualname
+                    site = CallSite(
+                        caller=scope_name,
+                        callee=target,
+                        module=module,
+                        node=node,
+                    )
+                    project.call_sites.append(site)
+                    project.callers_of.setdefault(target, []).append(site)
+
+
+def _walk_stmts(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    for stmt in body:
+        yield from ast.walk(stmt)
+
+
+def _callable_scopes(
+    tree: ast.Module, module: str
+) -> Iterator[Tuple[str, Optional[str], List[ast.stmt]]]:
+    """Yield ``(scope qualname, class name, body)`` for every scope.
+
+    Module-level code is the ``<module>``-suffixed scope; nested
+    functions are attributed to their outermost enclosing def (their
+    calls execute when the outer function runs or returns the closure).
+    """
+    top: List[ast.stmt] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{module}.{stmt.name}", None, stmt.body
+        elif isinstance(stmt, ast.ClassDef):
+            class_tail: List[ast.stmt] = []
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield (
+                        f"{module}.{stmt.name}.{sub.name}",
+                        stmt.name,
+                        sub.body,
+                    )
+                else:
+                    class_tail.append(sub)
+            if class_tail:
+                yield f"{module}.<module>", stmt.name, class_tail
+        else:
+            top.append(stmt)
+    if top:
+        yield f"{module}.<module>", None, top
+
+
+# ----------------------------------------------------------------------
+# Graph dumps (--graph dot|json)
+# ----------------------------------------------------------------------
+
+
+def render_graph_json(project: ProjectModel) -> str:
+    """Machine-readable dump of the import and call graphs."""
+    import json
+
+    payload = {
+        "version": 1,
+        "modules": {
+            module: {
+                "path": info.path,
+                "imports": sorted(project.imports.get(module, ())),
+            }
+            for module, info in sorted(project.modules.items())
+        },
+        "cycles": project.cycles,
+        "calls": sorted(
+            {
+                (site.caller, site.callee)
+                for site in project.call_sites
+                if site.callee in project.functions
+                or site.callee in project.classes
+            }
+        ),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_graph_dot(project: ProjectModel) -> str:
+    """GraphViz dot rendering of the module import graph.
+
+    Cycle members are highlighted; edge direction is importer →
+    imported.
+    """
+    cycle_members = {m for cycle in project.cycles for m in cycle}
+    lines = ["digraph imports {", "  rankdir=LR;", "  node [shape=box];"]
+    for module in sorted(project.modules):
+        attrs = ' [color=red, penwidth=2]' if module in cycle_members else ""
+        lines.append(f'  "{module}"{attrs};')
+    for module in sorted(project.imports):
+        for target in sorted(project.imports[module]):
+            in_cycle = module in cycle_members and target in cycle_members
+            attrs = " [color=red]" if in_cycle else ""
+            lines.append(f'  "{module}" -> "{target}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def lint_project(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    exclude: Sequence[str] = (),
+) -> LintResult:
+    """The whole-program pass: per-file rules + project rules.
+
+    Every file is parsed exactly once; per-file findings and
+    cross-module findings flow through the same suppression machinery
+    (line- and file-scoped comments in the file a finding is anchored
+    to), so fingerprints, baselines and SUP001 behave identically to
+    the per-file path.
+    """
+    from repro.lint.rules_project import PROJECT_RULES
+
+    config = config or LintConfig()
+    project, parse_findings = build_project(
+        paths, config=config, exclude=exclude
+    )
+
+    raw_by_path: Dict[str, List[Finding]] = {}
+    for info in project.modules.values():
+        context = info.context(config)
+        raw_by_path.setdefault(info.path, []).extend(
+            check_tree(info.tree, context)
+        )
+
+    for rule in PROJECT_RULES:
+        if config.rule_selected(rule.id):
+            for finding in rule.check(project):
+                raw_by_path.setdefault(finding.path, []).append(finding)
+
+    result = LintResult(files=len(project.modules) + len(parse_findings))
+    result.findings.extend(parse_findings)
+    by_path = {info.path: info for info in project.modules.values()}
+    for path in sorted(raw_by_path):
+        info = by_path.get(path)
+        if info is None:
+            result.findings.extend(raw_by_path[path])
+            continue
+        kept, suppressed = apply_suppressions(
+            raw_by_path[path], info.suppressions
+        )
+        context = info.context(config)
+        kept.extend(
+            malformed_suppression_findings(
+                info.malformed_suppressions, context
+            )
+        )
+        result.findings.extend(kept)
+        result.suppressed.extend(suppressed)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

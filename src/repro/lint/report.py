@@ -1,4 +1,4 @@
-"""Renderers for lint results: human text and machine JSON.
+"""Renderers for lint results: human text, machine JSON, SARIF 2.1.0.
 
 The JSON document is a stable schema (``version`` bumps on breaking
 change) so CI annotations and editor integrations can consume it::
@@ -14,24 +14,39 @@ change) so CI annotations and editor integrations can consume it::
       "findings": [
         {"rule": "DET002", "severity": "error", "path": "...",
          "line": 7, "col": 11, "message": "...", "snippet": "...",
-         "fingerprint": "6f0c..."}
+         "hops": [], "fingerprint": "6f0c..."}
       ]
     }
+
+``render_sarif`` emits a SARIF 2.1.0 log suitable for
+``github/codeql-action/upload-sarif`` so findings annotate PRs inline;
+interprocedural taint paths become SARIF ``codeFlows`` and the engine
+fingerprint rides along in ``partialFingerprints`` for dedup across
+renumbering edits.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List
 
-from repro.lint.engine import Finding, LintResult
+from repro.lint.engine import Finding, LintResult, Severity
 
-__all__ = ["finding_to_dict", "render_json", "render_text"]
+__all__ = [
+    "finding_to_dict",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
 
 JSON_VERSION = 1
 
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
 
 def finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    """One finding as a JSON-ready dict (stable key set, version 1)."""
     return {
         "rule": finding.rule,
         "severity": finding.severity,
@@ -40,11 +55,13 @@ def finding_to_dict(finding: Finding) -> Dict[str, Any]:
         "col": finding.col,
         "message": finding.message,
         "snippet": finding.snippet,
+        "hops": [list(hop) for hop in finding.hops],
         "fingerprint": finding.fingerprint,
     }
 
 
 def render_json(result: LintResult) -> str:
+    """Render a :class:`LintResult` as the versioned JSON document."""
     payload = {
         "version": JSON_VERSION,
         "clean": result.clean,
@@ -59,11 +76,14 @@ def render_json(result: LintResult) -> str:
 
 
 def render_text(result: LintResult) -> str:
+    """Render findings as ``path:line:col: RULE message`` lines."""
     lines = []
     for finding in result.findings:
         lines.append(finding.format())
         if finding.snippet:
             lines.append(f"    {finding.snippet}")
+        for path, line, note in finding.hops:
+            lines.append(f"    via {path}:{line}: {note}")
     tail = (
         f"{len(result.findings)} finding(s) in {result.files} file(s)"
         if result.findings
@@ -90,3 +110,111 @@ def render_text(result: LintResult) -> str:
     else:
         lines.append(tail)
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0
+# ----------------------------------------------------------------------
+
+
+def _sarif_level(severity: str) -> str:
+    return "error" if severity == Severity.ERROR else "warning"
+
+
+def _sarif_location(path: str, line: int, col: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {
+                "startLine": max(1, line),
+                "startColumn": max(1, col + 1),
+            },
+        }
+    }
+
+
+def _sarif_code_flow(finding: Finding) -> Dict[str, Any]:
+    locations: List[Dict[str, Any]] = []
+    for path, line, note in finding.hops:
+        location = _sarif_location(path, line, 0)
+        location["message"] = {"text": note}
+        locations.append({"location": location})
+    sink = _sarif_location(finding.path, finding.line, finding.col)
+    sink["message"] = {"text": "seeding position (sink)"}
+    locations.append({"location": sink})
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def _rule_metadata() -> List[Dict[str, Any]]:
+    """Driver rule descriptors: per-file, project, engine diagnostics."""
+    from repro.lint.rules import ENGINE_RULE_SUMMARIES, RULES
+    from repro.lint.rules_project import PROJECT_RULES
+
+    rules: List[Dict[str, Any]] = []
+    seen = set()
+    for rule in list(RULES) + list(PROJECT_RULES):
+        if rule.id in seen:
+            continue
+        seen.add(rule.id)
+        rules.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": _sarif_level(rule.severity)
+                },
+            }
+        )
+    for rule_id in sorted(ENGINE_RULE_SUMMARIES):
+        if rule_id in seen:
+            continue
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": ENGINE_RULE_SUMMARIES[rule_id]
+                },
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+    return rules
+
+
+def render_sarif(result: LintResult) -> str:
+    """Render a :class:`LintResult` as a SARIF 2.1.0 log."""
+    rules = _rule_metadata()
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for finding in result.findings:
+        entry: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": _sarif_level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                _sarif_location(finding.path, finding.line, finding.col)
+            ],
+            "partialFingerprints": {
+                "reproLint/v1": finding.fingerprint
+            },
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        if finding.hops:
+            entry["codeFlows"] = [_sarif_code_flow(finding)]
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

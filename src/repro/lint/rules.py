@@ -23,7 +23,19 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import Finding, ModuleContext, Severity
 
-__all__ = ["RULES", "Rule", "rule_ids"]
+__all__ = [
+    "RULES",
+    "ImportMap",
+    "ImportTimeConcurrencyRule",
+    "ImportTimeResourceRule",
+    "InterruptSwallowRule",
+    "MutableDefaultRule",
+    "Rule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "rule_ids",
+]
 
 
 # ----------------------------------------------------------------------
@@ -792,7 +804,11 @@ ENGINE_RULE_SUMMARIES: Dict[str, str] = {
 
 
 def rule_ids() -> Tuple[str, ...]:
-    """Every valid rule id, AST rules plus engine diagnostics."""
-    return tuple(rule.id for rule in RULES) + tuple(
-        sorted(ENGINE_RULE_SUMMARIES)
+    """Every valid rule id: AST rules, project rules, engine diagnostics."""
+    from repro.lint.rules_project import project_rule_ids
+
+    return (
+        tuple(rule.id for rule in RULES)
+        + project_rule_ids()
+        + tuple(sorted(ENGINE_RULE_SUMMARIES))
     )

@@ -1,0 +1,771 @@
+"""Cross-module rule families: seed provenance, oracle contracts, API drift.
+
+These rules consume the :class:`~repro.lint.project.ProjectModel` (and,
+for the SEED family, the interprocedural results of
+:mod:`repro.lint.flow`) instead of a single file's AST.  Findings are
+anchored at real source locations and flow through the same
+suppression/fingerprint/baseline machinery as the per-file rules.
+
+Families:
+
+``SEED0xx``
+    Every value reaching an RNG-seeding position — ``random.Random(x)``,
+    ``seed=`` keyword arguments — must be traceable to
+    ``repro.exec.seeding.derive_seed``, an ``ExperimentSpec``/config
+    field, a literal, or an assignment annotated
+    ``# repro: seed-source reason``.  Violations report the full taint
+    path as ``file:line`` hops.
+
+``ORACLE0xx``
+    A class structurally claiming :class:`repro.graphs.oracle.
+    NeighborOracle` (it defines most of the core read surface, or names
+    the protocol as a base) must implement the complete surface with
+    compatible arities, must not mutate state inside read methods, and
+    must raise ``NodeNotFoundError`` — never a bare ``KeyError`` — on
+    its miss paths.
+
+``API0xx``
+    ``__all__`` vs. reality: dead exports (API002), public definitions
+    missing from a declared ``__all__`` (API003), exported callables
+    without docstrings (API004).
+
+``PROJ0xx``
+    Project-structure facts: import cycles (PROJ001).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, Severity
+from repro.lint.flow import SeedIssue, analyze_seed_flow
+from repro.lint.project import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+    _import_time_statements,
+)
+
+__all__ = [
+    "DeadExportRule",
+    "ImportCycleRule",
+    "OracleMissRule",
+    "OracleReadMutationRule",
+    "OracleSurfaceRule",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "SeedMissingRule",
+    "SeedOpaqueRule",
+    "SeedTaintRule",
+    "UndocumentedExportRule",
+    "UnexportedPublicRule",
+    "project_rule_ids",
+]
+
+
+class ProjectRule:
+    """Base class for whole-program rules: ``check`` takes the model."""
+
+    id: str = ""
+    severity: str = Severity.ERROR
+    summary: str = ""
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        project: ProjectModel,
+        module: str,
+        line: int,
+        col: int,
+        message: str,
+        hops: Tuple[Tuple[str, int, str], ...] = (),
+    ) -> Finding:
+        info = project.modules.get(module)
+        path = info.path if info is not None else "<unknown>"
+        snippet = ""
+        if info is not None and 1 <= line <= len(info.source_lines):
+            snippet = info.source_lines[line - 1].strip()
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+            hops=hops,
+        )
+
+
+# ----------------------------------------------------------------------
+# SEED001 / SEED002 / SEED003 — seed provenance
+# ----------------------------------------------------------------------
+
+
+def _format_hops(hops: Tuple[Tuple[str, int, str], ...]) -> str:
+    return " -> ".join(
+        f"{path}:{line} ({note})" for path, line, note in hops
+    )
+
+
+class _SeedRule(ProjectRule):
+    """Shared driver: one flow analysis feeds all three SEED rules."""
+
+    kind: str = ""
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for issue in analyze_seed_flow(project):
+            if issue.kind != self.kind:
+                continue
+            yield self.finding(
+                project,
+                issue.module,
+                issue.line,
+                issue.col,
+                self.message(issue),
+                hops=issue.hops,
+            )
+
+    def message(self, issue: SeedIssue) -> str:
+        raise NotImplementedError
+
+
+class SeedTaintRule(_SeedRule):
+    """SEED001: a provably nondeterministic value reaches a seed."""
+
+    id = "SEED001"
+    severity = Severity.ERROR
+    kind = "tainted"
+    summary = (
+        "seed value is tainted by a nondeterministic source (wall clock, "
+        "pid, os.urandom, global random) — derive it via "
+        "repro.exec.seeding.derive_seed instead"
+    )
+
+    def message(self, issue: SeedIssue) -> str:
+        text = (
+            f"value reaching {issue.sink} is nondeterministic "
+            f"({issue.detail}); every run will seed differently, "
+            "breaking byte-identical replay — derive the seed with "
+            "repro.exec.seeding.derive_seed(base_seed, ...) from "
+            "experiment identity instead"
+        )
+        if issue.hops:
+            text += f". Taint path: {_format_hops(issue.hops)}"
+        return text
+
+
+class SeedOpaqueRule(_SeedRule):
+    """SEED002: untraceable provenance at a direct RNG construction."""
+
+    id = "SEED002"
+    severity = Severity.ERROR
+    kind = "opaque"
+    summary = (
+        "random.Random(x) where x has untraceable provenance — seeds "
+        "must come from derive_seed, a spec/config field, or an "
+        "assignment annotated '# repro: seed-source reason'"
+    )
+
+    def message(self, issue: SeedIssue) -> str:
+        text = (
+            f"cannot prove the value reaching {issue.sink} is "
+            f"deterministic ({issue.detail}); seeds must be traceable "
+            "to repro.exec.seeding.derive_seed, an ExperimentSpec/"
+            "config field, or an assignment annotated "
+            "'# repro: seed-source reason'"
+        )
+        if issue.hops:
+            text += f". Provenance trail: {_format_hops(issue.hops)}"
+        return text
+
+
+class SeedMissingRule(_SeedRule):
+    """SEED003: ``random.Random()`` constructed with no seed at all."""
+
+    id = "SEED003"
+    severity = Severity.ERROR
+    kind = "unseeded"
+    summary = (
+        "random.Random() constructed with no seed — it draws its state "
+        "from OS entropy and every run differs"
+    )
+
+    def message(self, issue: SeedIssue) -> str:
+        return (
+            f"{issue.sink} {issue.detail}; pass a seed derived via "
+            "repro.exec.seeding.derive_seed(base_seed, ...)"
+        )
+
+
+# ----------------------------------------------------------------------
+# ORACLE001 / ORACLE002 / ORACLE003 — NeighborOracle conformance
+# ----------------------------------------------------------------------
+
+# The complete required surface with required-argument counts
+# (excluding self).  Extra defaulted parameters are compatible.
+_ORACLE_REQUIRED: Dict[str, int] = {
+    "num_nodes": 0,
+    "degree": 1,
+    "neighbors": 1,
+    "iter_nodes": 0,
+}
+
+# Read methods (required + optional surface): mutating any state or
+# raising bare KeyError inside these breaks every consumer that treats
+# the oracle as a pure view.
+_ORACLE_READS: Tuple[str, ...] = (
+    "num_nodes",
+    "degree",
+    "neighbors",
+    "iter_nodes",
+    "has_node",
+    "has_edge",
+    "nodes",
+    "number_of_edges",
+    "iter_edges",
+    "edges",
+)
+
+_MUTATOR_CALLS: Set[str] = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _claims_oracle(cls: ClassInfo) -> bool:
+    """Does this class structurally claim the NeighborOracle protocol?
+
+    Either it names the protocol as a base, or it defines at least three
+    of the four core read methods.  The protocol definition itself
+    (``class NeighborOracle(Protocol)``) is exempt.
+    """
+    if "Protocol" in cls.base_names:
+        return False
+    if "NeighborOracle" in cls.base_names:
+        return True
+    defined = sum(1 for name in _ORACLE_REQUIRED if name in cls.methods)
+    return defined >= 3
+
+
+def _method_signature(node: ast.AST) -> Tuple[int, Optional[int]]:
+    """(required argument count, positional capacity) excluding self.
+
+    Capacity is ``None`` when ``*args`` makes it unbounded.  Required
+    keyword-only parameters count toward the requirement: a protocol
+    caller passing only positional arguments cannot satisfy them.
+    """
+    args = node.args  # type: ignore[attr-defined]
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    if positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    required = max(0, len(positional) - len(args.defaults))
+    required += sum(1 for d in args.kw_defaults if d is None)
+    capacity = None if args.vararg is not None else len(positional)
+    return required, capacity
+
+
+def _rooted_at_self(expr: ast.expr) -> bool:
+    cursor: ast.expr = expr
+    while isinstance(cursor, (ast.Attribute, ast.Subscript)):
+        cursor = cursor.value
+    return isinstance(cursor, ast.Name) and cursor.id == "self"
+
+
+def _walk_skipping_defs(root: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+class OracleSurfaceRule(ProjectRule):
+    """ORACLE001: incomplete or arity-incompatible oracle surface."""
+
+    id = "ORACLE001"
+    severity = Severity.ERROR
+    summary = (
+        "class structurally claims NeighborOracle but is missing part "
+        "of the required surface (num_nodes/degree/neighbors/iter_nodes) "
+        "or implements it with an incompatible arity"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for qualname in sorted(project.classes):
+            cls = project.classes[qualname]
+            if not _claims_oracle(cls):
+                continue
+            for name in sorted(_ORACLE_REQUIRED):
+                expected = _ORACLE_REQUIRED[name]
+                method = cls.methods.get(name)
+                if method is None:
+                    yield self.finding(
+                        project,
+                        cls.module,
+                        cls.node.lineno,
+                        cls.node.col_offset,
+                        f"class {cls.node.name} claims the "
+                        "NeighborOracle protocol (defines "
+                        f"{self._claimed(cls)}) but is missing "
+                        f"{name}(); implement the full read surface "
+                        "so oracle consumers (flooding, robustness, "
+                        "certificates) can treat it uniformly",
+                    )
+                    continue
+                required, capacity = _method_signature(method.node)
+                compatible = required <= expected and (
+                    capacity is None or capacity >= expected
+                )
+                if not compatible:
+                    yield self.finding(
+                        project,
+                        cls.module,
+                        method.node.lineno,  # type: ignore[attr-defined]
+                        method.node.col_offset,  # type: ignore[attr-defined]
+                        f"{cls.node.name}.{name}() is not callable "
+                        f"with the protocol's {expected} argument(s) "
+                        f"(requires {required}, accepts "
+                        f"{'unbounded' if capacity is None else capacity}"
+                        "); align the signature with "
+                        "repro.graphs.oracle.NeighborOracle",
+                    )
+
+    @staticmethod
+    def _claimed(cls: ClassInfo) -> str:
+        present = [n for n in _ORACLE_REQUIRED if n in cls.methods]
+        return "/".join(present) if present else "the protocol base"
+
+
+class OracleReadMutationRule(ProjectRule):
+    """ORACLE002: oracle read methods must not mutate instance state."""
+
+    id = "ORACLE002"
+    severity = Severity.ERROR
+    summary = (
+        "oracle read method mutates instance state — readers must be "
+        "pure views so concurrent consumers and replays see identical "
+        "structure"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for qualname in sorted(project.classes):
+            cls = project.classes[qualname]
+            if not _claims_oracle(cls):
+                continue
+            for name in _ORACLE_READS:
+                method = cls.methods.get(name)
+                if method is None:
+                    continue
+                yield from self._check_method(project, cls, name, method.node)
+
+    def _check_method(
+        self,
+        project: ProjectModel,
+        cls: ClassInfo,
+        name: str,
+        node: ast.AST,
+    ) -> Iterator[Finding]:
+        for stmt in getattr(node, "body", []):
+            for sub in _walk_skipping_defs(stmt):
+                message: Optional[str] = None
+                if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    if any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        and _rooted_at_self(t)
+                        for t in targets
+                    ):
+                        message = "assigns to instance state"
+                elif isinstance(sub, ast.Delete):
+                    if any(_rooted_at_self(t) for t in sub.targets):
+                        message = "deletes instance state"
+                elif isinstance(sub, ast.Call):
+                    func = sub.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_CALLS
+                        and isinstance(func.value, (ast.Attribute, ast.Subscript))
+                        and _rooted_at_self(func.value)
+                    ):
+                        message = (
+                            f"calls .{func.attr}() on instance state"
+                        )
+                if message is not None:
+                    yield self.finding(
+                        project,
+                        cls.module,
+                        sub.lineno,
+                        sub.col_offset,
+                        f"{cls.node.name}.{name}() {message}; oracle "
+                        "read methods must be pure views — move the "
+                        "mutation to construction or an explicit "
+                        "update method",
+                    )
+
+
+class OracleMissRule(ProjectRule):
+    """ORACLE003: miss paths must raise NodeNotFoundError, not KeyError."""
+
+    id = "ORACLE003"
+    severity = Severity.ERROR
+    summary = (
+        "oracle read method raises bare KeyError on a miss — raise "
+        "repro.errors.NodeNotFoundError so callers can distinguish "
+        "structural misses from programming errors"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for qualname in sorted(project.classes):
+            cls = project.classes[qualname]
+            if not _claims_oracle(cls):
+                continue
+            for name in _ORACLE_READS:
+                method = cls.methods.get(name)
+                if method is None:
+                    continue
+                for stmt in getattr(method.node, "body", []):
+                    for sub in _walk_skipping_defs(stmt):
+                        if not isinstance(sub, ast.Raise) or sub.exc is None:
+                            continue
+                        raised = sub.exc
+                        if isinstance(raised, ast.Call):
+                            raised = raised.func
+                        leaf = (
+                            raised.id
+                            if isinstance(raised, ast.Name)
+                            else raised.attr
+                            if isinstance(raised, ast.Attribute)
+                            else None
+                        )
+                        if leaf == "KeyError":
+                            yield self.finding(
+                                project,
+                                cls.module,
+                                sub.lineno,
+                                sub.col_offset,
+                                f"{cls.node.name}.{name}() raises "
+                                "KeyError on its miss path; raise "
+                                "NodeNotFoundError (repro.errors) — "
+                                "it subclasses KeyError, so existing "
+                                "callers keep working while oracle "
+                                "consumers can catch the precise type",
+                            )
+
+
+# ----------------------------------------------------------------------
+# API002 / API003 / API004 — export drift
+# ----------------------------------------------------------------------
+
+
+def _declared_all(info: ModuleInfo) -> Optional[List[Tuple[str, int]]]:
+    """``(name, line)`` entries of ``__all__``, or None when undeclared.
+
+    Understands ``__all__ = [...]``, ``__all__ += [...]`` and
+    ``__all__.extend([...])`` / ``.append("x")`` at import time.
+    """
+    entries: List[Tuple[str, int]] = []
+    declared = False
+
+    def harvest(value: ast.expr, line: int) -> None:
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    entries.append((element.value, element.lineno))
+        elif isinstance(value, ast.Constant) and isinstance(
+            value.value, str
+        ):
+            entries.append((value.value, line))
+
+    for stmt in _import_time_statements(info.tree):
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in stmt.targets
+            ):
+                declared = True
+                harvest(stmt.value, stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__all__"
+            ):
+                declared = True
+                harvest(stmt.value, stmt.lineno)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == "__all__"
+                and call.func.attr in ("extend", "append")
+                and call.args
+            ):
+                declared = True
+                harvest(call.args[0], stmt.lineno)
+    return entries if declared else None
+
+
+def _has_star_import(info: ModuleInfo) -> bool:
+    for stmt in _import_time_statements(info.tree):
+        if isinstance(stmt, ast.ImportFrom):
+            if any(alias.name == "*" for alias in stmt.names):
+                return True
+    return False
+
+
+def _iter_binding_statements(info: ModuleInfo) -> Iterator[ast.stmt]:
+    """Import-time statements *including* function definitions.
+
+    :func:`_import_time_statements` skips ``def`` nodes entirely (their
+    bodies don't run at import) but the *name* they bind does exist at
+    import time, which is what export checking needs.
+    """
+
+    def walk(statements: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in statements:
+            yield stmt
+            if isinstance(stmt, ast.If):
+                yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from walk(stmt.body)
+
+    yield from walk(list(info.tree.body))
+
+
+def _bound_names(info: ModuleInfo) -> Set[str]:
+    """Every name bound at import time (defs, classes, imports, assigns)."""
+    bound: Set[str] = set()
+    for stmt in _iter_binding_statements(info):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name):
+                    bound.add(node.id)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for node in ast.walk(item.optional_vars):
+                        if isinstance(node, ast.Name):
+                            bound.add(node.id)
+    return bound
+
+
+class DeadExportRule(ProjectRule):
+    """API002: ``__all__`` names something the module never binds."""
+
+    id = "API002"
+    severity = Severity.ERROR
+    summary = (
+        "__all__ exports a name the module never defines or imports — "
+        "'from module import *' raises AttributeError at runtime"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            info = project.modules[module]
+            exported = _declared_all(info)
+            if exported is None or _has_star_import(info):
+                continue
+            bound = _bound_names(info)
+            for name, line in exported:
+                if name in bound or name.startswith("__"):
+                    continue
+                yield self.finding(
+                    project,
+                    module,
+                    line,
+                    0,
+                    f"__all__ exports '{name}' but {module} never "
+                    "defines or imports it; remove the dead export "
+                    "or restore the definition",
+                )
+
+
+class UnexportedPublicRule(ProjectRule):
+    """API003: public definition missing from a declared ``__all__``."""
+
+    id = "API003"
+    severity = Severity.WARNING
+    summary = (
+        "public top-level def/class not listed in the module's __all__ "
+        "— the export surface has drifted from the definitions"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            info = project.modules[module]
+            exported = _declared_all(info)
+            if exported is None:
+                continue
+            names = {name for name, _ in exported}
+            for stmt in info.tree.body:
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                if stmt.name.startswith("_") or stmt.name in names:
+                    continue
+                kind = (
+                    "class"
+                    if isinstance(stmt, ast.ClassDef)
+                    else "function"
+                )
+                yield self.finding(
+                    project,
+                    module,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"public {kind} {stmt.name} is not listed in "
+                    f"{module}.__all__; add it to the export list or "
+                    "rename it with a leading underscore",
+                )
+
+
+class UndocumentedExportRule(ProjectRule):
+    """API004: exported callables/classes need docstrings."""
+
+    id = "API004"
+    severity = Severity.WARNING
+    summary = (
+        "__all__-exported function/class has no docstring — the "
+        "promoted API surface must document itself"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for module in sorted(project.modules):
+            info = project.modules[module]
+            exported = _declared_all(info)
+            if exported is None:
+                continue
+            for name, _ in exported:
+                resolved = project.resolve(module, name)
+                if resolved is None:
+                    continue
+                target = project.functions.get(resolved)
+                node: Optional[ast.AST] = None
+                owner: Optional[str] = None
+                if target is not None and not target.is_method:
+                    node = target.node
+                    owner = target.module
+                else:
+                    cls = project.classes.get(resolved)
+                    if cls is not None:
+                        node = cls.node
+                        owner = cls.module
+                if node is None or owner is None:
+                    continue
+                if ast.get_docstring(node) is None:  # type: ignore[arg-type]
+                    yield self.finding(
+                        project,
+                        owner,
+                        node.lineno,  # type: ignore[attr-defined]
+                        node.col_offset,  # type: ignore[attr-defined]
+                        f"'{name}' is exported via {module}.__all__ "
+                        "but has no docstring; the promoted API "
+                        "surface must document its contract",
+                    )
+
+
+# ----------------------------------------------------------------------
+# PROJ001 — import cycles
+# ----------------------------------------------------------------------
+
+
+class ImportCycleRule(ProjectRule):
+    """PROJ001: strongly connected components in the import graph."""
+
+    id = "PROJ001"
+    severity = Severity.WARNING
+    summary = (
+        "import cycle between project modules — import-time side "
+        "effects become order-dependent and partial modules leak"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for cycle in project.cycles:
+            first = cycle[0]
+            second = cycle[1] if len(cycle) > 1 else cycle[0]
+            line = project.import_lines.get((first, second), 1)
+            chain = " -> ".join(cycle + [first])
+            yield self.finding(
+                project,
+                first,
+                line,
+                0,
+                f"import cycle: {chain}; break it with a function-"
+                "level import or by moving the shared definition "
+                "into a leaf module",
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    SeedTaintRule(),
+    SeedOpaqueRule(),
+    SeedMissingRule(),
+    OracleSurfaceRule(),
+    OracleReadMutationRule(),
+    OracleMissRule(),
+    DeadExportRule(),
+    UnexportedPublicRule(),
+    UndocumentedExportRule(),
+    ImportCycleRule(),
+)
+
+
+def project_rule_ids() -> Tuple[str, ...]:
+    """Ids of every registered whole-program rule, in registry order."""
+    return tuple(rule.id for rule in PROJECT_RULES)

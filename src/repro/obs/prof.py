@@ -46,7 +46,7 @@ import time
 from types import FrameType
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.obs import spans as _spans
+import repro.obs.spans as _spans
 
 #: Sample key: (open span names outermost-first, frame labels root-first).
 SampleKey = Tuple[Tuple[str, ...], Tuple[str, ...]]

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple, Union
 
-from repro import obs
+import repro.obs as obs
 from repro.analysis.tables import render_table
 from repro.errors import SimulationError
 from repro.exec.cache import GRAPH_CACHE, TopologySpec

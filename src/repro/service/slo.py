@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
-from repro import obs
+import repro.obs as obs
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
 

@@ -63,7 +63,7 @@ import time
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro import obs
+import repro.obs as obs
 from repro.errors import ReproError
 from repro.exec.checkpoint import CheckpointJournal, checkpoint_key, open_journal
 from repro.exec.seeding import derive_seed

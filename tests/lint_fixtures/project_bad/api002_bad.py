@@ -1,0 +1,8 @@
+"""API002: __all__ exports a name that is never defined or imported."""
+
+__all__ = ["real_thing", "ghost"]
+
+
+def real_thing() -> int:
+    """Exists."""
+    return 1

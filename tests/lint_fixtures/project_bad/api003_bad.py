@@ -1,0 +1,13 @@
+"""API003: a public definition has drifted out of __all__."""
+
+__all__ = ["listed"]
+
+
+def listed() -> int:
+    """Exported."""
+    return 1
+
+
+def drifted() -> int:
+    """Public but missing from __all__."""
+    return 2

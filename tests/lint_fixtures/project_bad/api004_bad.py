@@ -1,0 +1,7 @@
+"""API004: an exported callable without a docstring."""
+
+__all__ = ["undocumented"]
+
+
+def undocumented() -> int:
+    return 1

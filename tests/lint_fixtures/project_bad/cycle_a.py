@@ -1,0 +1,7 @@
+"""PROJ001 (half 1): imports cycle_b, which imports us back."""
+
+import cycle_b
+
+
+def ping() -> str:
+    return cycle_b.pong()

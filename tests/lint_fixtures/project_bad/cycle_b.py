@@ -1,0 +1,7 @@
+"""PROJ001 (half 2): imports cycle_a, which imports us back."""
+
+import cycle_a
+
+
+def pong() -> str:
+    return cycle_a.ping.__name__

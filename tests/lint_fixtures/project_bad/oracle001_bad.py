@@ -1,0 +1,32 @@
+"""ORACLE001: incomplete surface and incompatible arity."""
+
+from typing import Iterator, List
+
+
+class MissingIterNodes:
+    """Claims the oracle shape (3 of 4 reads) but lacks iter_nodes."""
+
+    def num_nodes(self) -> int:
+        return 0
+
+    def degree(self, node: int) -> int:
+        return 0
+
+    def neighbors(self, node: int) -> List[int]:
+        return []
+
+
+class BadArity:
+    """Full surface, but degree() demands an extra required argument."""
+
+    def num_nodes(self) -> int:
+        return 0
+
+    def degree(self, node: int, strict: bool) -> int:
+        return 0
+
+    def neighbors(self, node: int) -> List[int]:
+        return []
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(())

@@ -1,0 +1,24 @@
+"""ORACLE002: a read method mutates instance state."""
+
+from typing import Dict, Iterator, List
+
+
+class CachingOracle:
+    """Memoizes inside neighbors() — readers must be pure views."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, List[int]] = {}
+
+    def num_nodes(self) -> int:
+        return 0
+
+    def degree(self, node: int) -> int:
+        return 0
+
+    def neighbors(self, node: int) -> List[int]:
+        if node not in self._cache:
+            self._cache[node] = [node + 1]
+        return self._cache[node]
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(())

@@ -1,0 +1,22 @@
+"""ORACLE003: miss path raises bare KeyError instead of NodeNotFoundError."""
+
+from typing import Iterator, List
+
+
+class StrictOracle:
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def num_nodes(self) -> int:
+        return self._count
+
+    def degree(self, node: int) -> int:
+        if node >= self._count:
+            raise KeyError(node)
+        return 2
+
+    def neighbors(self, node: int) -> List[int]:
+        return []
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(self._count))

@@ -1,0 +1,9 @@
+"""SEED001: a nondeterministic value reaches the RNG seed directly."""
+
+import os
+import random
+
+
+def build_rng() -> random.Random:
+    nonce = os.getpid()
+    return random.Random(nonce)

@@ -1,0 +1,12 @@
+"""SEED002: untraceable provenance at a direct RNG construction."""
+
+import random
+
+
+def fetch_token(registry: object) -> object:
+    """An attribute read the analysis cannot prove deterministic."""
+    return registry.token  # type: ignore[attr-defined]
+
+
+def make(registry: object) -> random.Random:
+    return random.Random(fetch_token(registry))

@@ -1,0 +1,8 @@
+"""SEED003: RNG constructed with no seed at all."""
+
+import random
+
+
+def sampler() -> float:
+    rng = random.Random()
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Cross-module seed-laundering corpus: a correct-looking pipeline.
+
+``run.launch`` seeds an RNG from ``mint.mint_seed``, which looks like a
+derivation helper but mixes in ``entropy.weak_token`` — wall-clock/pid
+entropy three call frames away from the sink.  The whole-program SEED001
+rule must report the full taint path across all three modules.
+"""

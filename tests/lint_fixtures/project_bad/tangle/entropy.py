@@ -1,0 +1,8 @@
+"""The taint source: process-unique "uniqueness" helpers."""
+
+import os
+
+
+def weak_token() -> int:
+    """Looks harmless; actually nondeterministic per process."""
+    return os.getpid() ^ 0x5DEECE66D

@@ -1,0 +1,8 @@
+"""The laundering frame: mixes entropy into a 'derived' seed."""
+
+from tangle.entropy import weak_token
+
+
+def mint_seed(base: int) -> int:
+    """Presents as a pure derivation of ``base``; is not."""
+    return (base * 31) ^ weak_token()

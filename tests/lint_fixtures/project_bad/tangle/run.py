@@ -1,0 +1,11 @@
+"""The sink: an RNG seeded from the laundered value."""
+
+import random
+
+from tangle.mint import mint_seed
+
+
+def launch(base_seed: int) -> float:
+    """SEED001: taint flows entropy.weak_token -> mint_seed -> here."""
+    rng = random.Random(mint_seed(base_seed))
+    return rng.random()

@@ -1,0 +1,10 @@
+"""API002 clean: every export is defined (or imported) in the module."""
+
+import os
+
+__all__ = ["os", "real_thing"]
+
+
+def real_thing() -> int:
+    """Exists and is exported."""
+    return 1

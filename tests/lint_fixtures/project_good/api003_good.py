@@ -1,0 +1,17 @@
+"""API003 clean: the export list covers every public definition."""
+
+__all__ = ["listed", "also_listed"]
+
+
+def listed() -> int:
+    """Exported."""
+    return 1
+
+
+def also_listed() -> int:
+    """Also exported."""
+    return 2
+
+
+def _helper() -> int:
+    return 3

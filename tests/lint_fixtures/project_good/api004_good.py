@@ -1,0 +1,8 @@
+"""API004 clean: exported callables document their contract."""
+
+__all__ = ["documented"]
+
+
+def documented() -> int:
+    """Return a fixed token; exists to exercise the rule."""
+    return 1

@@ -1,0 +1,6 @@
+"""Cross-module seed pipeline done right: derive_seed end to end.
+
+Mirror of ``project_bad/tangle``: the same three-frame shape, but every
+hop is a pure function of experiment identity, so the whole-program
+SEED rules stay silent.
+"""

@@ -1,0 +1,8 @@
+"""The derivation frame: seeds come from derive_seed, nothing else."""
+
+from repro.exec.seeding import derive_seed
+
+
+def stage_seed(base: int, stage: str) -> int:
+    """A pure function of (base seed, stage label)."""
+    return derive_seed(base, "clean-stage", stage)

@@ -1,0 +1,16 @@
+"""The sink frame: RNG seeded through the derived chain."""
+
+import random
+
+from clean_pkg.derive import stage_seed
+
+
+class Spec:
+    """Stands in for an ExperimentSpec with a declared seed field."""
+
+    seed: int = 7
+
+
+def run(spec: Spec) -> float:
+    rng = random.Random(stage_seed(spec.seed, "flood"))
+    return rng.random()

@@ -1,0 +1,20 @@
+"""ORACLE001 clean: complete surface with protocol-compatible arities."""
+
+from typing import Iterator, List
+
+
+class CompleteOracle:
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def num_nodes(self) -> int:
+        return self._count
+
+    def degree(self, node: int) -> int:
+        return 2
+
+    def neighbors(self, node: int, materialize: bool = True) -> List[int]:
+        return [node]
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(self._count))

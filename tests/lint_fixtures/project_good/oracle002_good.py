@@ -1,0 +1,20 @@
+"""ORACLE002 clean: all structure is built at construction time."""
+
+from typing import Dict, Iterator, List
+
+
+class FrozenOracle:
+    def __init__(self, adjacency: Dict[int, List[int]]) -> None:
+        self._adjacency = dict(adjacency)
+
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency[node])
+
+    def neighbors(self, node: int) -> List[int]:
+        return list(self._adjacency[node])
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(sorted(self._adjacency))

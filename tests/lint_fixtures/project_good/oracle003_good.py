@@ -1,0 +1,26 @@
+"""ORACLE003 clean: miss paths raise the precise structural error."""
+
+from typing import Iterator, List
+
+from repro.errors import NodeNotFoundError
+
+
+class PoliteOracle:
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def num_nodes(self) -> int:
+        return self._count
+
+    def degree(self, node: int) -> int:
+        if node >= self._count:
+            raise NodeNotFoundError(node)
+        return 2
+
+    def neighbors(self, node: int) -> List[int]:
+        if node >= self._count:
+            raise NodeNotFoundError(node)
+        return []
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(self._count))

@@ -1,0 +1,9 @@
+"""SEED001 clean: the seed is a pure derivation of the base seed."""
+
+import random
+
+from repro.exec.seeding import derive_seed
+
+
+def build_rng(base_seed: int) -> random.Random:
+    return random.Random(derive_seed(base_seed, "build-rng"))

@@ -1,0 +1,8 @@
+"""SEED002 clean: opaque provenance declared with a seed-source note."""
+
+import random
+
+
+def replay(manifest: object) -> random.Random:
+    pinned = manifest.run_entry  # repro: seed-source replayed manifest pin
+    return random.Random(pinned)

@@ -1,0 +1,8 @@
+"""SEED003 clean: every RNG construction passes an explicit seed."""
+
+import random
+
+
+def sampler(spec: object) -> float:
+    rng = random.Random(spec.seed)  # type: ignore[attr-defined]
+    return rng.random()

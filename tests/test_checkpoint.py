@@ -6,6 +6,8 @@ uninterrupted run — at the journal level, at every library layer
 (campaign, sweep, experiment batch) and through the CLI.
 """
 
+# repro: lint-ignore-file[DET002] kill-resume drivers need a real wall-clock watchdog around the subprocess victim
+
 from __future__ import annotations
 
 import json

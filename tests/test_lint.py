@@ -80,7 +80,7 @@ class TestFixtureCorpus:
         result = lint_paths([BAD])
         assert result.exit_code() == 1
         # every bad fixture contributes at least one finding
-        flagged_files = {f.path for f in result.findings}
+        flagged_files = sorted({f.path for f in result.findings})
         for name in sorted(os.listdir(BAD)):
             if name.endswith(".py"):
                 assert any(name in path for path in flagged_files), name
@@ -218,6 +218,7 @@ class TestJsonOutput:
                 "col",
                 "message",
                 "snippet",
+                "hops",
                 "fingerprint",
             }
             assert finding["severity"] in ("error", "warning")

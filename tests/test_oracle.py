@@ -177,7 +177,7 @@ class TestCSR:
         csr = CSRGraph.from_oracle(oracle)
         edges = set(csr.iter_edges())
         assert len(edges) == csr.number_of_edges()
-        for u, v in edges:
+        for u, v in sorted(edges):
             assert u < v
             assert csr.has_edge(u, v) and csr.has_edge(v, u)
         assert not csr.has_edge(0, 0)

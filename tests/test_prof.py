@@ -1,5 +1,7 @@
 """Unit tests for the repro.obs.prof sampling profiler."""
 
+# repro: lint-ignore-file[DET002] profiler tests spin real wall time to give the sampler something to observe
+
 import sys
 import time
 

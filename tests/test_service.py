@@ -10,6 +10,8 @@ The acceptance bar mirrors the service's two headline claims:
   with the same seed — including through the CLI.
 """
 
+# repro: lint-ignore-file[DET002] kill-resume drivers need a real wall-clock watchdog around the subprocess victim
+
 from __future__ import annotations
 
 import json
